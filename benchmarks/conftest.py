@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures.  The
+experiment itself runs exactly once (``benchmark.pedantic`` with one round)
+— what pytest-benchmark reports is the wall-clock of regenerating that
+result, and the rendered table is printed for inspection.
+
+Budgets default to quick mode (see ``repro.experiments.common``); set
+``REPRO_FULL=1`` for paper-scale search budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _runner

@@ -1,0 +1,86 @@
+"""Bench: design-choice ablations called out in DESIGN.md §5.
+
+Three ablations beyond the paper's Table VI:
+
+* annealing schedule — the paper's literal "T halves each step" (~14
+  iterations/chain) vs the default slower cooling (~127 iterations/chain),
+* result-pool size — top-k measured shortlist width,
+* chain count — construction diversity.
+"""
+
+import pytest
+
+from repro.core import Gensor, GensorConfig
+from repro.hardware import rtx4090
+from repro.ir import operators as ops
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return rtx4090()
+
+
+@pytest.fixture(scope="module")
+def gemm():
+    return ops.matmul(4096, 2048, 4096, "ablate")
+
+
+def test_ablation_annealing_schedule(once, hw, gemm):
+    """Slower cooling explores more states and should not lose."""
+
+    def run_both():
+        fast_cool = Gensor(
+            hw, GensorConfig(cooling=0.5, num_chains=4, top_k=8)
+        ).compile(gemm)
+        slow_cool = Gensor(
+            hw, GensorConfig(cooling=0.93, num_chains=4, top_k=8)
+        ).compile(gemm)
+        return fast_cool, slow_cool
+
+    fast_cool, slow_cool = once(run_both)
+    print(
+        f"\ncooling=0.5 (paper's T/2): {fast_cool.iterations} iters, "
+        f"{fast_cool.best_metrics.achieved_flops / 1e12:.2f} TFLOPS\n"
+        f"cooling=0.93 (default):     {slow_cool.iterations} iters, "
+        f"{slow_cool.best_metrics.achieved_flops / 1e12:.2f} TFLOPS"
+    )
+    assert slow_cool.iterations > 3 * fast_cool.iterations
+    assert (
+        slow_cool.best_metrics.latency_s
+        <= fast_cool.best_metrics.latency_s * 1.05
+    )
+
+
+def test_ablation_topk_pool(once, hw, gemm):
+    """A wider measured shortlist can only improve the final pick."""
+
+    def run_both():
+        narrow = Gensor(hw, GensorConfig(top_k=2, num_chains=4)).compile(gemm)
+        wide = Gensor(hw, GensorConfig(top_k=16, num_chains=4)).compile(gemm)
+        return narrow, wide
+
+    narrow, wide = once(run_both)
+    print(
+        f"\ntop-k=2:  {narrow.best_metrics.achieved_flops / 1e12:.2f} TFLOPS"
+        f"\ntop-k=16: {wide.best_metrics.achieved_flops / 1e12:.2f} TFLOPS"
+    )
+    assert wide.best_metrics.latency_s <= narrow.best_metrics.latency_s * 1.02
+
+
+def test_ablation_chain_count(once, hw, gemm):
+    """More independent chains buy candidate diversity."""
+
+    def run_both():
+        one = Gensor(hw, GensorConfig(num_chains=1, top_k=8)).compile(gemm)
+        many = Gensor(hw, GensorConfig(num_chains=8, top_k=8)).compile(gemm)
+        return one, many
+
+    one, many = once(run_both)
+    print(
+        f"\nchains=1: {one.states_visited} states, "
+        f"{one.best_metrics.achieved_flops / 1e12:.2f} TFLOPS"
+        f"\nchains=8: {many.states_visited} states, "
+        f"{many.best_metrics.achieved_flops / 1e12:.2f} TFLOPS"
+    )
+    assert many.states_visited > one.states_visited
+    assert many.best_metrics.latency_s <= one.best_metrics.latency_s * 1.05

@@ -1,0 +1,12 @@
+"""Bench: §IV-D — Markov convergence analysis of the construction chain."""
+
+from repro.experiments import convergence_analysis
+
+
+def test_convergence_analysis(once):
+    result = once(convergence_analysis.run)
+    print("\n" + result.render())
+    report = result.rows["report"]
+    assert all(report.irreducible_per_level.values())
+    assert report.aperiodic
+    assert report.value_iterations < 1000

@@ -1,0 +1,19 @@
+"""Bench: Fig. 6 — operator FLOPS relative to Ansor on the RTX 4090.
+
+Quick mode covers the paper's published Table IV subset (12 operators);
+``REPRO_FULL=1`` runs all 32 with paper-scale Ansor budgets.
+"""
+
+import os
+
+from repro.experiments.fig06_ops_rtx4090 import run
+from repro.workloads import TABLE4_CONFIGS
+
+
+def test_fig06_ops_rtx4090(once):
+    full = os.environ.get("REPRO_FULL", "0") == "1"
+    labels = None if full else [c.label for c in TABLE4_CONFIGS if c.published]
+    result = once(run, labels=labels)
+    print("\n" + result.render())
+    assert result.rows["gensor_over_roller_avg"] > 1.0
+    assert result.rows["gensor_over_roller_max"] >= result.rows["gensor_over_roller_avg"]

@@ -1,0 +1,16 @@
+"""Bench: Fig. 7 — operator FLOPS relative to Ansor on the Orin Nano.
+
+Quick mode samples two published configs per operator family.
+"""
+
+import os
+
+from repro.experiments.fig07_ops_orin import run
+
+
+def test_fig07_ops_orin(once):
+    full = os.environ.get("REPRO_FULL", "0") == "1"
+    labels = None if full else ["C1", "C2", "M1", "M2", "V1", "V3", "P1", "P3"]
+    result = once(run, labels=labels)
+    print("\n" + result.render())
+    assert result.rows["gensor_over_roller_avg"] > 1.0

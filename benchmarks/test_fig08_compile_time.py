@@ -1,0 +1,13 @@
+"""Bench: Fig. 8 — compilation time per method across GEMM shapes."""
+
+from repro.experiments import fig08_compile_time
+
+
+def test_fig08_compile_time(once):
+    result = once(fig08_compile_time.run)
+    print("\n" + result.render())
+    for shape, times in result.rows.items():
+        # Construction methods sit orders of magnitude below search;
+        # Roller stays within one order of magnitude of Gensor.
+        assert times["ansor"] > 5 * times["gensor"], shape
+        assert times["roller"] <= times["gensor"], shape

@@ -1,0 +1,29 @@
+"""Bench: Fig. 9 — end-to-end model performance on both devices.
+
+Quick mode runs one CNN and one transformer per device; ``REPRO_FULL=1``
+runs the paper's full model set.
+"""
+
+import os
+
+from repro.experiments import fig09_end2end
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def test_fig09_rtx4090(once):
+    models = None if FULL else ["bert_small", "mobilenetv2"]
+    result = once(fig09_end2end.run, "rtx4090", models=models)
+    print("\n" + result.render())
+    for model, rel in result.rows.items():
+        assert rel["gensor"] > rel["roller"], model
+        assert rel["gensor"] > rel["pytorch"], model
+
+
+def test_fig09_orin(once):
+    models = None if FULL else ["resnet50", "mobilenetv2"]
+    result = once(fig09_end2end.run, "orin_nano", models=models)
+    print("\n" + result.render())
+    for model, rel in result.rows.items():
+        assert rel["gensor"] > 1.0, model  # beats the Roller baseline
+        assert rel["gensor"] > rel["pytorch"], model

@@ -1,0 +1,17 @@
+"""Bench: Fig. 10 — performance vs optimization time on ResNet-34."""
+
+from repro.experiments import fig10_tradeoff
+
+
+def test_fig10_tradeoff(once):
+    result = once(fig10_tradeoff.run)
+    print("\n" + result.render())
+    rows = result.rows
+    # PyTorch: zero-ish optimization, lowest performance.
+    assert rows["pytorch"]["opt_seconds"] < rows["roller"]["opt_seconds"]
+    assert rows["pytorch"]["throughput"] < rows["gensor"]["throughput"]
+    # Gensor: near the best performance at construction-scale time.
+    assert rows["gensor"]["opt_seconds"] < rows["ansor"]["opt_seconds"] / 5
+    assert rows["gensor"]["relative"] > 0.9
+    # Roller: cheapest construction, below Gensor's performance.
+    assert rows["roller"]["throughput"] < rows["gensor"]["throughput"]

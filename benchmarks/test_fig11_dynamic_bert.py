@@ -1,0 +1,28 @@
+"""Bench: Fig. 11 — dynamic-shape BERT vs Roller / DietCode / PyTorch."""
+
+import os
+
+from repro.experiments import fig11_dynamic_bert
+
+
+def test_fig11_dynamic_bert(once):
+    result = once(fig11_dynamic_bert.run)
+    print("\n" + result.render())
+    per_seq = result.rows["per_seq"]
+    gensor_avg = sum(r["gensor"] for r in per_seq.values()) / len(per_seq)
+    pytorch_avg = sum(r["pytorch"] for r in per_seq.values()) / len(per_seq)
+    diet_share = sum(
+        r["dietcode"] / r["gensor"] for r in per_seq.values()
+    ) / len(per_seq)
+    assert gensor_avg > 1.0  # beats Roller on dynamic shapes
+    assert gensor_avg > pytorch_avg  # far ahead of eager
+    assert 0.4 < diet_share < 1.05  # DietCode close but below Gensor
+    # DietCode's one-off family pass undercuts per-shape Gensor at
+    # paper-scale budgets (paper: 50 min vs 75 min); the quick-mode Gensor
+    # budget is deliberately tiny, so there only same-order is asserted.
+    diet_opt = result.rows["opt_time"]["dietcode"]
+    gensor_opt = result.rows["opt_time"]["gensor"]
+    if os.environ.get("REPRO_FULL", "0") == "1":
+        assert diet_opt < gensor_opt
+    else:
+        assert diet_opt < 5 * gensor_opt

@@ -1,0 +1,15 @@
+"""Bench: Fig. 12 — dynamic-structure optimize/infer timeline."""
+
+from repro.experiments import fig12_dynamic_timeline
+
+
+def test_fig12_dynamic_timeline(once):
+    result = once(fig12_dynamic_timeline.run)
+    print("\n" + result.render())
+    summary = result.rows["summary"]
+    # PyTorch never optimizes; Ansor's optimization dominates everything.
+    assert summary["pytorch"]["optimize_s"] == 0.0
+    assert summary["ansor"]["optimize_s"] > 10 * summary["gensor"]["optimize_s"]
+    # Gensor's total (optimize + infer) is the shortest, as in the paper.
+    best = min(summary, key=lambda m: summary[m]["total_s"])
+    assert best == "gensor"

@@ -1,0 +1,12 @@
+"""Bench: §V-A memory note — optimizer memory, Roller vs Gensor."""
+
+from repro.experiments import memory_overhead
+
+
+def test_memory_overhead(once):
+    result = once(memory_overhead.run)
+    print("\n" + result.render())
+    # The graph costs more than the tree, but only modestly (paper: tens
+    # of MB on top of ~550 MB process RSS).
+    assert result.rows["gensor_mb"] >= result.rows["roller_mb"]
+    assert result.rows["overhead_mb"] < 200

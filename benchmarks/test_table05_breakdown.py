@@ -1,0 +1,17 @@
+"""Bench: Table V — HW-counter breakdown on unbalanced GEMMs."""
+
+from repro.experiments import table05_breakdown
+
+
+def test_table05_breakdown(once):
+    result = once(table05_breakdown.run)
+    print("\n" + result.render())
+    # Gensor should lead on at least 2 of the 3 unbalanced shapes
+    # (the paper shows 3/3).
+    wins = sum(
+        1
+        for shape in result.rows
+        if result.rows[shape]["gensor"]["exec_ms"]
+        <= result.rows[shape]["ansor"]["exec_ms"]
+    )
+    assert wins >= 2

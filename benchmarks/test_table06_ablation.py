@@ -1,0 +1,14 @@
+"""Bench: Table VI — graph-construction and vThread ablation."""
+
+from repro.experiments import table06_ablation
+
+
+def test_table06_ablation(once):
+    result = once(table06_ablation.run)
+    print("\n" + result.render())
+    for op, variants in result.rows.items():
+        roller = variants["Roller"]["flops"]
+        no_vt = variants["Gensor w/o vThread"]["flops"]
+        full = variants["Gensor"]["flops"]
+        assert no_vt >= roller, f"{op}: graph variant lost to Roller"
+        assert full >= no_vt * 0.999, f"{op}: vThread variant regressed"

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Roofline reporting: why is this schedule as fast as it is?
+
+Compiles one representative operator per family with Gensor and prints
+each winner's roofline classification — which pipe bounds it, its
+arithmetic intensity, and how much of the attainable ceiling it reaches.
+Demonstrates the diagnostic API (`repro.sim.roofline`) a performance
+engineer would reach for when a kernel underperforms.
+
+Run:  python examples/roofline_report.py
+"""
+
+from repro import Gensor, GensorConfig, operators, rtx4090
+from repro.sim.roofline import analyze_roofline
+from repro.utils.tables import Table
+
+WORKLOADS = {
+    "GEMM 4096^3": lambda: operators.matmul(4096, 4096, 4096, "r_gemm"),
+    "GEMV 16384x16384": lambda: operators.gemv(16384, 16384, "r_gemv"),
+    "Conv2d 128x128x28": lambda: operators.conv2d(
+        128, 128, 30, 30, 128, 3, 3, 1, "r_conv"
+    ),
+    "AvgPool 16x48x48": lambda: operators.avgpool2d(16, 48, 48, 48, 2, 2, "r_pool"),
+}
+
+
+def main() -> None:
+    hw = rtx4090()
+    gensor = Gensor(hw, GensorConfig(num_chains=3, top_k=6, polish_steps=60))
+    table = Table(
+        "Workload", "AI (FLOP/B)", "Bound", "Achieved", "Attainable", "Efficiency",
+        title="Roofline positions of Gensor's winners (simulated RTX 4090)",
+    )
+    for name, factory in WORKLOADS.items():
+        compute = factory()
+        result = gensor.compile(compute)
+        report = analyze_roofline(result.best, hw)
+        table.add_row(
+            name,
+            f"{report.arithmetic_intensity:.1f}",
+            report.bound,
+            f"{report.achieved_flops / 1e12:.2f}T",
+            f"{report.roofline_flops / 1e12:.2f}T",
+            f"{report.efficiency:.0%}",
+        )
+    print(table.render())
+    print(
+        "\nReading: compute-bound winners sit near the FLOPS ceiling; "
+        "memory-bound ones near AI x DRAM bandwidth. Large gaps flag "
+        "occupancy or conflict problems worth investigating."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments whose setuptools lacks PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Gensor reproduction: graph-based construction tensor compilation.
+
+A full-stack reproduction of *"Gensor: A Graph-Based Construction Tensor
+Compilation Method for Deep Learning"* (IPPS 2025) on a simulated GPU
+substrate:
+
+* :mod:`repro.ir` — tensor-expression IR, the ETIR tile representation,
+  scheduling primitives, and loop nests;
+* :mod:`repro.hardware` — analytical device models (RTX 4090, Orin Nano);
+* :mod:`repro.sim` — the GPU performance simulator and correctness oracle;
+* :mod:`repro.core` — Gensor itself: the construction graph, Markov
+  analysis, and the annealed constructor;
+* :mod:`repro.baselines` — Roller, Ansor, cuBLAS-like templates, PyTorch
+  eager, and DietCode;
+* :mod:`repro.codegen` — lowering and CUDA-like source emission;
+* :mod:`repro.models` — end-to-end networks (ResNet, BERT, MobileNetV2,
+  GPT-2) and the model runner;
+* :mod:`repro.workloads` — the paper's benchmark operator tables;
+* :mod:`repro.experiments` — one module per reproduced table/figure.
+
+Quickstart::
+
+    from repro import Gensor, rtx4090, operators
+    gensor = Gensor(rtx4090())
+    result = gensor.compile(operators.matmul(4096, 4096, 4096))
+    print(result.best_metrics.summary())
+"""
+
+from repro.core import Gensor, GensorConfig, GensorResult
+from repro.hardware import HardwareSpec, generic_gpu, orin_nano, rtx4090
+from repro.ir import ETIR, ComputeDef, operators
+from repro.sim import CostModel, Measurer
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Gensor",
+    "GensorConfig",
+    "GensorResult",
+    "HardwareSpec",
+    "rtx4090",
+    "orin_nano",
+    "generic_gpu",
+    "ETIR",
+    "ComputeDef",
+    "operators",
+    "CostModel",
+    "Measurer",
+    "__version__",
+]

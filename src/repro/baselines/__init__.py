@@ -1,0 +1,36 @@
+"""Baseline tensor compilers the paper compares Gensor against.
+
+* :mod:`repro.baselines.roller` — the tree-based construction method
+  (single-objective greedy beam, no backtracking, no vThreads),
+* :mod:`repro.baselines.ansor` — the search method (evolutionary search
+  with measured feedback and a large trial budget),
+* :mod:`repro.baselines.vendor` — cuBLAS/cuDNN-like expert templates,
+* :mod:`repro.baselines.pytorch_eager` — framework eager execution
+  (library kernels plus per-op dispatch overhead, unfused auxiliaries),
+* :mod:`repro.baselines.dietcode` — dynamic-shape micro-kernel
+  optimization.
+
+All of them emit the same :class:`~repro.baselines.base.CompilerResult`
+and measure on the same simulated device, so every experiment compares
+*search strategies*, never measurement substrates.
+"""
+
+from repro.baselines.base import CompilerResult, TensorCompiler
+from repro.baselines.roller import Roller, RollerConfig
+from repro.baselines.ansor import Ansor, AnsorConfig
+from repro.baselines.vendor import VendorLibrary
+from repro.baselines.pytorch_eager import PyTorchEager
+from repro.baselines.dietcode import DietCode, DietCodeConfig
+
+__all__ = [
+    "CompilerResult",
+    "TensorCompiler",
+    "Roller",
+    "RollerConfig",
+    "Ansor",
+    "AnsorConfig",
+    "VendorLibrary",
+    "PyTorchEager",
+    "DietCode",
+    "DietCodeConfig",
+]

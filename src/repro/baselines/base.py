@@ -1,0 +1,62 @@
+"""Common compiler interface shared by Gensor and every baseline."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.hardware.spec import HardwareSpec
+from repro.ir.compute import ComputeDef
+from repro.ir.etir import ETIR
+from repro.sim.measure import Measurer
+from repro.sim.metrics import KernelMetrics
+
+__all__ = ["CompilerResult", "TensorCompiler"]
+
+
+@dataclass
+class CompilerResult:
+    """Outcome of one compilation by any method."""
+
+    method: str
+    best: ETIR
+    best_metrics: KernelMetrics
+    compile_wall_s: float
+    simulated_measure_s: float
+    candidates_evaluated: int = 0
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total compile cost: optimization wall clock + simulated profiling.
+
+        For search methods the profiling term dominates (thousands of
+        on-device measurements); for construction methods it is a handful
+        of final micro-benchmarks.
+        """
+        return self.compile_wall_s + self.simulated_measure_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.best_metrics.latency_s
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.best_metrics.achieved_flops
+
+
+class TensorCompiler(ABC):
+    """A method that turns an operator into a scheduled tensor program."""
+
+    name: str = "compiler"
+
+    def __init__(self, hardware: HardwareSpec) -> None:
+        self.hw = hardware
+
+    @abstractmethod
+    def compile(
+        self, compute: ComputeDef, measurer: Measurer | None = None
+    ) -> CompilerResult:
+        """Optimize ``compute`` for this compiler's device."""
+
+    def _measurer(self, measurer: Measurer | None, seed: int = 0) -> Measurer:
+        return measurer if measurer is not None else Measurer(self.hw, seed=seed)

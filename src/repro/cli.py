@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro compile --op gemm --shape 4096x4096x4096 --method gensor
+    python -m repro experiment fig06 [--full]
+    python -m repro devices
+
+``compile`` optimizes a single operator with any method and prints the
+winning schedule, predicted metrics, generated kernel (with ``--emit``),
+and compile cost.  ``experiment`` regenerates one of the paper's
+tables/figures by name.  ``devices`` lists the simulated GPUs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.baselines import Ansor, AnsorConfig, PyTorchEager, Roller, VendorLibrary
+from repro.core import Gensor, GensorConfig
+from repro.hardware import orin_nano, rtx4090
+from repro.ir import operators as ops
+
+__all__ = ["main", "build_operator"]
+
+_DEVICES = {"rtx4090": rtx4090, "orin_nano": orin_nano}
+
+_EXPERIMENTS = {
+    "fig01": "repro.experiments.fig01_tree_vs_graph",
+    "fig06": "repro.experiments.fig06_ops_rtx4090",
+    "fig07": "repro.experiments.fig07_ops_orin",
+    "fig08": "repro.experiments.fig08_compile_time",
+    "fig09": "repro.experiments.fig09_end2end",
+    "fig10": "repro.experiments.fig10_tradeoff",
+    "fig11": "repro.experiments.fig11_dynamic_bert",
+    "fig12": "repro.experiments.fig12_dynamic_timeline",
+    "table05": "repro.experiments.table05_breakdown",
+    "table06": "repro.experiments.table06_ablation",
+    "memory": "repro.experiments.memory_overhead",
+    "convergence": "repro.experiments.convergence_analysis",
+}
+
+
+def build_operator(op: str, shape: str):
+    """Construct an operator from CLI arguments.
+
+    Shapes: ``gemm MxKxN``, ``gemv MxN``, ``bmm BxMxKxN``,
+    ``conv2d NxCxHxWxFxRxSxstride``, ``avgpool2d NxCxHxWxFxstride``,
+    ``elementwise D0xD1x...``.
+    """
+    dims = [int(d) for d in shape.lower().split("x")]
+    if op == "gemm":
+        if len(dims) != 3:
+            raise ValueError("gemm expects MxKxN")
+        return ops.matmul(*dims, name="cli_gemm")
+    if op == "gemv":
+        if len(dims) != 2:
+            raise ValueError("gemv expects MxN")
+        return ops.gemv(*dims, name="cli_gemv")
+    if op == "bmm":
+        if len(dims) != 4:
+            raise ValueError("bmm expects BxMxKxN")
+        return ops.batched_matmul(*dims, name="cli_bmm")
+    if op == "conv2d":
+        if len(dims) != 8:
+            raise ValueError("conv2d expects NxCxHxWxFxRxSxstride")
+        n, c, h, w, f, r, s, stride = dims
+        return ops.conv2d(n, c, h, w, f, r, s, stride, name="cli_conv2d")
+    if op == "avgpool2d":
+        if len(dims) != 6:
+            raise ValueError("avgpool2d expects NxCxHxWxFxstride")
+        n, c, h, w, f, stride = dims
+        return ops.avgpool2d(n, c, h, w, f, stride, name="cli_pool")
+    if op == "elementwise":
+        return ops.elementwise(tuple(dims), "relu", name="cli_elementwise")
+    raise ValueError(f"unknown op {op!r}")
+
+
+def _make_method(name: str, hw, trials: int):
+    if name == "gensor":
+        return Gensor(hw)
+    if name == "roller":
+        return Roller(hw)
+    if name == "ansor":
+        return Ansor(hw, AnsorConfig(num_trials=trials))
+    if name == "cublas":
+        return VendorLibrary(hw)
+    if name == "pytorch":
+        return PyTorchEager(hw)
+    raise ValueError(f"unknown method {name!r}")
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    hw = _DEVICES[args.device]()
+    compute = build_operator(args.op, args.shape)
+    method = _make_method(args.method, hw, args.trials)
+    result = method.compile(compute)
+    print("operator:  ", compute.render())
+    print("method:    ", args.method, "on", hw.name)
+    print("schedule:  ", result.best.describe())
+    print("predicted: ", result.best_metrics.summary())
+    print(f"compile:    {result.compile_seconds:.2f}s "
+          f"({result.simulated_measure_s:.2f}s simulated profiling)")
+    if args.emit:
+        from repro.codegen import emit_cuda, lower_etir
+
+        print()
+        print(emit_cuda(lower_etir(result.best), compute))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        from repro.experiments.report import generate_report
+
+        report = generate_report(quick=not args.full, echo=True)
+        print(f"regenerated {len(report.sections)} result sets in "
+              f"{report.total_seconds:.0f}s")
+        return 0
+    module_name = _EXPERIMENTS.get(args.name)
+    if module_name is None:
+        print(f"unknown experiment {args.name!r}; choices: "
+              f"{', '.join(sorted(_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(module_name)
+    result = module.run(quick=not args.full)
+    print(result.render())
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    for name, factory in _DEVICES.items():
+        hw = factory()
+        print(
+            f"{name}: {hw.num_sms} SMs @ {hw.clock_hz / 1e9:.2f} GHz, "
+            f"{hw.peak_flops / 1e12:.1f} TFLOPS peak, "
+            f"{hw.dram.bandwidth_bytes_per_s / 1e9:.0f} GB/s DRAM"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Gensor reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="optimize one operator")
+    p_compile.add_argument("--op", required=True,
+                           choices=["gemm", "gemv", "bmm", "conv2d",
+                                    "avgpool2d", "elementwise"])
+    p_compile.add_argument("--shape", required=True,
+                           help="x-separated dims, e.g. 4096x4096x4096")
+    p_compile.add_argument("--method", default="gensor",
+                           choices=["gensor", "roller", "ansor", "cublas", "pytorch"])
+    p_compile.add_argument("--device", default="rtx4090", choices=list(_DEVICES))
+    p_compile.add_argument("--trials", type=int, default=500,
+                           help="Ansor measurement budget")
+    p_compile.add_argument("--emit", action="store_true",
+                           help="print the generated kernel source")
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "name", help=f"'all' or one of: {', '.join(sorted(_EXPERIMENTS))}"
+    )
+    p_exp.add_argument("--full", action="store_true",
+                       help="paper-scale search budgets")
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_dev = sub.add_parser("devices", help="list simulated devices")
+    p_dev.set_defaults(fn=_cmd_devices)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Code generation: scheduled ETIR → loop nest → CUDA-like kernel source.
+
+The paper uses TVM for code generation; this package reproduces the stage:
+:mod:`repro.codegen.lower` turns a primitive-based
+:class:`~repro.ir.schedule.Schedule` into the imperative loop-nest IR, and
+:mod:`repro.codegen.cuda` renders that nest as CUDA-flavored kernel source
+with launch configuration.  The emitted source is not compiled (there is no
+GPU here); it exists so the full compile pipeline is exercised and
+inspectable, and tests assert that schedules lower to structurally correct
+kernels (binding, staging, synchronization, accumulation).
+"""
+
+from repro.codegen.lower import lower_schedule, lower_etir
+from repro.codegen.cuda import emit_cuda
+
+__all__ = ["lower_schedule", "lower_etir", "emit_cuda"]

@@ -1,0 +1,154 @@
+"""Lowering: Schedule → imperative loop nest (Kernel).
+
+The lowering walks the schedule's axis list outer→inner, opening one
+:class:`~repro.ir.loopnest.Loop` per axis, and splices in the staged-memory
+structure:
+
+* shared-memory ``cache_read`` stages lower to an ``Alloc`` (at kernel
+  scope) plus a cooperative ``LoadStage`` + ``Sync`` at their anchor axis,
+* the ``cache_write`` stage lowers to a register accumulator ``Alloc`` and
+  a ``StoreStmt`` after the anchor axis closes,
+* the innermost body is the rendered contraction statement.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.access import access_footprint_elems
+from repro.ir.compute import ComputeDef
+from repro.ir.etir import ETIR
+from repro.ir.loopnest import (
+    Alloc,
+    ComputeStmt,
+    Kernel,
+    LoadStage,
+    Loop,
+    StoreStmt,
+    Sync,
+)
+from repro.ir.schedule import Schedule
+
+__all__ = ["lower_schedule", "lower_etir"]
+
+
+def lower_schedule(sched: Schedule, block_tiles: dict[str, int] | None = None) -> Kernel:
+    """Lower a primitive-based schedule into a Kernel loop nest.
+
+    ``block_tiles`` (axis-name → block tile size) sizes the staged slabs;
+    when omitted, slabs are sized from the full tensor extents.
+    """
+    compute = sched.compute
+    block_tiles = block_tiles or {ax.name: ax.extent for ax in compute.axes}
+    kernel = Kernel(
+        name=compute.name,
+        grid_dim=sched.grid_dim(),
+        block_dim=sched.block_dim(),
+    )
+
+    # Kernel-scope allocations for every cache stage.
+    shared_stage_at: dict[str, list[str]] = {}
+    accum_alloc: Alloc | None = None
+    write_anchor: str | None = None
+    for stage in sched.cache_stages:
+        if stage.tensor == compute.output.name:
+            out_elems = _thread_out_elems(sched)
+            accum_alloc = Alloc(f"{stage.tensor}_local", "local", out_elems)
+            write_anchor = stage.at_axis
+            continue
+        elems = _stage_elems(compute, stage.tensor, block_tiles)
+        kernel.body.append(Alloc(f"{stage.tensor}_shared", "shared", elems))
+        shared_stage_at.setdefault(stage.at_axis, []).append(stage.tensor)
+    if accum_alloc is not None:
+        kernel.body.append(accum_alloc)
+
+    body_stmt = ComputeStmt(_body_text(compute))
+    cursor = kernel.body
+    innermost: list | None = None
+    for ax in sched.axes:
+        loop = Loop(ax.name, ax.extent, ax.kind)
+        # Staged loads land at the top of their anchor loop's body.
+        for tensor in shared_stage_at.get(ax.name, ()):  # preserve order
+            elems = _stage_elems(compute, tensor, block_tiles)
+            loop.body.append(
+                LoadStage(
+                    tensor,
+                    f"{tensor}_shared",
+                    elems,
+                    "shared",
+                    base_expr=_slab_base_expr(compute, tensor, block_tiles),
+                )
+            )
+        if shared_stage_at.get(ax.name):
+            loop.body.append(Sync())
+        cursor.append(loop)
+        cursor = loop.body
+        innermost = cursor
+    if innermost is None:
+        kernel.body.append(body_stmt)
+    else:
+        innermost.append(body_stmt)
+    if accum_alloc is not None:
+        kernel.body.append(
+            StoreStmt(compute.output.name, accum_alloc.buffer, accum_alloc.num_elems)
+        )
+    return kernel
+
+
+def lower_etir(state: ETIR) -> Kernel:
+    """Convenience: derive the canonical schedule from an ETIR and lower it."""
+    sched = Schedule.from_etir(state)
+    return lower_schedule(sched, state.block_tiles())
+
+
+def _stage_elems(
+    compute: ComputeDef, tensor: str, block_tiles: dict[str, int]
+) -> int:
+    for acc in compute.inputs:
+        if acc.tensor.name == tensor:
+            return access_footprint_elems(acc, block_tiles)
+    raise KeyError(f"{tensor!r} is not an input of {compute.name!r}")
+
+
+def _slab_base_expr(
+    compute: ComputeDef, tensor: str, block_tiles: dict[str, int]
+) -> str:
+    """The slab's base offset into ``tensor`` as linearized C arithmetic.
+
+    Each affine index contributes ``coef * axis.o * tile`` per referenced
+    axis (``axis.o`` is the axis's outer/block loop variable), scaled by
+    the tensor dimension's row-major stride.
+    """
+    acc = next(a for a in compute.inputs if a.tensor.name == tensor)
+    shape = acc.tensor.shape
+    strides = [1] * len(shape)
+    for d in range(len(shape) - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    terms: list[str] = []
+    for expr, stride in zip(acc.indices, strides):
+        for var, coef in expr.terms.items():
+            tile = block_tiles.get(var, 1)
+            factor = coef * tile * stride
+            if factor == 0:
+                continue
+            term = f"{var}_o" if factor == 1 else f"{factor}*{var}_o"
+            terms.append(term)
+        if expr.const:
+            terms.append(str(expr.const * stride))
+    return " + ".join(terms) if terms else "0"
+
+
+def _thread_out_elems(sched: Schedule) -> int:
+    """Per-thread accumulator size: product of unrolled spatial extents."""
+    elems = 1
+    for ax in sched.axes:
+        if not ax.is_reduce and ax.kind == "unroll":
+            elems *= ax.extent
+    return max(1, elems)
+
+
+def _body_text(compute: ComputeDef) -> str:
+    reads = " * ".join(acc.render() for acc in compute.inputs) or "1.0f"
+    target = f"{compute.output.name}_local" if compute.reduce_axes else compute.output.name
+    op = "+=" if compute.reduce_axes else "="
+    return f"{target}[...] {op} {reads};"

@@ -1,0 +1,42 @@
+"""Gensor: graph-based construction tensor compilation (the paper's core).
+
+The construction space is a graph whose nodes are ETIR states and whose
+edges are scheduling actions (:mod:`repro.core.actions`).  Gensor walks it
+as a Markov chain: per-action analytical benefits (paper Formulas 1–3) are
+normalized into transition probabilities (:mod:`repro.core.policy`,
+Algorithm 2) and an annealed stochastic walk (:mod:`repro.core.constructor`,
+Algorithm 1) converges across memory levels.  :mod:`repro.core.markov`
+provides the transition-matrix analysis backing the paper's §IV-D
+convergence claims.
+"""
+
+from repro.core.actions import Action, ActionKind, enumerate_actions, action_benefit
+from repro.core.graph import ConstructionGraph
+from repro.core.policy import TransitionPolicy, cache_anneal_factor, append_probability
+from repro.core.constructor import Gensor, GensorConfig, GensorResult
+from repro.core.cache import CachedSchedule, ScheduleCache, shape_fingerprint
+from repro.core.dynamic import DynamicCompileResult, DynamicGensor
+from repro.core.score import quick_latency
+from repro.core import markov, convergence
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "enumerate_actions",
+    "action_benefit",
+    "ConstructionGraph",
+    "TransitionPolicy",
+    "cache_anneal_factor",
+    "append_probability",
+    "Gensor",
+    "GensorConfig",
+    "GensorResult",
+    "ScheduleCache",
+    "CachedSchedule",
+    "shape_fingerprint",
+    "DynamicGensor",
+    "DynamicCompileResult",
+    "quick_latency",
+    "markov",
+    "convergence",
+]

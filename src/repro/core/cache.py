@@ -1,0 +1,163 @@
+"""Persistent schedule cache.
+
+Production tensor compilers keep a tuning database (TVM's tophub, Ansor's
+log files) so a shape is only ever optimized once per device.  The cache
+stores winning ETIR configurations keyed by (device, operator-shape
+fingerprint) and can persist itself as JSON.  It also powers
+:mod:`repro.core.dynamic`: for an unseen shape it returns the *nearest*
+cached entry of the same operator family, which seeds warm-started
+re-optimization.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.hardware.spec import HardwareSpec
+from repro.ir.compute import ComputeDef
+from repro.ir.etir import ETIR
+
+__all__ = ["CachedSchedule", "ScheduleCache", "shape_fingerprint"]
+
+
+def shape_fingerprint(compute: ComputeDef) -> str:
+    """Canonical key for an operator's *shape* (name-independent)."""
+    axes = ",".join(f"{ax.name}:{ax.extent}:{ax.kind[0]}" for ax in compute.axes)
+    return f"{compute.kind}[{axes}]"
+
+
+@dataclass
+class CachedSchedule:
+    """A winning configuration, stored shape-independently by axis name."""
+
+    kind: str
+    extents: dict[str, int]
+    block_tiles: dict[str, int]
+    thread_tiles: dict[str, int]
+    vthreads: dict[str, int]
+    latency_s: float
+
+    @classmethod
+    def from_state(cls, state: ETIR, latency_s: float) -> "CachedSchedule":
+        compute = state.compute
+        return cls(
+            kind=compute.kind,
+            extents={ax.name: ax.extent for ax in compute.axes},
+            block_tiles=state.block_tiles(),
+            thread_tiles=state.thread_tiles(),
+            vthreads={
+                ax.name: state.vthreads(i)
+                for i, ax in enumerate(compute.axes)
+                if not ax.is_reduce
+            },
+            latency_s=latency_s,
+        )
+
+    def instantiate(self, compute: ComputeDef) -> ETIR | None:
+        """Adapt this entry to ``compute`` (tiles clip to the new extents).
+
+        Returns ``None`` when the operator has different axes entirely.
+        """
+        names = {ax.name for ax in compute.axes}
+        if set(self.block_tiles) - names:
+            return None
+        try:
+            return ETIR.from_tiles(
+                compute, self.block_tiles, self.thread_tiles, self.vthreads
+            )
+        except ValueError:
+            return None
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "extents": self.extents,
+            "block_tiles": self.block_tiles,
+            "thread_tiles": self.thread_tiles,
+            "vthreads": self.vthreads,
+            "latency_s": self.latency_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CachedSchedule":
+        return cls(
+            kind=data["kind"],
+            extents={k: int(v) for k, v in data["extents"].items()},
+            block_tiles={k: int(v) for k, v in data["block_tiles"].items()},
+            thread_tiles={k: int(v) for k, v in data["thread_tiles"].items()},
+            vthreads={k: int(v) for k, v in data["vthreads"].items()},
+            latency_s=float(data["latency_s"]),
+        )
+
+
+class ScheduleCache:
+    """Per-device map from shape fingerprint to winning schedule."""
+
+    def __init__(self, hardware: HardwareSpec) -> None:
+        self.hw = hardware
+        self._entries: dict[str, CachedSchedule] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, state: ETIR, latency_s: float) -> None:
+        """Record a winner; keeps the faster entry on fingerprint collision."""
+        key = shape_fingerprint(state.compute)
+        existing = self._entries.get(key)
+        if existing is None or latency_s < existing.latency_s:
+            self._entries[key] = CachedSchedule.from_state(state, latency_s)
+
+    def get(self, compute: ComputeDef) -> CachedSchedule | None:
+        """Exact-shape hit."""
+        return self._entries.get(shape_fingerprint(compute))
+
+    def nearest(self, compute: ComputeDef) -> CachedSchedule | None:
+        """Closest cached entry of the same kind and axis set.
+
+        Distance is the sum of absolute log2 extent ratios — the natural
+        metric on a power-of-two tile lattice.
+        """
+        target = {ax.name: ax.extent for ax in compute.axes}
+        best: CachedSchedule | None = None
+        best_dist = math.inf
+        for entry in self._entries.values():
+            if entry.kind != compute.kind or set(entry.extents) != set(target):
+                continue
+            dist = sum(
+                abs(math.log2(entry.extents[name] / target[name]))
+                for name in target
+            )
+            if dist < best_dist:
+                best, best_dist = entry, dist
+        return best
+
+    def entries(self) -> Iterable[CachedSchedule]:
+        return self._entries.values()
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "device": self.hw.name,
+            "entries": {
+                key: entry.to_json() for key, entry in self._entries.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path, hardware: HardwareSpec) -> "ScheduleCache":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("device") != hardware.name:
+            raise ValueError(
+                f"cache was tuned for {payload.get('device')!r}, "
+                f"not {hardware.name!r}"
+            )
+        cache = cls(hardware)
+        for key, data in payload["entries"].items():
+            cache._entries[key] = CachedSchedule.from_json(data)
+        return cache

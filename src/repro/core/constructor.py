@@ -1,0 +1,289 @@
+"""Gensor's construction loop (paper Algorithm 1).
+
+Starting from the unscheduled ETIR state, an annealed Markov walk applies
+one scheduling action per iteration: the transition policy samples an edge
+by its normalized analytical benefit, the temperature decays, and the
+cache-action bias grows so the walk crosses memory levels and terminates.
+States encountered at high temperature are appended to a diverse
+``top_results`` pool.
+
+Several independent chains are run (the paper's "diverse set of tensor
+program configurations"), the pooled candidates are ranked by Gensor's
+internal analytical score, and only the short top-k list is profiled once
+on the (simulated) device — the same final micro-benchmark step Roller
+uses, preserving the constructive methods' orders-of-magnitude compile-time
+advantage over search.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.core.actions import ActionKind
+from repro.core.graph import ConstructionGraph
+from repro.core.policy import TransitionPolicy, append_probability
+from repro.core.score import quick_latency
+from repro.hardware.spec import HardwareSpec
+from repro.ir.compute import ComputeDef
+from repro.ir.etir import ETIR
+from repro.sim.costmodel import CostModel
+from repro.sim.measure import MICROBENCH_SECONDS, Measurer
+from repro.sim.metrics import KernelMetrics
+from repro.utils.rng import spawn_rng
+
+__all__ = ["GensorConfig", "GensorResult", "Gensor"]
+
+
+@dataclass(frozen=True)
+class GensorConfig:
+    """Tuning knobs of the construction loop.
+
+    The defaults follow the paper's description: temperature annealing to a
+    threshold (~100 iterations per chain with the default cooling rate),
+    a handful of independent chains for result diversity, and a top-k
+    measured shortlist.  ``cooling=0.5`` reproduces the paper's literal
+    "T halves each iteration" variant (see the annealing ablation bench).
+    """
+
+    seed: int = 0
+    initial_temperature: float = 100.0
+    cooling: float = 0.93
+    threshold: float = 0.01
+    num_chains: int = 8
+    top_k: int = 16
+    enable_vthread: bool = True
+    max_iterations_per_chain: int = 400
+    #: greedy value-refinement steps applied to the shortlist (paper §IV-D:
+    #: the optimal policy picks the action maximizing the state value; we run
+    #: that deterministic policy from the best sampled states).  0 disables.
+    polish_steps: int = 120
+    #: False drops the roofline term from transition benefits, leaving the
+    #: bare Formula 1-3 ratios (the single-objective guidance ablation).
+    multi_objective: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.cooling < 1.0):
+            raise ValueError(f"cooling must be in (0,1), got {self.cooling}")
+        if self.initial_temperature <= self.threshold:
+            raise ValueError("initial temperature must exceed threshold")
+        if self.num_chains < 1 or self.top_k < 1:
+            raise ValueError("num_chains and top_k must be >= 1")
+
+
+@dataclass
+class GensorResult:
+    """Outcome of one Gensor compilation (same surface as
+    :class:`~repro.baselines.base.CompilerResult`)."""
+
+    best: ETIR
+    best_metrics: KernelMetrics
+    top_results: list[ETIR]
+    iterations: int
+    states_visited: int
+    compile_wall_s: float
+    simulated_measure_s: float
+    method: str = "gensor"
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total compile cost: optimization wall clock + simulated profiling."""
+        return self.compile_wall_s + self.simulated_measure_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.best_metrics.latency_s
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.best_metrics.achieved_flops
+
+
+class Gensor:
+    """Graph-based construction tensor compiler."""
+
+    def __init__(
+        self, hardware: HardwareSpec, config: GensorConfig | None = None
+    ) -> None:
+        self.hw = hardware
+        self.config = config or GensorConfig()
+        # Gensor's full analytical hardware model (noise-free — this is
+        # analysis, not profiling).  The cheap roofline guides the walk;
+        # this model ranks and refines the final candidates.
+        self._model = CostModel(hardware)
+        self._latency_cache: dict[tuple, float] = {}
+
+    def _model_latency(self, state: ETIR) -> float:
+        key = state.key()
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            cached = (
+                self._model.latency(state)
+                if state.memory_ok(self.hw)
+                else math.inf
+            )
+            self._latency_cache[key] = cached
+        return cached
+
+    def compile(
+        self, compute: ComputeDef, measurer: Measurer | None = None
+    ) -> GensorResult:
+        """Construct an optimized schedule for ``compute``.
+
+        ``measurer`` provides the final top-k profiling; when omitted a
+        fresh noise-free measurer on the constructor's device is used.
+        """
+        t_start = time.perf_counter()
+        cfg = self.config
+        measurer = measurer or Measurer(
+            self.hw,
+            seed=cfg.seed,
+            noise_sigma=0.0,
+            seconds_per_measurement=MICROBENCH_SECONDS,
+        )
+        measured_before = measurer.simulated_seconds
+        forbid = (
+            frozenset()
+            if cfg.enable_vthread
+            else frozenset({ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN})
+        )
+        graph = ConstructionGraph(self.hw, multi_objective=cfg.multi_objective)
+        candidates: dict[tuple, ETIR] = {}
+        total_iterations = 0
+        for chain in range(cfg.num_chains):
+            rng = spawn_rng(cfg.seed, "gensor", compute.name, chain)
+            policy = TransitionPolicy(graph, rng)
+            state = ETIR.initial(compute, num_levels=self.hw.num_cache_levels)
+            temperature = cfg.initial_temperature
+            iteration = 0
+            while (
+                temperature > cfg.threshold
+                and iteration < cfg.max_iterations_per_chain
+            ):
+                progress = math.log2(cfg.initial_temperature / temperature)
+                edge = policy.select(state, progress, forbid)
+                if edge is None:
+                    break
+                state = graph.nodes[edge.dst_key]
+                if rng.random() < append_probability(temperature):
+                    candidates[state.key()] = state
+                temperature *= cfg.cooling
+                iteration += 1
+            candidates[state.key()] = state
+            total_iterations += iteration
+
+        # Algorithm 1 receives dim_configs as input: canonical dimension
+        # configurations seed the pool alongside the walked states, so the
+        # refinement stage always starts from at least one sane anchor.
+        for seed_state in self._seed_states(compute):
+            candidates.setdefault(seed_state.key(), seed_state)
+        shortlist = self._rank(candidates.values())[: cfg.top_k]
+        if cfg.polish_steps > 0:
+            polished = {s.key(): s for s in shortlist}
+            for s in shortlist:
+                p = self._polish(s, cfg.polish_steps, forbid)
+                polished[p.key()] = p
+            shortlist = self._rank(polished.values())[: cfg.top_k]
+        best, best_metrics = self._measure_shortlist(shortlist, measurer)
+        wall = time.perf_counter() - t_start
+        return GensorResult(
+            best=best,
+            best_metrics=best_metrics,
+            top_results=shortlist,
+            iterations=total_iterations,
+            states_visited=graph.num_nodes,
+            compile_wall_s=wall,
+            simulated_measure_s=measurer.simulated_seconds - measured_before,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _polish(
+        self, state: ETIR, max_steps: int, forbid: frozenset[str]
+    ) -> ETIR:
+        """Deterministic greedy refinement under the analytical value.
+
+        Implements the optimal policy of the paper's value iteration: from
+        ``state``, repeatedly move to the neighbor (tile change at any
+        level, vThread change) with the lowest analytical latency, until a
+        local optimum.  Purely analytical — no measurements.
+        """
+        current = state
+        current_lat = self._model_latency(current)
+        vthread_allowed = ActionKind.VTHREAD_UP not in forbid
+        for _ in range(max_steps):
+            best_next: ETIR | None = None
+            best_lat = current_lat
+            for nxt in self._all_level_neighbors(current, vthread_allowed):
+                lat = self._model_latency(nxt)
+                if lat < best_lat:
+                    best_next, best_lat = nxt, lat
+            if best_next is None:
+                break
+            current, current_lat = best_next, best_lat
+        return current
+
+    def _seed_states(self, compute: ComputeDef) -> list[ETIR]:
+        """Canonical dim_configs: square-ish thread tiles with block tiles a
+        power-of-two multiple, reduce axes staged in warp-wide chunks."""
+        spatial = [ax for ax in compute.axes if not ax.is_reduce]
+        reduce_axes = [ax for ax in compute.axes if ax.is_reduce]
+        seeds: list[ETIR] = []
+        for t_sp in (8, 4, 2, 1):
+            for blk_mult in (16, 8, 4):
+                thread: dict[str, int] = {}
+                block: dict[str, int] = {}
+                for ax in spatial:
+                    thread[ax.name] = min(t_sp, ax.extent)
+                    block[ax.name] = min(ax.extent, thread[ax.name] * blk_mult)
+                for ax in reduce_axes:
+                    thread[ax.name] = min(2, ax.extent)
+                    block[ax.name] = min(32, ax.extent)
+                try:
+                    state = ETIR.from_tiles(compute, block, thread)
+                except ValueError:
+                    continue
+                if state.memory_ok(self.hw):
+                    seeds.append(state)
+        return seeds
+
+    def _all_level_neighbors(self, state: ETIR, vthread_allowed: bool):
+        """Neighbors of ``state`` across every tiling level (refinement moves)."""
+        for idx, ax in enumerate(state.compute.axes):
+            for level in range(1, state.num_levels + 1):
+                for up in (True, False):
+                    nxt = state.scaled_tile_at(idx, level, up)
+                    if nxt is not None:
+                        yield nxt
+            if vthread_allowed and not ax.is_reduce:
+                v = state.vthreads(idx)
+                for nv in (v * 2, v // 2, 1):
+                    if nv >= 1 and nv != v:
+                        nxt = state.with_vthread(idx, nv)
+                        if nxt is not None:
+                            yield nxt
+
+    def _rank(self, states) -> list[ETIR]:
+        """Order candidates by the internal analytical model (best first)."""
+        scored = [
+            (self._model_latency(s), i, s)
+            for i, s in enumerate(states)
+            if s.memory_ok(self.hw)
+        ]
+        scored.sort(key=lambda item: (item[0], item[1]))
+        return [s for _lat, _i, s in scored if math.isfinite(_lat)]
+
+    def _measure_shortlist(
+        self, shortlist: list[ETIR], measurer: Measurer
+    ) -> tuple[ETIR, KernelMetrics]:
+        if not shortlist:
+            raise RuntimeError("Gensor produced no feasible candidate states")
+        best: ETIR | None = None
+        best_metrics: KernelMetrics | None = None
+        for state in shortlist:
+            metrics = measurer.measure(state)
+            if best_metrics is None or metrics.latency_s < best_metrics.latency_s:
+                best, best_metrics = state, metrics
+        assert best is not None and best_metrics is not None
+        return best, best_metrics

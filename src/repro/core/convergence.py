@@ -1,0 +1,159 @@
+"""Executable convergence and validity checks (paper §IV-D).
+
+Irreducibility is claimed *within a memory level*: inverse tiling makes the
+states that share a level and an outer-tile context mutually reachable
+(cache transitions are one-way by design — that is what drives
+termination).  Aperiodicity holds when tile extents admit return cycles of
+coprime lengths; for power-of-two-only extents every tiling cycle has even
+length, so the demonstration operators use non-power-of-two extents, where
+the clamp-to-extent move creates odd cycles (e.g. 3 → 6 → 3 alongside
+3 → 1 → 2 → 4 → 6 → 3).
+
+These functions verify both properties on fully materialized bounded
+subgraphs with networkx and package the analysis into the report used by
+tests and the convergence-analysis experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.actions import ActionKind
+from repro.core.graph import ConstructionGraph
+from repro.core.markov import (
+    build_transition_matrix,
+    stationary_distribution,
+    value_iteration,
+)
+from repro.core.score import quick_score
+from repro.hardware.spec import HardwareSpec
+from repro.ir.compute import ComputeDef
+from repro.ir.etir import ETIR
+
+__all__ = [
+    "ConvergenceReport",
+    "same_level_groups",
+    "same_level_irreducible",
+    "is_aperiodic",
+    "analyze",
+]
+
+
+def same_level_groups(keys: list[tuple]) -> dict[tuple, list[tuple]]:
+    """Group state keys by (memory level, frozen outer-tile context).
+
+    Key layout: ``(name, tiles, vthreads, cur_level)`` where ``tiles`` is a
+    per-axis tuple of per-level sizes.  States at scheduling level ``l``
+    share a group when every tile at levels ``>= l`` matches — those outer
+    tiles are frozen once the walk leaves the level, so only states with
+    the same context are claimed to be mutually reachable.
+    """
+    groups: dict[tuple, list[tuple]] = {}
+    for key in keys:
+        _name, tiles, _vt, level = key
+        # per_axis is (T_1, ..., T_L); the frozen outer context is every
+        # tile strictly above the level being scheduled.
+        context = tuple(per_axis[level:] for per_axis in tiles)
+        groups.setdefault((level, context), []).append(key)
+    return groups
+
+
+def same_level_irreducible(graph: ConstructionGraph, level: int) -> bool:
+    """True if every same-level, same-context group of materialized states
+    is strongly connected under the non-cache actions."""
+    import networkx as nx
+
+    g = graph.to_networkx()
+    keys = [k for k in g.nodes if k[-1] == level]
+    if not keys:
+        return True
+    non_cache = nx.DiGraph()
+    non_cache.add_nodes_from(keys)
+    for src, dst, data in g.edges(data=True):
+        if data.get("action") != ActionKind.CACHE and src[-1] == dst[-1] == level:
+            non_cache.add_edge(src, dst)
+    for (_lvl, _ctx), members in same_level_groups(keys).items():
+        sub = non_cache.subgraph(members)
+        if sub.number_of_nodes() > 1 and not nx.is_strongly_connected(sub):
+            return False
+    return True
+
+
+def is_aperiodic(graph: ConstructionGraph, lazy: bool = True) -> bool:
+    """Aperiodicity of every recurrent class of the materialized chain.
+
+    ``lazy=True`` analyzes the chain the paper's Algorithm 2 actually
+    defines (its roulette can fall through without moving, so every state
+    has a self-loop); ``lazy=False`` analyzes the strict always-move chain,
+    which is periodic on power-of-two tile lattices.
+    """
+    import networkx as nx
+
+    g = graph.to_networkx()
+    for node in list(g.nodes):
+        if lazy or g.out_degree(node) == 0:
+            g.add_edge(node, node)  # laziness / sink self-loop, as in the matrix
+    for comp in nx.strongly_connected_components(g):
+        outgoing = any(dst not in comp for src in comp for dst in g.successors(src))
+        if outgoing:
+            continue  # transient class: periodicity irrelevant
+        if not nx.is_aperiodic(g.subgraph(comp)):
+            return False
+    return True
+
+
+@dataclass
+class ConvergenceReport:
+    """Summary of the Markov analysis over a bounded construction subgraph."""
+
+    num_states: int
+    num_edges: int
+    irreducible_per_level: dict[int, bool]
+    aperiodic: bool
+    value_iterations: int
+    best_state_key: tuple
+    stationary_mass_on_top_decile: float
+
+
+def analyze(
+    compute: ComputeDef,
+    hardware: HardwareSpec,
+    max_nodes: int = 2000,
+    include_vthread: bool = False,
+) -> ConvergenceReport:
+    """Run the full §IV-D analysis on a bounded subgraph of ``compute``.
+
+    vThread actions are excluded by default so small operators' state
+    spaces can be materialized *exhaustively* — truncated frontiers would
+    otherwise report spurious reducibility.
+    """
+    forbid = (
+        frozenset()
+        if include_vthread
+        else frozenset({ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN})
+    )
+    graph = ConstructionGraph(hardware, forbid=forbid)
+    start = ETIR.initial(compute, num_levels=hardware.num_cache_levels)
+    tm = build_transition_matrix(graph, start, max_nodes=max_nodes)
+    levels = sorted({key[-1] for key in tm.keys})
+    irreducible = {lvl: same_level_irreducible(graph, lvl) for lvl in levels}
+    aperiodic = is_aperiodic(graph)
+    rewards = np.array([quick_score(graph.nodes[k], hardware) for k in tm.keys])
+    if rewards.max() > 0:
+        rewards = rewards / rewards.max()
+    values, iters = value_iteration(tm, rewards, tol=1e-10)
+    best_idx = int(np.argmax(values))
+    pi = stationary_distribution(tm)
+    order = np.argsort(rewards)[::-1]
+    top = order[: max(1, len(order) // 10)]
+    return ConvergenceReport(
+        num_states=tm.n,
+        num_edges=graph.edge_count(),
+        irreducible_per_level=irreducible,
+        aperiodic=aperiodic,
+        value_iterations=iters,
+        best_state_key=tm.keys[best_idx],
+        stationary_mass_on_top_decile=float(pi[top].sum()),
+    )

@@ -1,0 +1,127 @@
+"""The construction graph: lazily expanded state space over ETIR nodes.
+
+The graph is exponentially large, so it is materialized on demand:
+:meth:`ConstructionGraph.expand` produces the legal outgoing edges of one
+state, memoizing nodes by their ETIR key.  Besides serving the Markov walk,
+the explicit structure supports the paper's analyses — exporting a
+NetworkX digraph for irreducibility/aperiodicity checks and enumerating
+bounded subgraphs for transition-matrix experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.actions import Action, action_benefit, enumerate_actions
+from repro.hardware.spec import HardwareSpec
+from repro.ir.etir import ETIR
+
+__all__ = ["Edge", "ConstructionGraph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A legal transition: ``action`` maps ``src`` to ``dst`` with ``benefit``."""
+
+    src_key: tuple
+    dst_key: tuple
+    action: Action
+    benefit: float
+
+
+class ConstructionGraph:
+    """Lazily expanded construction space for one operator on one device.
+
+    ``forbid`` removes whole action families from the space (e.g. vThreads
+    for the ablation variant, or for analyses over a bounded state count).
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareSpec,
+        forbid: frozenset[str] = frozenset(),
+        multi_objective: bool = True,
+    ) -> None:
+        self.hw = hardware
+        self.forbid = forbid
+        self.multi_objective = multi_objective
+        self.nodes: dict[tuple, ETIR] = {}
+        self._edges: dict[tuple, list[Edge]] = {}
+
+    def add_node(self, state: ETIR) -> tuple:
+        key = state.key()
+        self.nodes.setdefault(key, state)
+        return key
+
+    def expand(self, state: ETIR) -> list[Edge]:
+        """Legal outgoing edges of ``state`` (memoized).
+
+        Edges whose destination fails the memory check carry benefit 0 and
+        are excluded — the paper sets their probability to 0, which is the
+        same thing for the walk.
+        """
+        key = self.add_node(state)
+        cached = self._edges.get(key)
+        if cached is not None:
+            return cached
+        edges: list[Edge] = []
+        for action in enumerate_actions(state):
+            if action.kind in self.forbid:
+                continue
+            nxt = action.apply(state)
+            if nxt is None:
+                continue
+            benefit = action_benefit(
+                action, state, nxt, self.hw, self.multi_objective
+            )
+            if benefit <= 0.0:
+                continue
+            dst_key = self.add_node(nxt)
+            edges.append(Edge(key, dst_key, action, benefit))
+        self._edges[key] = edges
+        return edges
+
+    def neighbors(self, state: ETIR) -> list[ETIR]:
+        return [self.nodes[e.dst_key] for e in self.expand(state)]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_expanded(self) -> int:
+        return len(self._edges)
+
+    def explore(self, start: ETIR, max_nodes: int = 2000) -> None:
+        """Breadth-first materialization of the subgraph reachable from
+        ``start``, bounded by ``max_nodes`` (for analysis experiments)."""
+        frontier = [start]
+        self.add_node(start)
+        seen = {start.key()}
+        while frontier and len(seen) < max_nodes:
+            state = frontier.pop(0)
+            for edge in self.expand(state):
+                if edge.dst_key not in seen:
+                    seen.add(edge.dst_key)
+                    frontier.append(self.nodes[edge.dst_key])
+                    if len(seen) >= max_nodes:
+                        break
+
+    def to_networkx(self):
+        """Export the materialized subgraph as a ``networkx.DiGraph``.
+
+        Imported lazily so the core has no hard networkx dependency.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for key in self.nodes:
+            g.add_node(key)
+        for edges in self._edges.values():
+            for e in edges:
+                g.add_edge(e.src_key, e.dst_key, benefit=e.benefit, action=e.action.kind)
+        return g
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._edges.values())

@@ -1,0 +1,108 @@
+"""Transition policy: Algorithm 2 (roulette selection over normalized
+benefits) plus the annealing terms of Algorithm 1.
+
+The policy turns per-edge analytical benefits into a probability
+distribution, applies the paper's annealing multiplier to the cache action
+(so the walk converges toward faster memory levels as the temperature
+drops), and samples one edge by roulette.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.actions import ActionKind
+from repro.core.graph import ConstructionGraph, Edge
+from repro.ir.etir import ETIR
+
+__all__ = ["cache_anneal_factor", "append_probability", "TransitionPolicy"]
+
+
+def cache_anneal_factor(t: float) -> float:
+    """The paper's cache-probability multiplier ``3 / (1 + e^{-(ln5/10)(t-10)})``.
+
+    Rises from ~0.5 at t=0 through 1.5 at t=10 toward 3.0, steadily biasing
+    the walk toward advancing to the next memory level so it terminates.
+
+    ``t`` is measured in *temperature halvings* ``log2(T0 / T)`` — the
+    paper's iteration count under its literal "T halves every step"
+    schedule — so slower cooling rates stretch the annealing trajectory
+    proportionally instead of rushing the level change.
+    """
+    return 3.0 / (1.0 + math.exp(-(math.log(5.0) / 10.0) * (t - 10.0)))
+
+
+def append_probability(temperature: float) -> float:
+    """Probability of appending the new state to ``top_results``.
+
+    The paper's ``1 - 1/(1 + e^{-0.5(-log T - 10)})``: near 1 at high
+    temperature (explore widely, record everything) and decaying as the
+    walk converges, keeping the result pool diverse without unbounded
+    growth.
+    """
+    if temperature <= 0:
+        return 0.0
+    z = -0.5 * (-math.log(temperature) - 10.0)
+    # 1 - 1/(1 + e^{z}) = sigmoid(z): ~1 at high T, decaying as T -> 0.
+    return 1.0 - 1.0 / (1.0 + math.exp(min(z, 700.0)))
+
+
+class TransitionPolicy:
+    """Samples scheduling actions per Algorithm 2 (``getProgPolicy``)."""
+
+    def __init__(self, graph: ConstructionGraph, rng: np.random.Generator) -> None:
+        self.graph = graph
+        self.rng = rng
+
+    def probabilities(
+        self,
+        state: ETIR,
+        anneal_progress: float,
+        forbid: frozenset[str] = frozenset(),
+    ) -> tuple[list[Edge], np.ndarray]:
+        """Legal edges of ``state`` and their normalized probabilities.
+
+        Each edge's weight is its analytical benefit; cache edges are
+        additionally scaled by :func:`cache_anneal_factor`.  Weights are
+        normalized to sum to 1 (the paper's probability list).  ``forbid``
+        removes whole action families — the ablation study (Table VI) uses
+        it to disable vThreads.
+        """
+        edges = self.graph.expand(state)
+        if forbid:
+            edges = [e for e in edges if e.action.kind not in forbid]
+        if not edges:
+            return [], np.zeros(0)
+        weights = np.empty(len(edges))
+        anneal = cache_anneal_factor(anneal_progress)
+        for i, edge in enumerate(edges):
+            if edge.action.kind == ActionKind.CACHE:
+                # Formula 2's raw value is a latency *ratio* (tens), a
+                # different dimensional character from the tiling/vThread
+                # acceleration ratios (~0.4–3).  Mapping it onto a log scale
+                # before mixing keeps the annealing factor — not the raw
+                # magnitude — in control of when the walk changes memory
+                # level, which is the role the paper assigns to it.
+                w = anneal * (1.0 + math.log2(max(1.0, edge.benefit))) / 10.0
+            else:
+                w = edge.benefit
+            weights[i] = max(0.0, w)
+        total = weights.sum()
+        if total <= 0:
+            return edges, np.full(len(edges), 1.0 / len(edges))
+        return edges, weights / total
+
+    def select(
+        self,
+        state: ETIR,
+        anneal_progress: float,
+        forbid: frozenset[str] = frozenset(),
+    ) -> Edge | None:
+        """Roulette-select one outgoing edge; ``None`` at a sink state."""
+        edges, probs = self.probabilities(state, anneal_progress, forbid)
+        if not edges:
+            return None
+        idx = int(self.rng.choice(len(edges), p=probs))
+        return edges[idx]

@@ -1,0 +1,100 @@
+"""Gensor's internal analytical score.
+
+Construction methods never profile candidates during traversal; they rank
+states analytically.  :func:`quick_latency` is the reduced roofline Gensor
+uses for that ranking: compute time (with an ILP derate), DRAM time under
+the block tiling, and shared-memory time under the thread tiling with bank
+conflicts.  It deliberately omits the phenomena the full simulator models
+(L2 capture, wave quantization, staging latency, pipe overlap) — the gap
+between this proxy and "hardware" is precisely what a final top-k
+measurement round resolves, for Gensor and Roller alike.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hardware.memory import smem_transaction_factor
+from repro.hardware.spec import HardwareSpec
+from repro.ir.etir import ETIR
+
+__all__ = ["quick_latency", "quick_score"]
+
+
+def quick_latency(state: ETIR, hw: HardwareSpec, strict: bool = True) -> float:
+    """Reduced-roofline latency estimate (seconds); inf when infeasible.
+
+    ``strict=False`` uses the traversal-time memory check (outer levels not
+    yet committed) so mid-walk states can still be compared.
+    """
+    if not state.memory_ok(hw, strict=strict):
+        return math.inf
+    compute = state.compute
+    threads = state.threads_per_block()
+    blocks = state.num_blocks()
+
+    inner_work = 1.0
+    for idx, _ax in enumerate(compute.axes):
+        inner_work *= state.tile(idx, 1)
+    ilp_eff = inner_work / (inner_work + 6.0)
+    parallel_threads = min(blocks * threads, hw.num_sms * hw.max_threads_per_sm)
+    util = parallel_threads / (hw.num_sms * hw.max_threads_per_sm)
+    util_eff = util / (util + 0.12)
+    # Blocks smaller than a warp waste SIMT lanes.
+    warp_eff = threads / (math.ceil(threads / hw.warp_size) * hw.warp_size)
+    compute_time = compute.total_flops / max(
+        1.0, hw.peak_flops * ilp_eff * util_eff * warp_eff
+    )
+
+    coalesce = _coalescing(state, hw)
+    dram_time = (
+        state.dram_traffic_bytes() * coalesce / hw.dram.bandwidth_bytes_per_s
+    )
+
+    spatial = [
+        (idx, ax) for idx, ax in enumerate(compute.axes) if not ax.is_reduce
+    ]
+    conflict = 1.0
+    if spatial:
+        idx, _ = spatial[-1]
+        t1 = state.tile(idx, 1)
+        threads_row = max(1, state.tile(idx, state.num_levels) // max(1, t1))
+        span = min(hw.warp_size, threads_row) * t1
+        conflict = smem_transaction_factor(
+            max(1, span), hw.bank_width_elems, state.total_vthreads()
+        )
+    smem_time = (
+        state.smem_traffic_bytes() * conflict / hw.smem.bandwidth_bytes_per_s
+    )
+    return max(compute_time, dram_time, smem_time)
+
+
+def _coalescing(state: ETIR, hw: HardwareSpec) -> float:
+    """Footprint-weighted DRAM-transaction inflation (shared with the
+    simulator's fuller model; constructive compilers model coalescing too —
+    Roller's rTiles exist to align slabs with memory transactions)."""
+    from repro.hardware.memory import coalescing_factor
+    from repro.ir.access import access_footprint_elems
+
+    block_tiles = state.tile_sizes(state.num_levels)
+    total_w = 0.0
+    acc_f = 0.0
+    for acc in state.compute.inputs:
+        width = min(
+            acc.indices[-1].extent_under_tiles(block_tiles),
+            acc.tensor.shape[-1],
+        )
+        weight = float(
+            access_footprint_elems(acc, block_tiles) * acc.tensor.dtype_bytes
+        )
+        acc_f += coalescing_factor(width, hw.warp_size) * weight
+        total_w += weight
+    return acc_f / total_w if total_w else 1.0
+
+
+def quick_score(state: ETIR, hw: HardwareSpec) -> float:
+    """Higher-is-better analytical score (estimated FLOP/s)."""
+    lat = quick_latency(state, hw)
+    if not math.isfinite(lat) or lat <= 0:
+        return 0.0
+    return state.compute.total_flops / lat

@@ -1,0 +1,31 @@
+"""Experiment harness: one module per reproduced paper table/figure.
+
+Every module exposes ``run(...) -> ExperimentResult`` (structured rows plus
+a rendered ASCII table) and is runnable as a script
+(``python -m repro.experiments.fig06_ops_rtx4090``).  ``quick=True`` (the
+default) shrinks search budgets so the whole suite regenerates in minutes;
+``quick=False`` (or env ``REPRO_FULL=1``) uses paper-scale budgets.
+
+Index (see DESIGN.md for the full mapping):
+
+========================  ====================================================
+module                    reproduces
+========================  ====================================================
+fig01_tree_vs_graph       Fig. 1 — tree-construction path vs attainable path
+fig06_ops_rtx4090         Fig. 6 — 32 operators on the RTX 4090 vs Ansor
+fig07_ops_orin            Fig. 7 — 32 operators on the Orin Nano vs Ansor
+table05_breakdown         Table V — HW counters, Gensor vs Ansor, unbalanced
+table06_ablation          Table VI — graph construction and vThread ablation
+fig08_compile_time        Fig. 8 — compilation time across GEMM shapes
+fig09_end2end             Fig. 9 — end-to-end models on both devices
+fig10_tradeoff            Fig. 10 — performance vs optimization time
+fig11_dynamic_bert        Fig. 11 — dynamic-shape BERT vs DietCode
+fig12_dynamic_timeline    Fig. 12 — dynamic-structure optimize/infer timeline
+memory_overhead           §V-A — optimizer memory, Roller vs Gensor
+convergence_analysis      §IV-D — Markov-chain convergence properties
+========================  ====================================================
+"""
+
+from repro.experiments.common import ExperimentResult, make_methods, resolve_quick
+
+__all__ = ["ExperimentResult", "make_methods", "resolve_quick"]

@@ -1,0 +1,48 @@
+"""§IV-D reproduction: executable Markov convergence analysis.
+
+Materializes a bounded construction subgraph for a small GEMM, builds its
+transition matrix, and verifies the paper's claims: same-level
+irreducibility (inverse tiling), aperiodicity, value-iteration convergence
+in on the order of 100 iterations, and a stationary distribution
+concentrated on high-payoff states.
+"""
+
+from __future__ import annotations
+
+from repro.core import convergence
+from repro.experiments.common import ExperimentResult, device, resolve_quick
+from repro.ir import operators as ops
+from repro.utils.tables import Table
+
+
+def run(device_name: str = "rtx4090", quick: bool | None = None) -> ExperimentResult:
+    resolve_quick(quick)
+    hw = device(device_name)
+    # Non-power-of-two extents give the chain odd return cycles (via the
+    # clamp-to-extent tiling move), which is what makes it aperiodic.
+    gemm = ops.matmul(12, 12, 4, "gemm_12x12x4")
+    report = convergence.analyze(gemm, hw, max_nodes=8000)
+    table = Table(
+        "Property", "Value",
+        title="§IV-D — Markov analysis of the construction chain (GEMM 12x12x4)",
+    )
+    table.add_row("states materialized", report.num_states)
+    table.add_row("edges", report.num_edges)
+    for level, ok in sorted(report.irreducible_per_level.items()):
+        table.add_row(f"irreducible within level {level}", ok)
+    table.add_row("aperiodic", report.aperiodic)
+    table.add_row("value-iteration steps to fixpoint", report.value_iterations)
+    table.add_row(
+        "stationary mass on top-decile states",
+        f"{report.stationary_mass_on_top_decile:.1%}",
+    )
+    return ExperimentResult(
+        name="convergence_analysis",
+        table=table,
+        rows={"report": report},
+        notes=["paper: convergence after about 100 iterations"],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,71 @@
+"""Fig. 1 reproduction: the tree's chosen path vs an attainable better path.
+
+The paper's motivating figure shows Roller's single-objective tree descent
+settling on a GEMM schedule while at least one path in the same construction
+space reaches ~9% higher FLOPS.  The reproduction compiles one GEMM with
+Roller (the tree) and with Gensor's graph traversal over the *same* action
+space without vThreads (so the only delta is tree vs graph), and reports
+both endpoints.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import Roller
+from repro.core import Gensor, GensorConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    SEED,
+    device,
+    resolve_quick,
+)
+from repro.ir import operators as ops
+from repro.utils.tables import Table
+
+
+def run(device_name: str = "rtx4090", quick: bool | None = None) -> ExperimentResult:
+    resolve_quick(quick)  # budgets identical in both modes here
+    hw = device(device_name)
+    gemm = ops.matmul(4096, 4096, 4096, "fig1_gemm")
+
+    roller = Roller(hw).compile(gemm)
+    graph = Gensor(
+        hw, GensorConfig(seed=SEED, enable_vthread=False)
+    ).compile(gemm)
+
+    tree_flops = roller.best_metrics.achieved_flops
+    graph_flops = graph.best_metrics.achieved_flops
+    gain = (graph_flops / tree_flops - 1.0) * 100.0
+
+    table = Table(
+        "Path", "Schedule", "FLOPS (T)", "Latency (ms)",
+        title="Fig. 1 — GEMM 4096^3: tree-selected path vs graph-found path",
+    )
+    table.add_row(
+        "tree (Roller)",
+        roller.best.describe(),
+        f"{tree_flops / 1e12:.2f}",
+        f"{roller.best_metrics.latency_s * 1e3:.3f}",
+    )
+    table.add_row(
+        "graph (no vThread)",
+        graph.best.describe(),
+        f"{graph_flops / 1e12:.2f}",
+        f"{graph.best_metrics.latency_s * 1e3:.3f}",
+    )
+    return ExperimentResult(
+        name="fig01_tree_vs_graph",
+        table=table,
+        rows={
+            "tree_flops": tree_flops,
+            "graph_flops": graph_flops,
+            "gain_pct": gain,
+        },
+        notes=[
+            f"graph traversal finds a path {gain:.1f}% above the tree's "
+            "solution (paper reports 9%)",
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,22 @@
+"""Fig. 6 reproduction: operator performance on the RTX 4090.
+
+32 operator configurations (Table IV), FLOPS relative to Ansor, methods:
+cuBLAS, Roller, Gensor.  Headline checks: Gensor beats Roller by ~18% on
+average (max ~30%), is comparable to Ansor overall, and wins on some
+configurations (paper calls out C5 and M1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.op_benchmark import run_op_benchmark
+
+
+def run(
+    quick: bool | None = None, labels: list[str] | None = None
+) -> ExperimentResult:
+    return run_op_benchmark("rtx4090", quick=quick, labels=labels)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

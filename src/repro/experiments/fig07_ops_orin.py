@@ -1,0 +1,20 @@
+"""Fig. 7 reproduction: operator performance on the Orin Nano.
+
+Same protocol as Fig. 6 on the edge device: 32 Table IV operators, FLOPS
+relative to Ansor, methods cuBLAS / Roller / Gensor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.op_benchmark import run_op_benchmark
+
+
+def run(
+    quick: bool | None = None, labels: list[str] | None = None
+) -> ExperimentResult:
+    return run_op_benchmark("orin_nano", quick=quick, labels=labels)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,57 @@
+"""Fig. 10 reproduction: inference performance vs optimization time.
+
+ResNet-34 with input [128, 3, 224, 224] on the RTX 4090.  Each method is a
+point: (total optimization time, end-to-end inference throughput).  The
+paper's reading: Gensor sits near Ansor's performance at roughly Roller's
+optimization time — the top-left corner of the scatter.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    device,
+    make_methods,
+    resolve_quick,
+)
+from repro.models import compile_and_time, resnet34
+from repro.utils.tables import Table
+
+_METHODS = ("pytorch", "roller", "gensor", "ansor")
+
+
+def run(device_name: str = "rtx4090", quick: bool | None = None) -> ExperimentResult:
+    quick = resolve_quick(quick)
+    hw = device(device_name)
+    methods = make_methods(hw, quick)
+    graph = resnet34(batch=128)
+    table = Table(
+        "Method", "Opt time (s)", "Throughput (inf/s)", "Relative perf",
+        title=f"Fig. 10 — perf vs optimization time, ResNet-34 ({hw.name})",
+    )
+    rows: dict[str, dict[str, float]] = {}
+    results = {}
+    for m in _METHODS:
+        results[m] = compile_and_time(graph, methods[m], m)
+    best = max(r.throughput for r in results.values())
+    for m in _METHODS:
+        res = results[m]
+        rows[m] = {
+            "opt_seconds": res.compile_seconds,
+            "throughput": res.throughput,
+            "relative": res.throughput / best,
+        }
+        table.add_row(
+            m,
+            f"{res.compile_seconds:.2f}",
+            f"{res.throughput:.1f}",
+            f"{res.throughput / best:.2f}",
+        )
+    notes = [
+        "expected corner: Gensor ~ Ansor performance at ~Roller optimization time",
+    ]
+    return ExperimentResult(name="fig10_tradeoff", table=table, rows=rows, notes=notes)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

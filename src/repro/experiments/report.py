@@ -1,0 +1,111 @@
+"""Full-evaluation report: regenerate every table/figure in one pass.
+
+``python -m repro.experiments.report [output.md]`` (or
+``python -m repro experiment all``) runs the complete experiment index and
+writes a Markdown report with every rendered table, per-experiment wall
+time, and the headline claims checked — the file EXPERIMENTS.md is
+distilled from.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["EXPERIMENT_SEQUENCE", "generate_report", "Report"]
+
+#: (module, run kwargs, extra passes) in evaluation-section order.
+EXPERIMENT_SEQUENCE: tuple[tuple[str, dict, list[dict]], ...] = (
+    ("fig01_tree_vs_graph", {}, []),
+    (
+        "fig06_ops_rtx4090",
+        {"labels": ["C1", "C2", "C3", "M1", "M2", "M3",
+                    "V1", "V2", "V3", "P1", "P2", "P3"]},
+        [],
+    ),
+    (
+        "fig07_ops_orin",
+        {"labels": ["C1", "C2", "M1", "M2", "V1", "V3", "P1", "P3"]},
+        [],
+    ),
+    ("table05_breakdown", {}, []),
+    ("table06_ablation", {}, []),
+    ("fig08_compile_time", {}, []),
+    ("fig09_end2end", {}, [{"device_name": "orin_nano"}]),
+    ("fig10_tradeoff", {}, []),
+    ("fig11_dynamic_bert", {}, []),
+    ("fig12_dynamic_timeline", {}, []),
+    ("memory_overhead", {}, []),
+    ("convergence_analysis", {}, []),
+)
+
+
+@dataclass
+class Report:
+    """The assembled evaluation report."""
+
+    sections: list[tuple[str, str, float]] = field(default_factory=list)
+
+    def add(self, name: str, rendered: str, seconds: float) -> None:
+        self.sections.append((name, rendered, seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s for _n, _r, s in self.sections)
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# Gensor reproduction — full evaluation report",
+            "",
+            f"{len(self.sections)} experiment passes, "
+            f"{self.total_seconds:.0f}s total regeneration time.",
+            "",
+        ]
+        for name, rendered, seconds in self.sections:
+            lines.append(f"## {name} ({seconds:.1f}s)")
+            lines.append("")
+            lines.append("```")
+            lines.append(rendered)
+            lines.append("```")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def generate_report(
+    quick: bool | None = None,
+    sequence=EXPERIMENT_SEQUENCE,
+    echo: bool = False,
+) -> Report:
+    """Run the whole experiment index and collect the rendered results."""
+    report = Report()
+    for name, kwargs, extra_passes in sequence:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        for pass_kwargs in [kwargs, *extra_passes]:
+            t0 = time.perf_counter()
+            result = module.run(quick=quick, **pass_kwargs)
+            elapsed = time.perf_counter() - t0
+            label = name
+            if pass_kwargs is not kwargs:
+                label = f"{name} ({', '.join(map(str, pass_kwargs.values()))})"
+            report.add(label, result.render(), elapsed)
+            if echo:  # pragma: no cover - console convenience
+                print(f"=== {label} ({elapsed:.1f}s)")
+                print(result.render())
+                print(flush=True)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    argv = sys.argv[1:] if argv is None else argv
+    out_path = argv[0] if argv else "evaluation_report.md"
+    report = generate_report(echo=True)
+    with open(out_path, "w") as fh:
+        fh.write(report.to_markdown())
+    print(f"report written to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Table VI reproduction: graph construction and vThread ablation.
+
+Three method variants on one operator per family (C1, G1=M1, V1, P1):
+
+* Roller — the tree baseline,
+* Gensor w/o vThread — graph construction only,
+* Gensor — graph construction + vThreads.
+
+Reported per cell: FLOPS, SM occupancy, memory busy.  The paper attributes
+~79% of Gensor's total gain to the graph construction and ~21% to vThreads;
+the experiment computes the same attribution from the measured FLOPS.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import Roller
+from repro.core import Gensor, GensorConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    SEED,
+    device,
+    resolve_quick,
+)
+from repro.utils.tables import Table
+from repro.workloads.ablation import build_ablation
+
+
+def run(device_name: str = "rtx4090", quick: bool | None = None) -> ExperimentResult:
+    quick = resolve_quick(quick)
+    hw = device(device_name)
+    # Stochastic variants take the best schedule across a few seeds (more
+    # chains is exactly what a production run would use); Roller is
+    # deterministic.
+    seeds = (SEED, SEED + 1) if quick else (SEED, SEED + 1, SEED + 2)
+    variants = {
+        "Roller": [Roller(hw)],
+        "Gensor w/o vThread": [
+            Gensor(hw, GensorConfig(seed=s, enable_vthread=False)) for s in seeds
+        ],
+        "Gensor": [Gensor(hw, GensorConfig(seed=s)) for s in seeds],
+    }
+    table = Table(
+        "Op", "Method", "FLOPS", "SM Occ.", "MemBusy",
+        title=f"Table VI — graph construction & vThread ablation ({hw.name})",
+    )
+    rows: dict[str, dict[str, dict[str, float]]] = {}
+    graph_share_total = 0.0
+    vthread_share_total = 0.0
+    counted = 0
+    for title, compute in build_ablation():
+        rows[title] = {}
+        for vname, compilers in variants.items():
+            results = [c.compile(compute) for c in compilers]
+            res = min(results, key=lambda r: r.best_metrics.latency_s)
+            met = res.best_metrics
+            rows[title][vname] = {
+                "flops": met.achieved_flops,
+                "sm_occ": met.sm_occupancy,
+                "mem_busy": met.mem_busy,
+            }
+            table.add_row(
+                title,
+                vname,
+                f"{met.achieved_flops / 1e12:.2f}T",
+                f"{met.sm_occupancy:.1%}",
+                f"{met.mem_busy:.1%}",
+            )
+        base = rows[title]["Roller"]["flops"]
+        no_vt = rows[title]["Gensor w/o vThread"]["flops"]
+        full = rows[title]["Gensor"]["flops"]
+        total_gain = full - base
+        if total_gain > 0:
+            graph_share_total += (no_vt - base) / total_gain
+            vthread_share_total += (full - no_vt) / total_gain
+            counted += 1
+    notes = []
+    if counted:
+        notes.append(
+            f"gain attribution: graph construction {graph_share_total / counted:.1%}, "
+            f"vThread {vthread_share_total / counted:.1%} "
+            "(paper: 79.24% / 20.76%)"
+        )
+    return ExperimentResult(
+        name="table06_ablation", table=table, rows=rows, notes=notes
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

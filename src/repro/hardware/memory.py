@@ -1,0 +1,66 @@
+"""Shared-memory bank-conflict and transaction models.
+
+The vThread action in Gensor (paper Formula 3) exists to reduce
+shared-memory bank conflicts: interleaving virtual threads across the
+innermost tile dimension spreads simultaneous accesses across banks.  The
+simulator needs the *actual* serialization factor those conflicts impose so
+that the analytical benefit formula has a real effect to predict.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["bank_conflict_factor", "smem_transaction_factor", "coalescing_factor"]
+
+
+def bank_conflict_factor(tile_x: int, bank_width: int, vthreads: int = 1) -> float:
+    """Serialization factor (>= 1) for a warp accessing a ``tile_x``-wide row.
+
+    A warp whose threads walk a row of ``tile_x`` consecutive elements
+    touches ``ceil(tile_x / bank_width)`` bank groups; each extra group is an
+    extra serialized shared-memory transaction.  Splitting the row across
+    ``vthreads`` virtual threads interleaves the accesses so the group count
+    drops to ``ceil(tile_x / (vthreads * bank_width))`` — this is exactly the
+    denominator of the paper's Formula 3.
+
+    Returns the number of serialized transaction groups (1.0 = conflict
+    free).
+    """
+    if tile_x <= 0:
+        raise ValueError(f"tile_x must be positive, got {tile_x}")
+    if bank_width <= 0:
+        raise ValueError(f"bank_width must be positive, got {bank_width}")
+    if vthreads <= 0:
+        raise ValueError(f"vthreads must be positive, got {vthreads}")
+    return float(math.ceil(tile_x / (vthreads * bank_width)))
+
+
+def smem_transaction_factor(
+    tile_x: int, bank_width: int, vthreads: int = 1
+) -> float:
+    """Effective shared-memory slowdown caused by bank conflicts.
+
+    Conflicts only serialize the conflicted access itself, not the whole
+    pipeline, so the slowdown saturates: the factor is a damped version of
+    :func:`bank_conflict_factor`, normalized so a conflict-free access
+    costs 1.0.
+    """
+    groups = bank_conflict_factor(tile_x, bank_width, vthreads)
+    # Each extra transaction group adds ~35% of a baseline access: issue
+    # overheads overlap partially with the previous group's data return.
+    return 1.0 + 0.35 * (groups - 1.0)
+
+
+def coalescing_factor(innermost_tile: int, warp_size: int = 32) -> float:
+    """Global-memory transaction inflation for poorly coalesced loads.
+
+    When the innermost (contiguous) tile extent is smaller than a warp,
+    each 128-byte transaction carries partially useful data, inflating DRAM
+    traffic by up to ``warp_size / innermost_tile``.
+    """
+    if innermost_tile <= 0:
+        raise ValueError(f"innermost_tile must be positive, got {innermost_tile}")
+    if innermost_tile >= warp_size:
+        return 1.0
+    return float(warp_size) / float(innermost_tile)

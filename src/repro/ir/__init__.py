@@ -1,0 +1,45 @@
+"""Tensor-program intermediate representation.
+
+The IR has three layers, mirroring the paper's stack:
+
+1. **Tensor expressions** (:mod:`repro.ir.compute`) — a TVM-TE-like
+   declarative description of an operator: spatial/reduce iteration axes
+   plus affine tensor accesses.  Built by the operator zoo in
+   :mod:`repro.ir.operators`.
+2. **ETIR** (:mod:`repro.ir.etir`) — the paper's enhanced tile-based IR: a
+   per-dimension, per-memory-level tile matrix ``D = [T_L, ..., T_1, T_0]``
+   plus the current scheduling memory level and the virtual-thread
+   configuration.  ETIR states are the *nodes* of Gensor's construction
+   graph.
+3. **Loop nests** (:mod:`repro.ir.loopnest`) — the lowered imperative form
+   consumed by code generation.
+
+:mod:`repro.ir.access` provides the footprint/traffic arithmetic shared by
+the cost model, Roller, and Gensor's benefit formulas.
+"""
+
+from repro.ir.expr import AffineExpr, IterVar
+from repro.ir.tensor import TensorSpec
+from repro.ir.compute import ComputeDef, TensorAccess
+from repro.ir.access import (
+    access_footprint_elems,
+    tile_footprint_bytes,
+    tile_traffic_bytes,
+)
+from repro.ir.etir import ETIR, TileConfig, VTHREAD_LEVEL
+from repro.ir import operators
+
+__all__ = [
+    "AffineExpr",
+    "IterVar",
+    "TensorSpec",
+    "ComputeDef",
+    "TensorAccess",
+    "ETIR",
+    "TileConfig",
+    "VTHREAD_LEVEL",
+    "operators",
+    "access_footprint_elems",
+    "tile_footprint_bytes",
+    "tile_traffic_bytes",
+]

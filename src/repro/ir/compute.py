@@ -1,0 +1,230 @@
+"""Declarative tensor computations (the TE layer).
+
+A :class:`ComputeDef` describes one operator as
+
+``out[spatial...] = fn( scale * sum_{reduce...} prod_i in_i[affine(spatial, reduce)] )``
+
+This contraction form covers the whole operator zoo the paper evaluates
+(GEMM, GEMV, Conv2d, AvgPool2d) plus the elementwise/auxiliary ops the
+end-to-end models need.  Keeping the body this structured lets the library
+provide an exact generic NumPy evaluator (the correctness oracle for
+scheduling) and exact affine footprint analysis (the fuel for every cost
+formula) without a full expression-tree IR.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import product as iter_product
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.ir.expr import AffineExpr, IterVar
+from repro.ir.tensor import TensorSpec
+
+__all__ = ["TensorAccess", "ComputeDef", "UNARY_FNS"]
+
+#: Unary post-ops supported by the contraction body.
+UNARY_FNS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "identity": lambda x: x,
+    "relu": lambda x: np.maximum(x, 0.0),
+    "relu6": lambda x: np.clip(x, 0.0, 6.0),
+    "exp": np.exp,
+    "tanh": np.tanh,
+    "gelu": lambda x: 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x**3))),
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+}
+
+
+@dataclass(frozen=True)
+class TensorAccess:
+    """An affine read of one input tensor: ``tensor[indices...]``."""
+
+    tensor: TensorSpec
+    indices: tuple[AffineExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != self.tensor.ndim:
+            raise ValueError(
+                f"access to {self.tensor.name!r} has {len(self.indices)} indices "
+                f"for a {self.tensor.ndim}-d tensor"
+            )
+        object.__setattr__(
+            self, "indices", tuple(AffineExpr.of(ix) for ix in self.indices)
+        )
+
+    def render(self) -> str:
+        return f"{self.tensor.name}[{', '.join(ix.render() for ix in self.indices)}]"
+
+
+@dataclass(frozen=True)
+class ComputeDef:
+    """One operator in contraction normal form.
+
+    Attributes:
+        name: unique operator instance name (e.g. ``"gemm_M1"``).
+        kind: operator family tag (``"gemm"``, ``"conv2d"``, ...) used by
+            vendor-template lookup and workload tables.
+        axes: all iteration axes, spatial axes first (in output order),
+            reduce axes after.
+        inputs: the tensors multiplied together at each iteration point.
+        output: the produced tensor; indexed by the spatial axes in order.
+        flops_per_point: FLOPs per iteration-space point (2 for
+            multiply-accumulate contractions, 1 for elementwise).
+        scale: constant multiplier applied after reduction (e.g.
+            ``1/F**2`` for average pooling).
+        unary_fn: name of the post-op from :data:`UNARY_FNS`.
+    """
+
+    name: str
+    kind: str
+    axes: tuple[IterVar, ...]
+    inputs: tuple[TensorAccess, ...]
+    output: TensorSpec
+    flops_per_point: float = 2.0
+    scale: float = 1.0
+    unary_fn: str = "identity"
+
+    def __post_init__(self) -> None:
+        names = [ax.name for ax in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in {self.name!r}: {names}")
+        sp = self.spatial_axes
+        seen_reduce = False
+        for ax in self.axes:
+            if ax.is_reduce:
+                seen_reduce = True
+            elif seen_reduce:
+                raise ValueError(
+                    f"{self.name!r}: spatial axis {ax.name!r} after a reduce axis; "
+                    "order spatial axes first"
+                )
+        if tuple(self.output.shape) != tuple(ax.extent for ax in sp):
+            raise ValueError(
+                f"{self.name!r}: output shape {self.output.shape} does not match "
+                f"spatial extents {tuple(ax.extent for ax in sp)}"
+            )
+        if self.unary_fn not in UNARY_FNS:
+            raise ValueError(f"unknown unary_fn {self.unary_fn!r}")
+        for acc in self.inputs:
+            for expr in acc.indices:
+                for vn in expr.var_names():
+                    if vn not in names:
+                        raise ValueError(
+                            f"{self.name!r}: access {acc.render()} references "
+                            f"unknown axis {vn!r}"
+                        )
+
+    # -- axis views -----------------------------------------------------------
+
+    @property
+    def spatial_axes(self) -> tuple[IterVar, ...]:
+        return tuple(ax for ax in self.axes if not ax.is_reduce)
+
+    @property
+    def reduce_axes(self) -> tuple[IterVar, ...]:
+        return tuple(ax for ax in self.axes if ax.is_reduce)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.axes)
+
+    def axis(self, name: str) -> IterVar:
+        for ax in self.axes:
+            if ax.name == name:
+                return ax
+        raise KeyError(f"{self.name!r} has no axis {name!r}")
+
+    def extents(self) -> dict[str, int]:
+        return {ax.name: ax.extent for ax in self.axes}
+
+    # -- workload statistics ---------------------------------------------------
+
+    @property
+    def iteration_points(self) -> int:
+        return math.prod(ax.extent for ax in self.axes)
+
+    @property
+    def total_flops(self) -> float:
+        """Total floating-point work of one execution of the operator."""
+        return self.flops_per_point * self.iteration_points
+
+    def total_input_bytes(self) -> int:
+        """Compulsory input traffic: each distinct input tensor read once."""
+        seen: dict[str, int] = {}
+        for acc in self.inputs:
+            seen[acc.tensor.name] = acc.tensor.nbytes
+        return sum(seen.values())
+
+    def total_io_bytes(self) -> int:
+        return self.total_input_bytes() + self.output.nbytes
+
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per compulsory byte — classifies compute- vs memory-bound."""
+        return self.total_flops / max(1, self.total_io_bytes())
+
+    # -- functional semantics ---------------------------------------------------
+
+    def evaluate(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Reference evaluation of the contraction (the correctness oracle).
+
+        Vectorized over the spatial axes; loops over the reduce space, so it
+        is intended for the modest shapes used in tests, not benchmarks.
+        """
+        for acc in self.inputs:
+            arr = inputs.get(acc.tensor.name)
+            if arr is None:
+                raise KeyError(f"missing input tensor {acc.tensor.name!r}")
+            if tuple(arr.shape) != acc.tensor.shape:
+                raise ValueError(
+                    f"input {acc.tensor.name!r} has shape {arr.shape}, "
+                    f"expected {acc.tensor.shape}"
+                )
+        sp = self.spatial_axes
+        rd = self.reduce_axes
+        grids = np.ogrid[tuple(slice(0, ax.extent) for ax in sp)] if sp else []
+        env: dict[str, np.ndarray | int] = {
+            ax.name: grid for ax, grid in zip(sp, grids)
+        }
+        out = np.zeros(self.output.shape, dtype=np.float64)
+        for rpoint in iter_product(*(range(ax.extent) for ax in rd)):
+            for ax, val in zip(rd, rpoint):
+                env[ax.name] = val
+            term: np.ndarray | float = 1.0
+            for acc in self.inputs:
+                idx = tuple(expr.evaluate(env) for expr in acc.indices)
+                term = term * inputs[acc.tensor.name][idx]
+            out = out + term
+        out = out * self.scale
+        return UNARY_FNS[self.unary_fn](out)
+
+    def random_inputs(
+        self, rng: np.random.Generator | None = None
+    ) -> dict[str, np.ndarray]:
+        """Generate well-conditioned random inputs for every input tensor."""
+        rng = rng or np.random.default_rng(0)
+        out: dict[str, np.ndarray] = {}
+        for acc in self.inputs:
+            if acc.tensor.name not in out:
+                out[acc.tensor.name] = rng.standard_normal(acc.tensor.shape).astype(
+                    np.float64
+                )
+        return out
+
+    def render(self) -> str:
+        """Human-readable one-line summary of the computation."""
+        sp = ", ".join(f"{ax.name}<{ax.extent}" for ax in self.spatial_axes)
+        rd = ", ".join(f"{ax.name}<{ax.extent}" for ax in self.reduce_axes)
+        body = " * ".join(acc.render() for acc in self.inputs) or "1"
+        if self.scale != 1.0:
+            body = f"{self.scale:g} * ({body})"
+        if rd:
+            body = f"sum[{rd}] {body}"
+        if self.unary_fn != "identity":
+            body = f"{self.unary_fn}({body})"
+        return f"{self.output.name}[{sp}] = {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComputeDef({self.name}: {self.render()})"

@@ -1,0 +1,367 @@
+"""ETIR: the paper's enhanced tile-based tensor-program IR.
+
+An :class:`ETIR` instance is one *node* of Gensor's construction graph: a
+complete description of how an operator is tiled onto the device memory
+hierarchy, plus the virtual-thread configuration.  Following the paper
+(§IV.C), the tiling of each iteration axis ``d`` is a vector
+``D = [T_L, ..., T_1, T_0]``:
+
+* ``T_L`` (here ``level == L``, the *block tile*) — the slab one thread
+  block stages from DRAM into shared memory,
+* ``T_1`` (the *thread tile*) — the fragment one thread keeps in
+  registers,
+* ``T_0`` — the per-thread computational stride, i.e. the virtual-thread
+  interleaving; we store it as the vThread count ``V_d`` with
+  ``T_0 = T_1 / V_d``.
+
+ETIR instances are immutable; scheduling actions return new instances, so
+states can be hashed, memoized, and backtracked — exactly what
+distinguishes graph traversal from Roller's one-way tree descent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterator, Mapping
+
+from repro.hardware.spec import HardwareSpec
+from repro.ir.access import tile_footprint_bytes, tile_traffic_bytes
+from repro.ir.compute import ComputeDef
+
+__all__ = ["ETIR", "TileConfig", "VTHREAD_LEVEL"]
+
+#: Pseudo-level index used by actions that adjust T_0 (the vThread stride).
+VTHREAD_LEVEL = 0
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Per-axis tile sizes for levels ``1..L`` plus the vThread counts.
+
+    ``tiles[d]`` is ``(T_1, ..., T_L)`` for axis ``d`` (innermost first).
+    Invariant: ``1 <= T_1 <= ... <= T_L <= extent_d`` and
+    ``1 <= V_d <= T_1`` (``V_d == 1`` for reduce axes).
+    """
+
+    tiles: tuple[tuple[int, ...], ...]
+    vthreads: tuple[int, ...]
+
+    def tile(self, axis_idx: int, level: int) -> int:
+        """Tile size of ``axis_idx`` at memory level ``level`` (1-based)."""
+        return self.tiles[axis_idx][level - 1]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.tiles[0]) if self.tiles else 0
+
+
+class ETIR:
+    """An immutable scheduled-tensor-program state.
+
+    Mirrors the paper's ETIR class: the tensor program (``compute``), its
+    axes and shapes, the number of memory levels, the *current scheduling
+    memory level*, the per-level tiles, and the vThread configuration.
+    """
+
+    __slots__ = ("compute", "num_levels", "cur_level", "config", "_key")
+
+    def __init__(
+        self,
+        compute: ComputeDef,
+        config: TileConfig,
+        cur_level: int,
+        num_levels: int,
+    ) -> None:
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        if not (1 <= cur_level <= num_levels):
+            raise ValueError(
+                f"cur_level must be in [1, {num_levels}], got {cur_level}"
+            )
+        if len(config.tiles) != len(compute.axes):
+            raise ValueError(
+                f"tile config covers {len(config.tiles)} axes, "
+                f"compute has {len(compute.axes)}"
+            )
+        for ax, per_level, v in zip(compute.axes, config.tiles, config.vthreads):
+            if len(per_level) != num_levels:
+                raise ValueError(
+                    f"axis {ax.name!r}: expected {num_levels} tile levels, "
+                    f"got {len(per_level)}"
+                )
+            prev = 1
+            for lvl, t in enumerate(per_level, start=1):
+                if t < prev:
+                    raise ValueError(
+                        f"axis {ax.name!r}: tile at level {lvl} ({t}) smaller "
+                        f"than inner level ({prev})"
+                    )
+                prev = t
+            if per_level[-1] > ax.extent:
+                raise ValueError(
+                    f"axis {ax.name!r}: block tile {per_level[-1]} exceeds "
+                    f"extent {ax.extent}"
+                )
+            if v < 1 or v > per_level[0]:
+                raise ValueError(
+                    f"axis {ax.name!r}: vthreads {v} must be in [1, T_1={per_level[0]}]"
+                )
+            if ax.is_reduce and v != 1:
+                raise ValueError(f"reduce axis {ax.name!r} cannot have vThreads")
+        self.compute = compute
+        self.num_levels = num_levels
+        self.cur_level = cur_level
+        self.config = config
+        self._key = (
+            compute.name,
+            config.tiles,
+            config.vthreads,
+            cur_level,
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def initial(cls, compute: ComputeDef, num_levels: int = 2) -> "ETIR":
+        """The unscheduled state: all tiles 1, no vThreads, at level L."""
+        n = len(compute.axes)
+        config = TileConfig(
+            tiles=tuple((1,) * num_levels for _ in range(n)),
+            vthreads=(1,) * n,
+        )
+        return cls(compute, config, cur_level=num_levels, num_levels=num_levels)
+
+    @classmethod
+    def from_tiles(
+        cls,
+        compute: ComputeDef,
+        block_tiles: Mapping[str, int],
+        thread_tiles: Mapping[str, int] | None = None,
+        vthreads: Mapping[str, int] | None = None,
+        num_levels: int = 2,
+    ) -> "ETIR":
+        """Build a fully specified state by axis name (used by baselines).
+
+        Tile values are clipped to each axis extent and the nesting
+        invariant is enforced by raising if violated.
+        """
+        thread_tiles = thread_tiles or {}
+        vthreads = vthreads or {}
+        tiles: list[tuple[int, ...]] = []
+        vts: list[int] = []
+        for ax in compute.axes:
+            bt = min(int(block_tiles.get(ax.name, 1)), ax.extent)
+            tt = min(int(thread_tiles.get(ax.name, 1)), bt)
+            inner = [tt] + [tt] * (num_levels - 2) + [bt] if num_levels >= 2 else [bt]
+            tiles.append(tuple(inner))
+            vts.append(1 if ax.is_reduce else int(vthreads.get(ax.name, 1)))
+        config = TileConfig(tiles=tuple(tiles), vthreads=tuple(vts))
+        return cls(compute, config, cur_level=1, num_levels=num_levels)
+
+    # -- identity -----------------------------------------------------------------
+
+    def key(self) -> tuple:
+        """Hashable identity of this state (the graph-node key)."""
+        return self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ETIR) and self._key == other._key
+
+    # -- tile views -----------------------------------------------------------------
+
+    def tile(self, axis_idx: int, level: int) -> int:
+        return self.config.tile(axis_idx, level)
+
+    def tile_sizes(self, level: int) -> dict[str, int]:
+        """Axis-name → tile-size mapping at ``level`` (1..L)."""
+        return {
+            ax.name: self.config.tile(idx, level)
+            for idx, ax in enumerate(self.compute.axes)
+        }
+
+    def block_tiles(self) -> dict[str, int]:
+        return self.tile_sizes(self.num_levels)
+
+    def thread_tiles(self) -> dict[str, int]:
+        return self.tile_sizes(1)
+
+    def vthreads(self, axis_idx: int) -> int:
+        return self.config.vthreads[axis_idx]
+
+    def total_vthreads(self) -> int:
+        return math.prod(self.config.vthreads)
+
+    def thread_stride(self, axis_idx: int) -> int:
+        """The paper's ``T_0``: per-thread computational stride."""
+        return max(1, self.tile(axis_idx, 1) // self.vthreads(axis_idx))
+
+    # -- derived launch/resource quantities -------------------------------------------
+
+    def threads_per_block(self) -> int:
+        """Physical threads per block: block tile over thread tile, spatial axes."""
+        threads = 1
+        for idx, ax in enumerate(self.compute.axes):
+            if ax.is_reduce:
+                continue
+            threads *= math.ceil(
+                self.tile(idx, self.num_levels) / self.tile(idx, 1)
+            )
+        return threads
+
+    def num_blocks(self) -> int:
+        """Grid size: spatial iteration space over block tiles."""
+        blocks = 1
+        for idx, ax in enumerate(self.compute.axes):
+            if ax.is_reduce:
+                continue
+            blocks *= math.ceil(ax.extent / self.tile(idx, self.num_levels))
+        return blocks
+
+    def smem_footprint_bytes(self) -> int:
+        """Shared memory one block stages (inputs at the block tile)."""
+        return tile_footprint_bytes(
+            self.compute, self.block_tiles(), include_output=False
+        )
+
+    def regs_per_thread(self) -> int:
+        """Register (4-byte word) demand of one thread's tile."""
+        nbytes = tile_footprint_bytes(
+            self.compute, self.thread_tiles(), include_output=True
+        )
+        return max(1, math.ceil(nbytes / 4))
+
+    def dram_traffic_bytes(self) -> int:
+        """Q at the DRAM level: traffic under the block tiling."""
+        return tile_traffic_bytes(self.compute, self.block_tiles())
+
+    def smem_traffic_bytes(self) -> int:
+        """Q between shared memory and registers: traffic under thread tiling."""
+        return tile_traffic_bytes(self.compute, self.thread_tiles())
+
+    def memory_ok(self, hw: HardwareSpec, strict: bool = True) -> bool:
+        """The paper's per-transition memory check.
+
+        A configuration is infeasible (transition probability forced to 0)
+        when its shared-memory slab, register demand, or thread count
+        exceeds the device limits.
+
+        ``strict=False`` is the *traversal-time* variant: while the walk is
+        still scheduling outer levels, the thread-block shape is not yet
+        committed (thread tiles are all 1), so only the constraints that are
+        already determined — the shared-memory slab and the per-thread
+        register budget — are enforced.  Final candidates are always
+        re-checked strictly before ranking and measurement.
+        """
+        if self.smem_footprint_bytes() > hw.smem.capacity_bytes:
+            return False
+        # CUDA caps a single thread at 255 registers regardless of block shape.
+        if self.regs_per_thread() > 255:
+            return False
+        if not strict:
+            return True
+        threads = self.threads_per_block()
+        if threads > hw.max_threads_per_block:
+            return False
+        if threads * self.regs_per_thread() > hw.registers_per_sm:
+            return False
+        return True
+
+    # -- functional mutation (the graph's edges land on these) -----------------------
+
+    def with_tile(self, axis_idx: int, level: int, new_size: int) -> "ETIR":
+        """Return a copy with axis ``axis_idx``'s tile at ``level`` replaced.
+
+        Raises ``ValueError`` if the nesting invariant would break.
+        """
+        tiles = [list(t) for t in self.config.tiles]
+        tiles[axis_idx][level - 1] = int(new_size)
+        config = TileConfig(
+            tiles=tuple(tuple(t) for t in tiles), vthreads=self.config.vthreads
+        )
+        return ETIR(self.compute, config, self.cur_level, self.num_levels)
+
+    def scaled_tile(self, axis_idx: int, up: bool) -> "ETIR | None":
+        """Tiling / inverse-tiling action: double or halve the current-level
+        tile of one axis.
+
+        Returns ``None`` when the move is impossible (would exceed the axis
+        extent, break level nesting, or drop below the vThread count).
+        """
+        return self.scaled_tile_at(axis_idx, self.cur_level, up)
+
+    def scaled_tile_at(self, axis_idx: int, lvl: int, up: bool) -> "ETIR | None":
+        """Double/halve one axis's tile at an explicit level (1..L).
+
+        Used by the post-construction refinement pass, which may adjust any
+        level; the Markov walk itself always passes the current level.
+        """
+        cur = self.tile(axis_idx, lvl)
+        ax = self.compute.axes[axis_idx]
+        if up:
+            new = cur * 2
+            upper = (
+                ax.extent
+                if lvl == self.num_levels
+                else self.tile(axis_idx, lvl + 1)
+            )
+            if new > upper:
+                if cur < upper:
+                    new = upper  # allow reaching a non-power-of-two extent
+                else:
+                    return None
+        else:
+            new = cur // 2
+            lower = 1 if lvl == 1 else self.tile(axis_idx, lvl - 1)
+            lower = max(lower, self.vthreads(axis_idx) if lvl == 1 else 1)
+            if new < lower:
+                return None
+        return self.with_tile(axis_idx, lvl, new)
+
+    def with_cache_advance(self) -> "ETIR | None":
+        """Caching action: move scheduling to the next (faster) memory level.
+
+        When entering a faster level its tiles start equal to 1 (they are
+        already initialized that way and are nested below the outer level).
+        Returns ``None`` at the innermost level.
+        """
+        if self.cur_level <= 1:
+            return None
+        return ETIR(self.compute, self.config, self.cur_level - 1, self.num_levels)
+
+    def with_vthread(self, axis_idx: int, count: int) -> "ETIR | None":
+        """setVthread primitive: set axis ``axis_idx``'s vThread count.
+
+        Only valid for spatial axes with ``count <= T_1``.
+        """
+        ax = self.compute.axes[axis_idx]
+        if ax.is_reduce:
+            return None
+        if count < 1 or count > self.tile(axis_idx, 1):
+            return None
+        vts = list(self.config.vthreads)
+        vts[axis_idx] = int(count)
+        config = TileConfig(tiles=self.config.tiles, vthreads=tuple(vts))
+        return ETIR(self.compute, config, self.cur_level, self.num_levels)
+
+    # -- presentation -----------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Compact human-readable schedule description."""
+        parts = []
+        for idx, ax in enumerate(self.compute.axes):
+            levels = "/".join(str(t) for t in reversed(self.config.tiles[idx]))
+            v = self.vthreads(idx)
+            tag = f" v{v}" if v > 1 else ""
+            parts.append(f"{ax.name}:[{levels}]{tag}")
+        return (
+            f"<ETIR {self.compute.name} L{self.cur_level} "
+            f"{' '.join(parts)} threads={self.threads_per_block()} "
+            f"blocks={self.num_blocks()}>"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

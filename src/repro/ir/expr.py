@@ -1,0 +1,169 @@
+"""Iteration variables and affine index expressions.
+
+Every tensor access in the operator zoo is affine in the iteration
+variables (this covers GEMM, GEMV, convolution, pooling, elementwise and
+normalization ops).  Restricting to affine indices keeps footprint and
+traffic computation exact and cheap, which the construction methods query
+thousands of times per compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["IterVar", "AffineExpr"]
+
+SPATIAL = "spatial"
+REDUCE = "reduce"
+
+
+@dataclass(frozen=True)
+class IterVar:
+    """An iteration axis of a tensor computation.
+
+    ``kind`` is ``"spatial"`` for axes that index the output tensor and
+    ``"reduce"`` for reduction axes (e.g. GEMM's ``k``).
+    """
+
+    name: str
+    extent: int
+    kind: str = SPATIAL
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise ValueError(f"axis {self.name!r} extent must be positive, got {self.extent}")
+        if self.kind not in (SPATIAL, REDUCE):
+            raise ValueError(f"axis kind must be 'spatial' or 'reduce', got {self.kind!r}")
+
+    @property
+    def is_reduce(self) -> bool:
+        return self.kind == REDUCE
+
+    def __mul__(self, coef: int) -> "AffineExpr":
+        return AffineExpr({self.name: int(coef)})
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "IterVar | AffineExpr | int") -> "AffineExpr":
+        return AffineExpr({self.name: 1}) + other
+
+    __radd__ = __add__
+
+    def as_expr(self) -> "AffineExpr":
+        return AffineExpr({self.name: 1})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "r" if self.is_reduce else "s"
+        return f"IterVar({self.name}:{self.extent}{tag})"
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """A linear combination of iteration variables plus a constant.
+
+    Immutable; arithmetic returns new expressions.  Variables are referenced
+    by name — the owning :class:`~repro.ir.compute.ComputeDef` maps names
+    back to :class:`IterVar` objects.
+    """
+
+    terms: Mapping[str, int] = field(default_factory=dict)
+    const: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalize: drop zero coefficients, freeze the mapping.
+        cleaned = {k: int(v) for k, v in self.terms.items() if v != 0}
+        object.__setattr__(self, "terms", _FrozenDict(cleaned))
+        object.__setattr__(self, "const", int(self.const))
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def of(var: "IterVar | AffineExpr | int") -> "AffineExpr":
+        if isinstance(var, AffineExpr):
+            return var
+        if isinstance(var, IterVar):
+            return var.as_expr()
+        return AffineExpr({}, int(var))
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "AffineExpr | IterVar | int") -> "AffineExpr":
+        o = AffineExpr.of(other)
+        terms = dict(self.terms)
+        for name, coef in o.terms.items():
+            terms[name] = terms.get(name, 0) + coef
+        return AffineExpr(terms, self.const + o.const)
+
+    __radd__ = __add__
+
+    def __mul__(self, coef: int) -> "AffineExpr":
+        return AffineExpr(
+            {name: c * int(coef) for name, c in self.terms.items()},
+            self.const * int(coef),
+        )
+
+    __rmul__ = __mul__
+
+    # -- analysis -------------------------------------------------------------
+
+    def var_names(self) -> tuple[str, ...]:
+        return tuple(self.terms.keys())
+
+    def coefficient(self, name: str) -> int:
+        return self.terms.get(name, 0)
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        """Evaluate with concrete values for every referenced variable."""
+        total = self.const
+        for name, coef in self.terms.items():
+            total += coef * values[name]
+        return total
+
+    def extent_under_tiles(self, tile_sizes: Mapping[str, int]) -> int:
+        """Number of distinct values this index takes over a tile.
+
+        For an affine index ``sum(c_i * x_i) + k`` with ``x_i`` ranging over
+        a tile of size ``t_i``, the value range spans
+        ``sum(|c_i| * (t_i - 1)) + 1`` points; for the stride patterns in
+        the operator zoo (all positive coefficients) that span is also the
+        exact count used by footprint computation.
+        """
+        span = 1
+        for name, coef in self.terms.items():
+            t = tile_sizes.get(name, 1)
+            span += abs(coef) * (t - 1)
+        return span
+
+    def render(self) -> str:
+        """Human-readable form used by the code generator, e.g. ``2*h + r``."""
+        parts: list[str] = []
+        for name, coef in sorted(self.terms.items()):
+            if coef == 1:
+                parts.append(name)
+            else:
+                parts.append(f"{coef}*{name}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AffineExpr({self.render()})"
+
+
+class _FrozenDict(dict):
+    """A hashable dict so AffineExpr stays usable as a dataclass field."""
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        return hash(tuple(sorted(self.items())))
+
+    def _readonly(self, *args: object, **kwargs: object) -> None:
+        raise TypeError("AffineExpr terms are immutable")
+
+    __setitem__ = _readonly  # type: ignore[assignment]
+    __delitem__ = _readonly  # type: ignore[assignment]
+    clear = _readonly  # type: ignore[assignment]
+    pop = _readonly  # type: ignore[assignment]
+    popitem = _readonly  # type: ignore[assignment]
+    setdefault = _readonly  # type: ignore[assignment]
+    update = _readonly  # type: ignore[assignment]

@@ -1,0 +1,169 @@
+"""Lowered imperative loop-nest IR.
+
+This is the form code generation consumes: a tree of typed loops (serial /
+unrolled / GPU-bound) over statements (buffer allocation, staged loads,
+compute, synchronization, stores).  It is deliberately simple — just enough
+structure to print faithful CUDA-like kernels and to let tests assert on
+the lowered shape of a schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Loop",
+    "LoopKind",
+    "Alloc",
+    "LoadStage",
+    "ComputeStmt",
+    "StoreStmt",
+    "Sync",
+    "Kernel",
+]
+
+
+class LoopKind:
+    """Loop annotation tags (a closed string enum)."""
+
+    SERIAL = "serial"
+    UNROLL = "unroll"
+    VECTORIZE = "vectorize"
+    BLOCK = "blockIdx"
+    THREAD = "threadIdx"
+    VTHREAD = "vthread"
+
+    ALL = (SERIAL, UNROLL, VECTORIZE, BLOCK, THREAD, VTHREAD)
+
+
+@dataclass
+class Alloc:
+    """Buffer allocation in a named memory scope (``shared``/``local``)."""
+
+    buffer: str
+    scope: str
+    num_elems: int
+    dtype: str = "float32"
+
+
+@dataclass
+class LoadStage:
+    """Cooperative staged copy of a tensor slab into an on-chip buffer.
+
+    ``base_expr`` is the slab's base offset into the source tensor in
+    terms of the bound block/reduce loop variables (filled by lowering).
+    """
+
+    src_tensor: str
+    dst_buffer: str
+    num_elems: int
+    scope: str
+    base_expr: str = "0"
+
+
+@dataclass
+class ComputeStmt:
+    """The innermost computation statement, rendered from the ComputeDef."""
+
+    text: str
+
+
+@dataclass
+class StoreStmt:
+    """Writeback of accumulators to the output tensor."""
+
+    dst_tensor: str
+    src_buffer: str
+    num_elems: int
+
+
+@dataclass
+class Sync:
+    """Block-level barrier (``__syncthreads()``)."""
+
+
+Stmt = "Loop | Alloc | LoadStage | ComputeStmt | StoreStmt | Sync"
+
+
+@dataclass
+class Loop:
+    """One loop level: ``for var in range(extent)`` with an annotation."""
+
+    var: str
+    extent: int
+    kind: str = LoopKind.SERIAL
+    body: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in LoopKind.ALL:
+            raise ValueError(f"unknown loop kind {self.kind!r}")
+        if self.extent <= 0:
+            raise ValueError(f"loop {self.var!r} extent must be positive")
+
+    def walk(self) -> Iterator["Loop"]:
+        """Yield this loop and all nested loops, depth-first."""
+        yield self
+        for stmt in self.body:
+            if isinstance(stmt, Loop):
+                yield from stmt.walk()
+
+
+@dataclass
+class Kernel:
+    """A lowered kernel: launch configuration plus the loop-nest body."""
+
+    name: str
+    grid_dim: int
+    block_dim: int
+    body: list = field(default_factory=list)
+
+    def all_loops(self) -> list[Loop]:
+        loops: list[Loop] = []
+
+        def visit(stmts: list) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, Loop):
+                    loops.append(stmt)
+                    visit(stmt.body)
+
+        visit(self.body)
+        return loops
+
+    def loops_of_kind(self, kind: str) -> list[Loop]:
+        return [lp for lp in self.all_loops() if lp.kind == kind]
+
+    def render(self, indent: str = "  ") -> str:
+        """Pretty-print the nest (used by tests and ``--dump-ir``)."""
+        lines = [f"kernel {self.name} <<<{self.grid_dim}, {self.block_dim}>>>"]
+
+        def visit(stmts: list, depth: int) -> None:
+            pad = indent * depth
+            for stmt in stmts:
+                if isinstance(stmt, Loop):
+                    tag = "" if stmt.kind == LoopKind.SERIAL else f" [{stmt.kind}]"
+                    lines.append(f"{pad}for {stmt.var} in 0..{stmt.extent}{tag}:")
+                    visit(stmt.body, depth + 1)
+                elif isinstance(stmt, Alloc):
+                    lines.append(
+                        f"{pad}alloc {stmt.buffer}[{stmt.num_elems}] @{stmt.scope}"
+                    )
+                elif isinstance(stmt, LoadStage):
+                    lines.append(
+                        f"{pad}stage {stmt.src_tensor} -> {stmt.dst_buffer} "
+                        f"({stmt.num_elems} elems, {stmt.scope})"
+                    )
+                elif isinstance(stmt, ComputeStmt):
+                    lines.append(f"{pad}{stmt.text}")
+                elif isinstance(stmt, StoreStmt):
+                    lines.append(
+                        f"{pad}store {stmt.src_buffer} -> {stmt.dst_tensor} "
+                        f"({stmt.num_elems} elems)"
+                    )
+                elif isinstance(stmt, Sync):
+                    lines.append(f"{pad}__syncthreads()")
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown statement {stmt!r}")
+
+        visit(self.body, 1)
+        return "\n".join(lines)

@@ -1,0 +1,318 @@
+"""Operator zoo: builders for every computation the paper evaluates.
+
+Each builder returns a :class:`~repro.ir.compute.ComputeDef` in contraction
+normal form.  Convolutions take *pre-padded* inputs (the Table IV shapes,
+e.g. ``I=[128,128,58,58]`` for a 3x3/stride-2 kernel, are already padded),
+so no boundary handling is needed anywhere in the stack.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.compute import ComputeDef, TensorAccess
+from repro.ir.expr import AffineExpr, IterVar
+from repro.ir.tensor import TensorSpec
+
+__all__ = [
+    "matmul",
+    "gemv",
+    "batched_matmul",
+    "conv2d",
+    "depthwise_conv2d",
+    "avgpool2d",
+    "elementwise",
+    "add",
+    "softmax_proxy",
+    "layernorm_proxy",
+    "conv_out_size",
+]
+
+
+def conv_out_size(in_size: int, kernel: int, stride: int) -> int:
+    """Output spatial size of a valid (pre-padded) convolution/pool."""
+    if in_size < kernel:
+        raise ValueError(f"input size {in_size} smaller than kernel {kernel}")
+    return (in_size - kernel) // stride + 1
+
+
+def matmul(m: int, k: int, n: int, name: str = "gemm", dtype: str = "float32") -> ComputeDef:
+    """GEMM: ``C[i, j] = sum_k A[i, k] * B[k, j]``."""
+    i = IterVar("i", m)
+    j = IterVar("j", n)
+    kk = IterVar("k", k, "reduce")
+    a = TensorSpec("A", (m, k), dtype)
+    b = TensorSpec("B", (k, n), dtype)
+    c = TensorSpec("C", (m, n), dtype)
+    return ComputeDef(
+        name=name,
+        kind="gemm",
+        axes=(i, j, kk),
+        inputs=(
+            TensorAccess(a, (i.as_expr(), kk.as_expr())),
+            TensorAccess(b, (kk.as_expr(), j.as_expr())),
+        ),
+        output=c,
+        flops_per_point=2.0,
+    )
+
+
+def gemv(m: int, n: int, name: str = "gemv", dtype: str = "float32") -> ComputeDef:
+    """GEMV: ``y[i] = sum_n A[i, n] * x[n]``."""
+    i = IterVar("i", m)
+    nn = IterVar("n", n, "reduce")
+    a = TensorSpec("A", (m, n), dtype)
+    x = TensorSpec("x", (n,), dtype)
+    y = TensorSpec("y", (m,), dtype)
+    return ComputeDef(
+        name=name,
+        kind="gemv",
+        axes=(i, nn),
+        inputs=(
+            TensorAccess(a, (i.as_expr(), nn.as_expr())),
+            TensorAccess(x, (nn.as_expr(),)),
+        ),
+        output=y,
+        flops_per_point=2.0,
+    )
+
+
+def batched_matmul(
+    b: int, m: int, k: int, n: int, name: str = "bmm", dtype: str = "float32"
+) -> ComputeDef:
+    """Batched GEMM: ``C[b, i, j] = sum_k A[b, i, k] * B[b, k, j]``."""
+    bb = IterVar("b", b)
+    i = IterVar("i", m)
+    j = IterVar("j", n)
+    kk = IterVar("k", k, "reduce")
+    a = TensorSpec("A", (b, m, k), dtype)
+    w = TensorSpec("B", (b, k, n), dtype)
+    c = TensorSpec("C", (b, m, n), dtype)
+    return ComputeDef(
+        name=name,
+        kind="bmm",
+        axes=(bb, i, j, kk),
+        inputs=(
+            TensorAccess(a, (bb.as_expr(), i.as_expr(), kk.as_expr())),
+            TensorAccess(w, (bb.as_expr(), kk.as_expr(), j.as_expr())),
+        ),
+        output=c,
+        flops_per_point=2.0,
+    )
+
+
+def conv2d(
+    n: int,
+    c_in: int,
+    h: int,
+    w: int,
+    c_out: int,
+    r: int,
+    s: int,
+    stride: int = 1,
+    name: str = "conv2d",
+    dtype: str = "float32",
+) -> ComputeDef:
+    """Direct convolution over a pre-padded NCHW input.
+
+    ``O[n, f, oh, ow] = sum_{c, r, s} I[n, c, oh*stride + r, ow*stride + s]
+    * K[f, c, r, s]``
+    """
+    oh_ext = conv_out_size(h, r, stride)
+    ow_ext = conv_out_size(w, s, stride)
+    vn = IterVar("n", n)
+    vf = IterVar("f", c_out)
+    voh = IterVar("oh", oh_ext)
+    vow = IterVar("ow", ow_ext)
+    vc = IterVar("c", c_in, "reduce")
+    vr = IterVar("r", r, "reduce")
+    vs = IterVar("s", s, "reduce")
+    inp = TensorSpec("I", (n, c_in, h, w), dtype)
+    ker = TensorSpec("K", (c_out, c_in, r, s), dtype)
+    out = TensorSpec("O", (n, c_out, oh_ext, ow_ext), dtype)
+    return ComputeDef(
+        name=name,
+        kind="conv2d",
+        axes=(vn, vf, voh, vow, vc, vr, vs),
+        inputs=(
+            TensorAccess(
+                inp,
+                (
+                    vn.as_expr(),
+                    vc.as_expr(),
+                    voh * stride + vr,
+                    vow * stride + vs,
+                ),
+            ),
+            TensorAccess(ker, (vf.as_expr(), vc.as_expr(), vr.as_expr(), vs.as_expr())),
+        ),
+        output=out,
+        flops_per_point=2.0,
+    )
+
+
+def depthwise_conv2d(
+    n: int,
+    c: int,
+    h: int,
+    w: int,
+    r: int,
+    s: int,
+    stride: int = 1,
+    name: str = "dwconv2d",
+    dtype: str = "float32",
+) -> ComputeDef:
+    """Depthwise convolution (MobileNetV2's workhorse), pre-padded input."""
+    oh_ext = conv_out_size(h, r, stride)
+    ow_ext = conv_out_size(w, s, stride)
+    vn = IterVar("n", n)
+    vc = IterVar("c", c)
+    voh = IterVar("oh", oh_ext)
+    vow = IterVar("ow", ow_ext)
+    vr = IterVar("r", r, "reduce")
+    vs = IterVar("s", s, "reduce")
+    inp = TensorSpec("I", (n, c, h, w), dtype)
+    ker = TensorSpec("K", (c, r, s), dtype)
+    out = TensorSpec("O", (n, c, oh_ext, ow_ext), dtype)
+    return ComputeDef(
+        name=name,
+        kind="dwconv2d",
+        axes=(vn, vc, voh, vow, vr, vs),
+        inputs=(
+            TensorAccess(
+                inp,
+                (vn.as_expr(), vc.as_expr(), voh * stride + vr, vow * stride + vs),
+            ),
+            TensorAccess(ker, (vc.as_expr(), vr.as_expr(), vs.as_expr())),
+        ),
+        output=out,
+        flops_per_point=2.0,
+    )
+
+
+def avgpool2d(
+    n: int,
+    c: int,
+    h: int,
+    w: int,
+    f: int,
+    stride: int,
+    name: str = "avgpool2d",
+    dtype: str = "float32",
+) -> ComputeDef:
+    """Average pooling: windowed mean, expressed as a scaled contraction."""
+    oh_ext = conv_out_size(h, f, stride)
+    ow_ext = conv_out_size(w, f, stride)
+    vn = IterVar("n", n)
+    vc = IterVar("c", c)
+    voh = IterVar("oh", oh_ext)
+    vow = IterVar("ow", ow_ext)
+    vi = IterVar("fi", f, "reduce")
+    vj = IterVar("fj", f, "reduce")
+    inp = TensorSpec("I", (n, c, h, w), dtype)
+    out = TensorSpec("O", (n, c, oh_ext, ow_ext), dtype)
+    return ComputeDef(
+        name=name,
+        kind="avgpool2d",
+        axes=(vn, vc, voh, vow, vi, vj),
+        inputs=(
+            TensorAccess(
+                inp,
+                (vn.as_expr(), vc.as_expr(), voh * stride + vi, vow * stride + vj),
+            ),
+        ),
+        output=out,
+        flops_per_point=1.0,
+        scale=1.0 / (f * f),
+    )
+
+
+def elementwise(
+    shape: tuple[int, ...],
+    fn: str = "relu",
+    name: str = "elementwise",
+    dtype: str = "float32",
+) -> ComputeDef:
+    """Unary elementwise op, e.g. ReLU / GELU activations in model graphs."""
+    axes = tuple(IterVar(f"d{idx}", ext) for idx, ext in enumerate(shape))
+    inp = TensorSpec("X", shape, dtype)
+    out = TensorSpec("Y", shape, dtype)
+    return ComputeDef(
+        name=name,
+        kind="elementwise",
+        axes=axes,
+        inputs=(TensorAccess(inp, tuple(ax.as_expr() for ax in axes)),),
+        output=out,
+        flops_per_point=1.0,
+        unary_fn=fn,
+    )
+
+
+def add(
+    shape: tuple[int, ...], name: str = "add", dtype: str = "float32"
+) -> ComputeDef:
+    """Elementwise product-free addition is not a contraction of two reads
+    of *different* tensors multiplied together; residual adds are modeled as
+    a 2-read elementwise op with 1 FLOP/point for cost purposes.
+
+    Numerically this ComputeDef computes ``X * Z`` (the contraction form
+    multiplies its inputs); end-to-end experiments use it only for its cost
+    profile (2 reads, 1 write, 1 FLOP per point), which matches an add
+    exactly.
+    """
+    axes = tuple(IterVar(f"d{idx}", ext) for idx, ext in enumerate(shape))
+    x = TensorSpec("X", shape, dtype)
+    z = TensorSpec("Z", shape, dtype)
+    out = TensorSpec("Y", shape, dtype)
+    idxs = tuple(ax.as_expr() for ax in axes)
+    return ComputeDef(
+        name=name,
+        kind="add",
+        axes=axes,
+        inputs=(TensorAccess(x, idxs), TensorAccess(z, idxs)),
+        output=out,
+        flops_per_point=1.0,
+    )
+
+
+def softmax_proxy(
+    rows: int, cols: int, name: str = "softmax", dtype: str = "float32"
+) -> ComputeDef:
+    """Cost proxy for row softmax.
+
+    Softmax is a short composite (max, sub, exp, sum, div) that no single
+    contraction expresses; end-to-end model graphs only need its *cost*
+    profile: ~5 FLOPs and ~2 passes per element, memory-bound.  The proxy
+    is an elementwise exp over the matrix with ``flops_per_point=5``.
+    """
+    i = IterVar("i", rows)
+    j = IterVar("j", cols)
+    x = TensorSpec("X", (rows, cols), dtype)
+    y = TensorSpec("Y", (rows, cols), dtype)
+    return ComputeDef(
+        name=name,
+        kind="softmax",
+        axes=(i, j),
+        inputs=(TensorAccess(x, (i.as_expr(), j.as_expr())),),
+        output=y,
+        flops_per_point=5.0,
+        unary_fn="exp",
+    )
+
+
+def layernorm_proxy(
+    rows: int, cols: int, name: str = "layernorm", dtype: str = "float32"
+) -> ComputeDef:
+    """Cost proxy for LayerNorm (mean/var/normalize ≈ 6 FLOPs, 2 passes)."""
+    i = IterVar("i", rows)
+    j = IterVar("j", cols)
+    x = TensorSpec("X", (rows, cols), dtype)
+    y = TensorSpec("Y", (rows, cols), dtype)
+    return ComputeDef(
+        name=name,
+        kind="layernorm",
+        axes=(i, j),
+        inputs=(TensorAccess(x, (i.as_expr(), j.as_expr())),),
+        output=y,
+        flops_per_point=6.0,
+    )

@@ -1,0 +1,289 @@
+"""Scheduling primitives (the paper's Table I) over a loop structure.
+
+A :class:`Schedule` owns an ordered list of loop axes derived from a
+:class:`~repro.ir.compute.ComputeDef` and mutates it with the classic
+primitive set: ``split``, ``fuse``, ``reorder``, ``unroll``, ``vectorize``,
+``bind``, ``cache_read`` / ``cache_write``, and Gensor's added
+``set_vthread``.  Every primitive is validated and appended to a replayable
+log, so tests can assert on the exact primitive sequence a method emitted.
+
+:meth:`Schedule.from_etir` derives the canonical GPU schedule from an ETIR
+state — the bridge between Gensor's graph nodes and code generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ir.compute import ComputeDef
+from repro.ir.etir import ETIR
+from repro.ir.loopnest import LoopKind
+
+__all__ = ["LoopAxis", "Schedule", "CacheStage", "ScheduleError"]
+
+
+class ScheduleError(ValueError):
+    """Raised when a primitive is applied illegally."""
+
+
+@dataclass
+class LoopAxis:
+    """One loop axis in the current schedule state."""
+
+    name: str
+    extent: int
+    kind: str = LoopKind.SERIAL
+    #: the original ComputeDef axis this one derives from (for codegen).
+    origin: str = ""
+    is_reduce: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.origin:
+            self.origin = self.name
+
+
+@dataclass
+class CacheStage:
+    """A staged copy of a tensor into an on-chip scope, anchored at an axis."""
+
+    tensor: str
+    scope: str  # "shared" or "local"
+    at_axis: str
+
+
+class Schedule:
+    """Mutable schedule state for one operator."""
+
+    def __init__(self, compute: ComputeDef) -> None:
+        self.compute = compute
+        self.axes: list[LoopAxis] = [
+            LoopAxis(ax.name, ax.extent, is_reduce=ax.is_reduce)
+            for ax in compute.axes
+        ]
+        self.cache_stages: list[CacheStage] = []
+        self.log: list[tuple] = []
+
+    # -- lookup ------------------------------------------------------------------
+
+    def axis(self, name: str) -> LoopAxis:
+        for ax in self.axes:
+            if ax.name == name:
+                return ax
+        raise ScheduleError(f"no axis named {name!r}")
+
+    def axis_names(self) -> list[str]:
+        return [ax.name for ax in self.axes]
+
+    def _index(self, name: str) -> int:
+        for i, ax in enumerate(self.axes):
+            if ax.name == name:
+                return i
+        raise ScheduleError(f"no axis named {name!r}")
+
+    # -- primitives (Table I) --------------------------------------------------------
+
+    def split(self, name: str, factor: int) -> tuple[str, str]:
+        """``L -> (L.o, L.i)`` with inner extent ``factor`` (ceil division).
+
+        Returns the new (outer, inner) axis names.
+        """
+        if factor < 1:
+            raise ScheduleError(f"split factor must be >= 1, got {factor}")
+        i = self._index(name)
+        ax = self.axes[i]
+        if factor > ax.extent:
+            factor = ax.extent
+        outer = LoopAxis(
+            f"{name}.o",
+            math.ceil(ax.extent / factor),
+            origin=ax.origin,
+            is_reduce=ax.is_reduce,
+        )
+        inner = LoopAxis(f"{name}.i", factor, origin=ax.origin, is_reduce=ax.is_reduce)
+        self.axes[i : i + 1] = [outer, inner]
+        self.log.append(("split", name, factor))
+        return outer.name, inner.name
+
+    def fuse(self, first: str, second: str) -> str:
+        """``(L1, L2) -> L`` — the two axes must be adjacent, first outer."""
+        i = self._index(first)
+        j = self._index(second)
+        if j != i + 1:
+            raise ScheduleError(
+                f"fuse requires adjacent axes, got positions {i} and {j}"
+            )
+        a, b = self.axes[i], self.axes[j]
+        if a.is_reduce != b.is_reduce:
+            raise ScheduleError("cannot fuse a spatial axis with a reduce axis")
+        fused = LoopAxis(
+            f"{first}.{second}.f",
+            a.extent * b.extent,
+            origin=a.origin,
+            is_reduce=a.is_reduce,
+        )
+        self.axes[i : j + 1] = [fused]
+        self.log.append(("fuse", first, second))
+        return fused.name
+
+    def tile(
+        self, name_x: str, name_y: str, factor_x: int, factor_y: int
+    ) -> tuple[str, str, str, str]:
+        """Classic 2-D tiling: split both axes and interchange the middles.
+
+        ``(x, y) -> (x.o, y.o, x.i, y.i)``; returns the four axis names.
+        """
+        xo, xi = self.split(name_x, factor_x)
+        yo, yi = self.split(name_y, factor_y)
+        self.reorder(xo, yo, xi, yi)
+        self.log.append(("tile", name_x, name_y, factor_x, factor_y))
+        return xo, yo, xi, yi
+
+    def reorder(self, *names: str) -> None:
+        """Reorder the named axes (in the given outer→inner order) in place,
+        keeping unnamed axes in their current slots."""
+        idxs = sorted(self._index(n) for n in names)
+        if len(set(idxs)) != len(names):
+            raise ScheduleError("reorder got duplicate axes")
+        picked = [self.axis(n) for n in names]
+        for slot, ax in zip(idxs, picked):
+            self.axes[slot] = ax
+        self.log.append(("reorder", *names))
+
+    def unroll(self, name: str) -> None:
+        self._annotate(name, LoopKind.UNROLL)
+        self.log.append(("unroll", name))
+
+    def vectorize(self, name: str) -> None:
+        self._annotate(name, LoopKind.VECTORIZE)
+        self.log.append(("vectorize", name))
+
+    def bind(self, name: str, kind: str) -> None:
+        """Bind an axis to a GPU index dimension (block/thread/vthread)."""
+        if kind not in (LoopKind.BLOCK, LoopKind.THREAD, LoopKind.VTHREAD):
+            raise ScheduleError(f"cannot bind to {kind!r}")
+        ax = self.axis(name)
+        if ax.is_reduce:
+            raise ScheduleError(f"cannot bind reduce axis {name!r} to {kind}")
+        self._annotate(name, kind)
+        self.log.append(("bind", name, kind))
+
+    def set_vthread(self, name: str) -> None:
+        """Gensor's added primitive: mark an axis as a virtual-thread axis."""
+        self.bind(name, LoopKind.VTHREAD)
+        self.log[-1] = ("set_vthread", name)
+
+    def cache_read(self, tensor: str, scope: str, at_axis: str) -> None:
+        """Stage ``tensor`` into ``scope`` ("shared"/"local") under ``at_axis``."""
+        if scope not in ("shared", "local"):
+            raise ScheduleError(f"unknown cache scope {scope!r}")
+        self.axis(at_axis)  # validate anchor exists
+        if not any(acc.tensor.name == tensor for acc in self.compute.inputs):
+            raise ScheduleError(f"{tensor!r} is not an input of {self.compute.name!r}")
+        self.cache_stages.append(CacheStage(tensor, scope, at_axis))
+        self.log.append(("cache_read", tensor, scope, at_axis))
+
+    def cache_write(self, scope: str, at_axis: str) -> None:
+        """Accumulate the output in ``scope`` and write back at ``at_axis``."""
+        if scope not in ("shared", "local"):
+            raise ScheduleError(f"unknown cache scope {scope!r}")
+        self.axis(at_axis)
+        self.cache_stages.append(CacheStage(self.compute.output.name, scope, at_axis))
+        self.log.append(("cache_write", scope, at_axis))
+
+    def _annotate(self, name: str, kind: str) -> None:
+        ax = self.axis(name)
+        if ax.kind != LoopKind.SERIAL:
+            raise ScheduleError(
+                f"axis {name!r} already annotated as {ax.kind!r}"
+            )
+        ax.kind = kind
+
+    # -- derived info ------------------------------------------------------------------
+
+    def block_dim(self) -> int:
+        return math.prod(
+            ax.extent for ax in self.axes if ax.kind == LoopKind.THREAD
+        )
+
+    def grid_dim(self) -> int:
+        return math.prod(
+            ax.extent for ax in self.axes if ax.kind == LoopKind.BLOCK
+        )
+
+    def num_vthreads(self) -> int:
+        return math.prod(
+            ax.extent for ax in self.axes if ax.kind == LoopKind.VTHREAD
+        )
+
+    # -- the ETIR bridge -----------------------------------------------------------------
+
+    @classmethod
+    def from_etir(cls, state: ETIR) -> "Schedule":
+        """Derive the canonical GPU schedule from an ETIR tile configuration.
+
+        For every spatial axis ``d`` with tiles ``(T_1, T_L)`` and vThread
+        count ``V``::
+
+            d -> [block d.o] [vthread d.i.o.o] [thread d.i.o.i] [unroll d.i.i]
+
+        with extents ``ceil(E/T_L)``, ``V``, ``ceil(T_L/T_1)``, ``T_1/V``.
+        Reduce axes become two serial chunk loops with the innermost
+        unrolled.  Inputs are staged in shared memory at the outermost
+        reduce chunk loop; the output accumulates in registers.
+        """
+        sched = cls(state.compute)
+        L = state.num_levels
+        outer_reduce_anchor: str | None = None
+        block_axes: list[str] = []
+        vthread_axes: list[str] = []
+        thread_axes: list[str] = []
+        inner_axes: list[str] = []
+        reduce_outer: list[str] = []
+        reduce_rest: list[str] = []
+        for idx, ax in enumerate(state.compute.axes):
+            t_block = state.tile(idx, L)
+            t_thread = state.tile(idx, 1)
+            if ax.is_reduce:
+                ro, ri = sched.split(ax.name, t_block)
+                r1, r2 = sched.split(ri, t_thread)
+                sched.unroll(r2)
+                reduce_outer.append(ro)
+                reduce_rest += [r1, r2]
+                if outer_reduce_anchor is None:
+                    outer_reduce_anchor = ro
+            else:
+                v = state.vthreads(idx)
+                bo, bi = sched.split(ax.name, t_block)
+                if v > 1:
+                    vo, vi = sched.split(bi, max(1, t_block // v))
+                    sched.set_vthread(vo)
+                    to, ti = sched.split(vi, state.thread_stride(idx))
+                    vthread_axes.append(vo)
+                else:
+                    to, ti = sched.split(bi, t_thread)
+                sched.bind(bo, LoopKind.BLOCK)
+                sched.bind(to, LoopKind.THREAD)
+                sched.unroll(ti)
+                block_axes.append(bo)
+                thread_axes.append(to)
+                inner_axes.append(ti)
+        order = (
+            block_axes
+            + vthread_axes
+            + thread_axes
+            + reduce_outer
+            + reduce_rest
+            + inner_axes
+        )
+        sched.reorder(*order)
+        anchor = outer_reduce_anchor or (thread_axes[-1] if thread_axes else sched.axes[0].name)
+        staged: set[str] = set()
+        for acc in state.compute.inputs:
+            if acc.tensor.name not in staged:
+                sched.cache_read(acc.tensor.name, "shared", anchor)
+                staged.add(acc.tensor.name)
+        if inner_axes:
+            sched.cache_write("local", inner_axes[0])
+        return sched

@@ -1,0 +1,49 @@
+"""Tensor declarations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TensorSpec", "DTYPE_BYTES"]
+
+DTYPE_BYTES = {
+    "float32": 4,
+    "float16": 2,
+    "int32": 4,
+    "int8": 1,
+}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named, shaped, typed tensor (input, output, or staged buffer)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError(f"tensor {self.name!r} must have at least one dim")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"tensor {self.name!r} has non-positive dim: {self.shape}")
+        if self.dtype not in DTYPE_BYTES:
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elems(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def dtype_bytes(self) -> int:
+        return DTYPE_BYTES[self.dtype]
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elems * self.dtype_bytes

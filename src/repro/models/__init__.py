@@ -1,0 +1,34 @@
+"""End-to-end DNN model layer.
+
+Models are operator graphs (:mod:`repro.models.graph`): ordered lists of
+:class:`~repro.ir.compute.ComputeDef` instances with occurrence counts.
+:mod:`repro.models.runner` compiles every unique operator with a chosen
+compiler and sums per-kernel latencies into an end-to-end inference time —
+the measurement behind the paper's Figs. 9–12.
+
+Provided networks (the paper's evaluation set): ResNet-50 / ResNet-34
+(:mod:`repro.models.resnet`), BERT-small with static or dynamic sequence
+lengths (:mod:`repro.models.bert`), MobileNetV2 with a channel-width
+multiplier (:mod:`repro.models.mobilenet`), and GPT-2
+(:mod:`repro.models.gpt2`).
+"""
+
+from repro.models.graph import ModelGraph, OpInstance
+from repro.models.resnet import resnet34, resnet50
+from repro.models.bert import bert_small
+from repro.models.mobilenet import mobilenet_v2
+from repro.models.gpt2 import gpt2
+from repro.models.runner import ModelRunResult, compile_and_time, DynamicScenario
+
+__all__ = [
+    "ModelGraph",
+    "OpInstance",
+    "resnet34",
+    "resnet50",
+    "bert_small",
+    "mobilenet_v2",
+    "gpt2",
+    "ModelRunResult",
+    "compile_and_time",
+    "DynamicScenario",
+]

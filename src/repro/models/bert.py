@@ -1,0 +1,66 @@
+"""BERT-small operator graph (Devlin et al., NAACL'19).
+
+BERT-Small: 4 transformer layers, hidden 512, 8 attention heads,
+intermediate 2048.  The graph parameterizes the sequence length — the
+paper's dynamic-shape experiment (Fig. 11) runs the same network over a
+set of sequence lengths.
+"""
+
+from __future__ import annotations
+
+from repro.ir import operators as ops
+from repro.models.graph import ModelGraph
+
+__all__ = ["bert_small", "transformer_layer_ops"]
+
+
+def transformer_layer_ops(
+    g: ModelGraph,
+    batch: int,
+    seq: int,
+    hidden: int,
+    heads: int,
+    intermediate: int,
+    layers: int,
+    tag: str,
+) -> None:
+    """Append ``layers`` identical transformer encoder layers to ``g``."""
+    tokens = batch * seq
+    head_dim = hidden // heads
+    # QKV + output projections.
+    g.add(ops.matmul(tokens, hidden, hidden, f"{tag}_proj"), count=4 * layers)
+    # Attention scores and context.
+    g.add(
+        ops.batched_matmul(batch * heads, seq, head_dim, seq, f"{tag}_scores"),
+        count=layers,
+    )
+    g.add(ops.softmax_proxy(batch * heads * seq, seq, f"{tag}_softmax"), count=layers)
+    g.add(
+        ops.batched_matmul(batch * heads, seq, seq, head_dim, f"{tag}_context"),
+        count=layers,
+    )
+    # Feed-forward network.
+    g.add(ops.matmul(tokens, hidden, intermediate, f"{tag}_ffn1"), count=layers)
+    g.add(ops.elementwise((tokens, intermediate), "gelu", f"{tag}_gelu"), count=layers)
+    g.add(ops.matmul(tokens, intermediate, hidden, f"{tag}_ffn2"), count=layers)
+    # Norms and residuals.
+    g.add(ops.layernorm_proxy(tokens, hidden, f"{tag}_ln"), count=2 * layers)
+    g.add(ops.add((tokens, hidden), f"{tag}_residual"), count=2 * layers)
+
+
+def bert_small(batch: int = 32, seq: int = 128) -> ModelGraph:
+    """BERT-Small encoder stack (4 layers, hidden 512, 8 heads)."""
+    g = ModelGraph(f"bert_small_s{seq}", batch)
+    transformer_layer_ops(
+        g,
+        batch=batch,
+        seq=seq,
+        hidden=512,
+        heads=8,
+        intermediate=2048,
+        layers=4,
+        tag=g.name,
+    )
+    # Pooler.
+    g.add(ops.matmul(batch, 512, 512, f"{g.name}_pooler"))
+    return g

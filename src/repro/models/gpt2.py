@@ -1,0 +1,33 @@
+"""GPT-2 (small) operator graph (Radford et al., 2019).
+
+GPT-2 small: 12 decoder layers, hidden 768, 12 heads, intermediate 3072.
+The structural difference from the encoder (causal masking) does not change
+the operator inventory, so the graph reuses the transformer layer builder.
+"""
+
+from __future__ import annotations
+
+from repro.ir import operators as ops
+from repro.models.bert import transformer_layer_ops
+from repro.models.graph import ModelGraph
+
+__all__ = ["gpt2"]
+
+
+def gpt2(batch: int = 8, seq: int = 512) -> ModelGraph:
+    """GPT-2 small decoder stack plus the tied LM head."""
+    g = ModelGraph(f"gpt2_s{seq}", batch)
+    transformer_layer_ops(
+        g,
+        batch=batch,
+        seq=seq,
+        hidden=768,
+        heads=12,
+        intermediate=3072,
+        layers=12,
+        tag=g.name,
+    )
+    # LM head over the (tied) embedding matrix — the unbalanced GEMM the
+    # paper calls out as common in LLMs.
+    g.add(ops.matmul(batch * seq, 768, 50257, f"{g.name}_lm_head"))
+    return g

@@ -1,0 +1,73 @@
+"""Model graphs: ordered operator lists with occurrence counts.
+
+A network typically repeats the same operator shape many times (every 3x3
+conv of a ResNet stage, every attention head's matmul); the graph stores
+one :class:`OpInstance` per *unique* shape with a count, so compilers tune
+each shape once — exactly how a tensor compiler processes a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.compute import ComputeDef
+
+__all__ = ["OpInstance", "ModelGraph"]
+
+
+@dataclass
+class OpInstance:
+    """One unique operator shape and how many times the model runs it."""
+
+    compute: ComputeDef
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+
+@dataclass
+class ModelGraph:
+    """An inference graph: unique operators with execution counts."""
+
+    name: str
+    batch: int
+    ops: list[OpInstance] = field(default_factory=list)
+
+    def add(self, compute: ComputeDef, count: int = 1) -> None:
+        """Add an operator, merging with an existing identical shape."""
+        key = self._shape_key(compute)
+        for inst in self.ops:
+            if self._shape_key(inst.compute) == key:
+                inst.count += count
+                return
+        self.ops.append(OpInstance(compute, count))
+
+    @staticmethod
+    def _shape_key(compute: ComputeDef) -> tuple:
+        return (
+            compute.kind,
+            tuple((ax.name, ax.extent, ax.kind) for ax in compute.axes),
+            compute.flops_per_point,
+        )
+
+    @property
+    def num_unique_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_op_executions(self) -> int:
+        return sum(inst.count for inst in self.ops)
+
+    @property
+    def total_flops(self) -> float:
+        """FLOPs of one full inference pass."""
+        return sum(inst.compute.total_flops * inst.count for inst in self.ops)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} (batch {self.batch}): {self.num_unique_ops} unique ops, "
+            f"{self.num_op_executions} executions, "
+            f"{self.total_flops / 1e9:.1f} GFLOPs/inference"
+        )

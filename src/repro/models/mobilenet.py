@@ -1,0 +1,67 @@
+"""MobileNetV2 operator graph (Sandler et al., CVPR'18).
+
+Supports a channel-width multiplier: the dynamic-structure experiment
+(paper Fig. 12) repeatedly re-scales the network's channel counts and
+re-optimizes, which is exactly what ``width_mult`` parameterizes.
+"""
+
+from __future__ import annotations
+
+from repro.ir import operators as ops
+from repro.models.graph import ModelGraph
+
+__all__ = ["mobilenet_v2"]
+
+#: (expansion t, output channels c, repeats n, first stride s)
+_INVERTED_RESIDUALS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _scale(channels: int, width_mult: float) -> int:
+    """Scale a channel count, keeping it divisible by 8 (MobileNet rule)."""
+    scaled = max(8, int(channels * width_mult + 4) // 8 * 8)
+    return scaled
+
+
+def mobilenet_v2(batch: int = 128, width_mult: float = 1.0) -> ModelGraph:
+    """MobileNetV2 on 224x224 inputs with an optional width multiplier."""
+    g = ModelGraph(f"mobilenetv2_w{width_mult:g}", batch)
+    size = 112
+    in_ch = _scale(32, width_mult)
+    g.add(ops.conv2d(batch, 3, 226, 226, in_ch, 3, 3, 2, f"{g.name}_stem"))
+    g.add(ops.elementwise((batch, in_ch, size, size), "relu6", f"{g.name}_stem_act"))
+    for t, c, n, s in _INVERTED_RESIDUALS:
+        out_ch = _scale(c, width_mult)
+        for block in range(n):
+            stride = s if block == 0 else 1
+            hidden = in_ch * t
+            tag = f"{g.name}_t{t}c{c}b{block}"
+            if t != 1:
+                g.add(ops.conv2d(batch, in_ch, size, size, hidden, 1, 1, 1, f"{tag}_expand"))
+                g.add(ops.elementwise((batch, hidden, size, size), "relu6", f"{tag}_expand_act"))
+            out_size = size // stride
+            g.add(
+                ops.depthwise_conv2d(
+                    batch, hidden, size + 2, size + 2, 3, 3, stride, f"{tag}_dw"
+                )
+            )
+            g.add(
+                ops.elementwise((batch, hidden, out_size, out_size), "relu6", f"{tag}_dw_act")
+            )
+            g.add(ops.conv2d(batch, hidden, out_size, out_size, out_ch, 1, 1, 1, f"{tag}_project"))
+            if stride == 1 and in_ch == out_ch:
+                g.add(ops.add((batch, out_ch, out_size, out_size), f"{tag}_residual"))
+            in_ch, size = out_ch, out_size
+    last = _scale(1280, max(1.0, width_mult))
+    g.add(ops.conv2d(batch, in_ch, size, size, last, 1, 1, 1, f"{g.name}_head_conv"))
+    g.add(ops.elementwise((batch, last, size, size), "relu6", f"{g.name}_head_act"))
+    g.add(ops.avgpool2d(batch, last, size, size, size, size, f"{g.name}_gap"))
+    g.add(ops.matmul(batch, last, 1000, f"{g.name}_fc"))
+    return g

@@ -1,0 +1,120 @@
+"""ResNet-34 / ResNet-50 operator graphs (He et al., CVPR'16).
+
+Convolutions take pre-padded inputs (see :mod:`repro.ir.operators`), so a
+3x3/pad-1 layer over an HxW feature map is expressed on an (H+2)x(W+2)
+input.  Each residual block contributes its convolutions, the elementwise
+add, and the ReLU; the classifier is an average-pool plus a GEMM.
+"""
+
+from __future__ import annotations
+
+from repro.ir import operators as ops
+from repro.models.graph import ModelGraph
+
+__all__ = ["resnet34", "resnet50"]
+
+
+def _stem(g: ModelGraph, batch: int) -> tuple[int, int]:
+    """7x7/2 stem conv + 3x3/2 max-pool (pool cost modeled as avg-pool)."""
+    g.add(
+        ops.conv2d(batch, 3, 230, 230, 64, 7, 7, 2, name=f"{g.name}_stem"),
+    )
+    g.add(ops.elementwise((batch, 64, 112, 112), "relu", f"{g.name}_stem_relu"))
+    g.add(ops.avgpool2d(batch, 64, 114, 114, 3, 2, f"{g.name}_stem_pool"))
+    return 64, 56
+
+
+def resnet34(batch: int = 128) -> ModelGraph:
+    """ResNet-34: basic blocks, stages (64,3),(128,4),(256,6),(512,3)."""
+    g = ModelGraph("resnet34", batch)
+    channels, size = _stem(g, batch)
+    stages = [(64, 3), (128, 4), (256, 6), (512, 3)]
+    for stage_idx, (width, blocks) in enumerate(stages):
+        for block in range(blocks):
+            stride = 2 if (stage_idx > 0 and block == 0) else 1
+            in_ch = channels
+            out_size = size // stride
+            g.add(
+                ops.conv2d(
+                    batch, in_ch, size + 2, size + 2, width, 3, 3, stride,
+                    name=f"{g.name}_s{stage_idx}b{block}_conv1",
+                )
+            )
+            g.add(
+                ops.conv2d(
+                    batch, width, out_size + 2, out_size + 2, width, 3, 3, 1,
+                    name=f"{g.name}_s{stage_idx}b{block}_conv2",
+                )
+            )
+            if stride != 1 or in_ch != width:
+                g.add(
+                    ops.conv2d(
+                        batch, in_ch, size, size, width, 1, 1, stride,
+                        name=f"{g.name}_s{stage_idx}b{block}_down",
+                    )
+                )
+            g.add(ops.add((batch, width, out_size, out_size), f"{g.name}_s{stage_idx}_add"))
+            g.add(
+                ops.elementwise(
+                    (batch, width, out_size, out_size), "relu", f"{g.name}_s{stage_idx}_relu"
+                ),
+                count=2,
+            )
+            channels, size = width, out_size
+    _head(g, batch, channels, size)
+    return g
+
+
+def resnet50(batch: int = 128) -> ModelGraph:
+    """ResNet-50: bottleneck blocks, stages (64,3),(128,4),(256,6),(512,3)x4."""
+    g = ModelGraph("resnet50", batch)
+    channels, size = _stem(g, batch)
+    stages = [(64, 3), (128, 4), (256, 6), (512, 3)]
+    for stage_idx, (mid, blocks) in enumerate(stages):
+        out_ch = mid * 4
+        for block in range(blocks):
+            stride = 2 if (stage_idx > 0 and block == 0) else 1
+            in_ch = channels
+            out_size = size // stride
+            g.add(
+                ops.conv2d(
+                    batch, in_ch, size, size, mid, 1, 1, 1,
+                    name=f"{g.name}_s{stage_idx}b{block}_reduce",
+                )
+            )
+            g.add(
+                ops.conv2d(
+                    batch, mid, size + 2, size + 2, mid, 3, 3, stride,
+                    name=f"{g.name}_s{stage_idx}b{block}_conv3x3",
+                )
+            )
+            g.add(
+                ops.conv2d(
+                    batch, mid, out_size, out_size, out_ch, 1, 1, 1,
+                    name=f"{g.name}_s{stage_idx}b{block}_expand",
+                )
+            )
+            if stride != 1 or in_ch != out_ch:
+                g.add(
+                    ops.conv2d(
+                        batch, in_ch, size, size, out_ch, 1, 1, stride,
+                        name=f"{g.name}_s{stage_idx}b{block}_down",
+                    )
+                )
+            g.add(
+                ops.add((batch, out_ch, out_size, out_size), f"{g.name}_s{stage_idx}_add")
+            )
+            g.add(
+                ops.elementwise(
+                    (batch, out_ch, out_size, out_size), "relu", f"{g.name}_s{stage_idx}_relu"
+                ),
+                count=3,
+            )
+            channels, size = out_ch, out_size
+    _head(g, batch, channels, size)
+    return g
+
+
+def _head(g: ModelGraph, batch: int, channels: int, size: int) -> None:
+    g.add(ops.avgpool2d(batch, channels, size, size, size, size, f"{g.name}_gap"))
+    g.add(ops.matmul(batch, channels, 1000, f"{g.name}_fc"))

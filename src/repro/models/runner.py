@@ -1,0 +1,138 @@
+"""Model compilation and timing: the engine behind Figs. 9–12.
+
+:func:`compile_and_time` compiles every unique operator of a model graph
+with a given method and sums per-kernel latencies (weighted by execution
+count) into one inference latency, alongside the method's total compile
+cost.  :class:`DynamicScenario` drives the paper's dynamic-structure
+experiment: repeated cycles of (infer N frames → mutate the model →
+re-optimize), producing the timeline segments of Fig. 12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.models.graph import ModelGraph
+from repro.sim.measure import Measurer
+
+
+class _SupportsCompile(Protocol):
+    def compile(self, compute, measurer=None): ...  # pragma: no cover
+
+
+__all__ = ["ModelRunResult", "compile_and_time", "DynamicScenario", "TimelineSegment"]
+
+
+@dataclass
+class ModelRunResult:
+    """End-to-end outcome of compiling and running one model."""
+
+    model: str
+    method: str
+    #: one full inference pass (sum of kernel latencies x counts).
+    latency_s: float
+    #: optimization cost: wall clock + simulated profiling, summed over ops.
+    compile_seconds: float
+    batch: int
+    per_op_latency: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Inferences (frames/samples) per second."""
+        return self.batch / self.latency_s if self.latency_s > 0 else 0.0
+
+
+def compile_and_time(
+    graph: ModelGraph,
+    compiler: _SupportsCompile,
+    method_name: str | None = None,
+    measurer: Measurer | None = None,
+) -> ModelRunResult:
+    """Compile every unique op of ``graph`` and sum the inference latency."""
+    total = 0.0
+    compile_cost = 0.0
+    per_op: dict[str, float] = {}
+    for inst in graph.ops:
+        result = compiler.compile(inst.compute, measurer)
+        lat = result.best_metrics.latency_s
+        per_op[inst.compute.name] = lat
+        total += lat * inst.count
+        compile_cost += result.compile_wall_s + result.simulated_measure_s
+    name = method_name or getattr(compiler, "name", type(compiler).__name__.lower())
+    return ModelRunResult(
+        model=graph.name,
+        method=name,
+        latency_s=total,
+        compile_seconds=compile_cost,
+        batch=graph.batch,
+        per_op_latency=per_op,
+    )
+
+
+@dataclass
+class TimelineSegment:
+    """One phase of the dynamic-structure timeline (Fig. 12)."""
+
+    method: str
+    kind: str  # "optimize" | "inference"
+    start_s: float
+    duration_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class DynamicScenario:
+    """Repeated (optimize → infer) cycles over a mutating model.
+
+    Args:
+        model_factory: maps a cycle index to that cycle's model graph (the
+            experiment mutates channel counts between cycles).
+        frames_per_stage: inference requests served per cycle.
+        reoptimize: whether the method re-optimizes after each mutation
+            (PyTorch eager does not — it just keeps dispatching).
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[int], ModelGraph],
+        cycles: int = 3,
+        frames_per_stage: int = 2000,
+    ) -> None:
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        self.model_factory = model_factory
+        self.cycles = cycles
+        self.frames_per_stage = frames_per_stage
+
+    def run(
+        self,
+        compiler: _SupportsCompile,
+        method_name: str | None = None,
+        measurer: Measurer | None = None,
+        reoptimize: bool = True,
+    ) -> list[TimelineSegment]:
+        """Produce the method's timeline across all cycles."""
+        name = method_name or getattr(compiler, "name", type(compiler).__name__.lower())
+        segments: list[TimelineSegment] = []
+        clock = 0.0
+        for cycle in range(self.cycles):
+            graph = self.model_factory(cycle)
+            run = compile_and_time(graph, compiler, name, measurer)
+            if reoptimize or cycle == 0:
+                opt = run.compile_seconds if reoptimize else 0.0
+                if opt > 0:
+                    segments.append(TimelineSegment(name, "optimize", clock, opt))
+                    clock += opt
+            batches = max(1, self.frames_per_stage // graph.batch)
+            infer = run.latency_s * batches
+            segments.append(TimelineSegment(name, "inference", clock, infer))
+            clock += infer
+        return segments
+
+    @staticmethod
+    def total_time(segments: list[TimelineSegment]) -> float:
+        return segments[-1].end_s if segments else 0.0

@@ -1,0 +1,23 @@
+"""Simulated GPU substrate.
+
+The paper measures schedules on real GPUs; this reproduction measures them
+on a deterministic analytical performance model
+(:mod:`repro.sim.costmodel`).  The model exposes the same phenomena the
+paper's method reasons about — memory traffic vs. footprint, per-level
+latency/bandwidth, shared-memory bank conflicts, occupancy and wave
+quantization — so the relative ordering of scheduling methods (the content
+of every reproduced figure) is produced by the same mechanics.
+
+:mod:`repro.sim.measure` wraps the cost model with a deterministic
+measurement-noise model, playing the role of on-device profiling for
+search-based methods.  :mod:`repro.sim.executor` is the NumPy correctness
+oracle: it executes a tiled schedule functionally and checks it against the
+operator's declarative definition.
+"""
+
+from repro.sim.metrics import KernelMetrics
+from repro.sim.costmodel import CostModel, INFEASIBLE
+from repro.sim.measure import Measurer
+from repro.sim.executor import execute_tiled
+
+__all__ = ["KernelMetrics", "CostModel", "INFEASIBLE", "Measurer", "execute_tiled"]

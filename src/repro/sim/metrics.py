@@ -1,0 +1,52 @@
+"""Kernel performance metrics reported by the simulator.
+
+The fields mirror the hardware counters the paper reports in Tables V/VI:
+achieved FLOPS, compute throughput, SM occupancy, memory (DRAM) busy
+fraction, and L2 hit rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["KernelMetrics"]
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Performance estimate of one kernel launch on one device."""
+
+    latency_s: float
+    #: useful (unpadded) FLOPs per second achieved.
+    achieved_flops: float
+    #: achieved_flops / device peak, in [0, 1].
+    compute_throughput: float
+    #: fraction of SM thread slots occupied by resident warps, in [0, 1].
+    sm_occupancy: float
+    #: fraction of the runtime the DRAM interface is busy, in [0, 1].
+    mem_busy: float
+    #: fraction of L2 requests served without going to DRAM, in [0, 1].
+    l2_hit_rate: float
+    dram_bytes: float = 0.0
+    smem_bytes: float = 0.0
+    #: shared-memory serialization factor (1.0 = conflict-free).
+    bank_conflict_factor: float = 1.0
+    #: resident thread blocks per SM.
+    blocks_per_sm: int = 0
+    #: grid waves needed to drain all blocks.
+    waves: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.latency_s)
+
+    def summary(self) -> str:
+        if not self.feasible:
+            return "<infeasible>"
+        return (
+            f"{self.latency_s * 1e3:.3f} ms, "
+            f"{self.achieved_flops / 1e12:.2f} TFLOPS "
+            f"(compute {self.compute_throughput:.1%}, occ {self.sm_occupancy:.1%}, "
+            f"membusy {self.mem_busy:.1%}, L2 {self.l2_hit_rate:.1%})"
+        )

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG handling, table rendering, timing."""
+
+from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.tables import Table
+from repro.utils.timing import Stopwatch
+
+__all__ = ["new_rng", "spawn_rng", "Table", "Stopwatch"]

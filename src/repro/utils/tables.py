@@ -1,0 +1,95 @@
+"""Minimal text-table rendering for experiment output.
+
+The benchmark harness prints every reproduced paper table/figure as an ASCII
+table; this module keeps that presentation logic in one place so experiment
+modules only assemble rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_si", "format_ratio"]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``1.23e13 -> '12.3T'``.
+
+    Used for FLOPS and byte quantities in reproduced tables.
+    """
+    if value != value:  # NaN
+        return "nan"
+    neg = value < 0
+    v = abs(float(value))
+    for factor, prefix in (
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+    ):
+        if v >= factor or factor == 1e-9:
+            out = f"{v / factor:.{digits}g}{prefix}{unit}"
+            return "-" + out if neg else out
+    return f"{value:.{digits}g}{unit}"
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """Format a relative-performance ratio like the paper's ``1.18x``."""
+    return f"{value:.{digits}f}x"
+
+
+@dataclass
+class Table:
+    """A column-aligned ASCII table.
+
+    >>> t = Table("Op", "FLOPS")
+    >>> t.add_row("M1", "45.2T")
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def __init__(self, *headers: str, title: str = "") -> None:
+        self.headers = list(headers)
+        self.title = title
+        self.rows = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; non-string cells are ``str()``-converted."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt_cell(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,66 @@
+"""Wall-clock timing helpers for compile-time experiments (Fig. 8/10/12)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    The compile-time experiments time each compiler's optimization pass with
+    one Stopwatch per method and report accumulated seconds.
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+    _start: float | None = None
+    _label: str | None = None
+
+    def start(self, label: str) -> None:
+        if self._start is not None:
+            raise RuntimeError(f"stopwatch already running lap {self._label!r}")
+        self._label = label
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None or self._label is None:
+            raise RuntimeError("stopwatch is not running")
+        elapsed = time.perf_counter() - self._start
+        self.laps[self._label] = self.laps.get(self._label, 0.0) + elapsed
+        self._start = None
+        self._label = None
+        return elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        if self._label is None:
+            self._label = "default"
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._start is not None:
+            self.stop()
+
+    def lap(self, label: str) -> "_LapContext":
+        """Context manager timing one named lap: ``with sw.lap('gensor'): ...``"""
+        return _LapContext(self, label)
+
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+
+class _LapContext:
+    def __init__(self, sw: Stopwatch, label: str) -> None:
+        self._sw = sw
+        self._lbl = label
+
+    def __enter__(self) -> Stopwatch:
+        self._sw.start(self._lbl)
+        return self._sw
+
+    def __exit__(self, *exc: object) -> None:
+        self._sw.stop()

@@ -1,0 +1,21 @@
+"""Benchmark workloads: the paper's operator configuration tables."""
+
+from repro.workloads.table4 import (
+    TABLE4_CONFIGS,
+    OperatorConfig,
+    build,
+    by_label,
+    labels,
+)
+from repro.workloads.unbalanced import UNBALANCED_GEMMS
+from repro.workloads.ablation import ABLATION_CONFIGS
+
+__all__ = [
+    "TABLE4_CONFIGS",
+    "OperatorConfig",
+    "build",
+    "by_label",
+    "labels",
+    "UNBALANCED_GEMMS",
+    "ABLATION_CONFIGS",
+]

@@ -1,0 +1,25 @@
+"""The ablation operator set of the paper's Table VI.
+
+One representative per family: Conv2d C1, GEMM G1 (the M1 shape), GEMV V1,
+and AvgPooling2d P1, measured under Roller, Gensor without vThreads, and
+full Gensor.
+"""
+
+from __future__ import annotations
+
+from repro.ir.compute import ComputeDef
+from repro.workloads.table4 import build
+
+__all__ = ["ABLATION_CONFIGS", "build_ablation"]
+
+#: Table VI column headers -> Table IV labels.
+ABLATION_CONFIGS: tuple[tuple[str, str], ...] = (
+    ("Conv2d (C1)", "C1"),
+    ("GEMM (G1)", "M1"),
+    ("GEMV (V1)", "V1"),
+    ("AvgPooling2d (P1)", "P1"),
+)
+
+
+def build_ablation() -> list[tuple[str, ComputeDef]]:
+    return [(title, build(label)) for title, label in ABLATION_CONFIGS]

@@ -1,0 +1,135 @@
+"""The 32-operator benchmark suite (paper Table IV).
+
+The paper evaluates 32 operator configurations across four families —
+Conv2d (C1–C8), GEMM (M1–M8), GEMV (V1–V8), and AvgPooling2d (P1–P8) — and
+publishes a representative subset (three per family).  The published
+configurations are reproduced verbatim below; the remaining five per family
+are filled in the same spirit: common DNN shapes plus the unbalanced ones
+the paper emphasizes (one dimension much smaller/larger than the others).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir import operators as ops
+from repro.ir.compute import ComputeDef
+
+__all__ = ["OperatorConfig", "TABLE4_CONFIGS", "build", "by_label", "labels"]
+
+
+@dataclass(frozen=True)
+class OperatorConfig:
+    """One labeled benchmark operator."""
+
+    label: str
+    family: str
+    description: str
+    factory: Callable[[], ComputeDef]
+    #: True for the configurations printed in the paper's Table IV.
+    published: bool = False
+
+    def build(self) -> ComputeDef:
+        return self.factory()
+
+
+def _conv(label, n, c, h, w, f, r, s, stride, published=False):
+    return OperatorConfig(
+        label,
+        "conv2d",
+        f"I=[{n},{c},{h},{w}], K=[{f},{c},{r},{s}], S={stride}",
+        lambda: ops.conv2d(n, c, h, w, f, r, s, stride, name=label),
+        published,
+    )
+
+
+def _gemm(label, m, k, n, published=False):
+    return OperatorConfig(
+        label,
+        "gemm",
+        f"MKN=[{m},{k},{n}]",
+        lambda: ops.matmul(m, k, n, name=label),
+        published,
+    )
+
+
+def _gemv(label, m, n, published=False):
+    return OperatorConfig(
+        label,
+        "gemv",
+        f"MN=[{m},{n}]",
+        lambda: ops.gemv(m, n, name=label),
+        published,
+    )
+
+
+def _pool(label, n, c, h, w, f, stride, published=False):
+    return OperatorConfig(
+        label,
+        "avgpool2d",
+        f"I=[{n},{c},{h},{w}], F={f}, S={stride}",
+        lambda: ops.avgpool2d(n, c, h, w, f, stride, name=label),
+        published,
+    )
+
+
+TABLE4_CONFIGS: tuple[OperatorConfig, ...] = (
+    # -- Conv2d (C1-C3 published) ------------------------------------------------
+    _conv("C1", 128, 256, 30, 30, 256, 3, 3, 2, published=True),
+    _conv("C2", 128, 128, 28, 28, 128, 3, 3, 1, published=True),
+    _conv("C3", 128, 128, 58, 58, 128, 3, 3, 2, published=True),
+    _conv("C4", 128, 64, 58, 58, 64, 3, 3, 1),
+    _conv("C5", 1, 512, 9, 9, 2048, 3, 3, 1),  # tiny maps, fat channels
+    _conv("C6", 128, 3, 230, 230, 64, 7, 7, 2),  # ResNet stem
+    _conv("C7", 16, 960, 9, 9, 320, 1, 1, 1),  # MobileNet projection
+    _conv("C8", 64, 256, 16, 16, 256, 3, 3, 1),
+    # -- GEMM (M1-M3 published) ----------------------------------------------------
+    _gemm("M1", 8192, 8192, 8192, published=True),
+    _gemm("M2", 65536, 4, 1024, published=True),
+    _gemm("M3", 65536, 1024, 4096, published=True),
+    _gemm("M4", 4096, 4096, 4096),
+    _gemm("M5", 1024, 16384, 256),  # reduction-heavy
+    _gemm("M6", 128, 768, 50257),  # LM head: tall-thin output
+    _gemm("M7", 32768, 64, 2048),  # unbalanced (Table V shape)
+    _gemm("M8", 512, 512, 512),
+    # -- GEMV (V1-V3 published) -------------------------------------------------------
+    _gemv("V1", 16384, 16384, published=True),
+    _gemv("V2", 16384, 8192, published=True),
+    _gemv("V3", 16384, 1000, published=True),
+    _gemv("V4", 4096, 4096),
+    _gemv("V5", 1024, 65536),  # reduction-dominated
+    _gemv("V6", 65536, 512),
+    _gemv("V7", 2048, 11008),  # LLaMA-style FFN row
+    _gemv("V8", 50257, 768),  # LM-head GEMV
+    # -- AvgPooling2d (P1-P3 published) ---------------------------------------------------
+    _pool("P1", 16, 48, 48, 48, 2, 2, published=True),
+    _pool("P2", 128, 168, 83, 83, 2, 2, published=True),
+    _pool("P3", 128, 617, 21, 21, 3, 2, published=True),
+    _pool("P4", 128, 64, 112, 112, 2, 2),
+    _pool("P5", 128, 2048, 7, 7, 7, 7),  # global average pool
+    _pool("P6", 1, 1280, 14, 14, 2, 2),
+    _pool("P7", 64, 256, 56, 56, 3, 2),
+    _pool("P8", 32, 512, 28, 28, 2, 2),
+)
+
+
+def labels(family: str | None = None) -> list[str]:
+    """All config labels, optionally restricted to one operator family."""
+    return [
+        c.label
+        for c in TABLE4_CONFIGS
+        if family is None or c.family == family
+    ]
+
+
+def by_label(label: str) -> OperatorConfig:
+    for c in TABLE4_CONFIGS:
+        if c.label == label:
+            return c
+    raise KeyError(f"no Table IV config labeled {label!r}")
+
+
+def build(label: str) -> ComputeDef:
+    """Instantiate the operator for one label."""
+    return by_label(label).build()

@@ -1,0 +1,27 @@
+"""The unbalanced-GEMM set of the paper's Table V.
+
+Shapes where one dimension is far smaller than the others, "quite common,
+especially in LLM" — the regime where Gensor's backtracking beats both
+template libraries and fixed-budget search.
+"""
+
+from __future__ import annotations
+
+from repro.ir import operators as ops
+from repro.ir.compute import ComputeDef
+
+__all__ = ["UNBALANCED_GEMMS", "build_unbalanced"]
+
+#: (label, (M, K, N)) exactly as printed in Table V.
+UNBALANCED_GEMMS: tuple[tuple[str, tuple[int, int, int]], ...] = (
+    ("[65536,4,1024]", (65536, 4, 1024)),
+    ("[32768,64,2048]", (32768, 64, 2048)),
+    ("[16384,32,1024]", (16384, 32, 1024)),
+)
+
+
+def build_unbalanced() -> list[tuple[str, ComputeDef]]:
+    return [
+        (label, ops.matmul(m, k, n, name=f"gemm_{m}x{k}x{n}"))
+        for label, (m, k, n) in UNBALANCED_GEMMS
+    ]

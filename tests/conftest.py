@@ -1,0 +1,52 @@
+"""Shared fixtures: small devices, operators, and schedule states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import generic_gpu, orin_nano, rtx4090
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+
+
+@pytest.fixture(scope="session")
+def hw():
+    """The cloud-server device used by most tests."""
+    return rtx4090()
+
+
+@pytest.fixture(scope="session")
+def edge_hw():
+    return orin_nano()
+
+
+@pytest.fixture(scope="session")
+def small_hw():
+    return generic_gpu()
+
+
+@pytest.fixture
+def gemm_small():
+    """A GEMM small enough for functional execution in tests."""
+    return ops.matmul(32, 24, 40, "gemm_small")
+
+
+@pytest.fixture
+def gemm_mid():
+    return ops.matmul(1024, 512, 2048, "gemm_mid")
+
+
+@pytest.fixture
+def conv_small():
+    return ops.conv2d(2, 4, 10, 10, 8, 3, 3, 1, "conv_small")
+
+
+@pytest.fixture
+def gemm_state(gemm_mid):
+    """A reasonable mid-quality schedule for the mid GEMM."""
+    return ETIR.from_tiles(
+        gemm_mid,
+        {"i": 64, "j": 64, "k": 32},
+        {"i": 4, "j": 4, "k": 4},
+        {"i": 2},
+    )

@@ -1,0 +1,105 @@
+"""Ansor: evolutionary search baseline."""
+
+import pytest
+
+from repro.baselines import Ansor, AnsorConfig
+from repro.ir import operators as ops
+from repro.sim.measure import Measurer
+from repro.utils.rng import new_rng
+
+FAST = AnsorConfig(num_trials=80, population=16)
+
+
+class TestConfig:
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            AnsorConfig(num_trials=0)
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            AnsorConfig(population=1)
+
+    def test_invalid_elite_fraction(self):
+        with pytest.raises(ValueError):
+            AnsorConfig(elite_fraction=0.0)
+
+
+class TestCompile:
+    def test_respects_trial_budget(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        meas = Measurer(hw)
+        res = Ansor(hw, FAST).compile(g, meas)
+        assert meas.num_measurements <= FAST.num_trials
+        assert res.candidates_evaluated <= FAST.num_trials
+
+    def test_feasible_result(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        res = Ansor(hw, FAST).compile(g)
+        assert res.best.memory_ok(hw)
+        assert res.best_metrics.feasible
+
+    def test_deterministic(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        a = Ansor(hw, FAST).compile(g)
+        b = Ansor(hw, FAST).compile(g)
+        assert a.best.key() == b.best.key()
+
+    def test_more_trials_never_much_worse(self, hw):
+        g = ops.matmul(2048, 512, 2048, "m")
+        small = Ansor(hw, AnsorConfig(num_trials=40, population=16)).compile(g)
+        big = Ansor(hw, AnsorConfig(num_trials=400, population=32)).compile(g)
+        assert big.best_metrics.latency_s <= small.best_metrics.latency_s * 1.05
+
+    def test_big_budget_beats_tiny_budget_clearly(self, hw):
+        g = ops.matmul(4096, 1024, 4096, "m")
+        tiny = Ansor(hw, AnsorConfig(num_trials=16, population=16)).compile(g)
+        big = Ansor(hw, AnsorConfig(num_trials=400, population=32)).compile(g)
+        assert big.best_metrics.latency_s < tiny.best_metrics.latency_s
+
+    def test_simulated_time_scales_with_trials(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        res = Ansor(hw, FAST).compile(g)
+        assert res.simulated_measure_s == pytest.approx(
+            res.candidates_evaluated * 0.35
+        )
+
+    def test_gemv_and_conv_compile(self, hw):
+        for g in (ops.gemv(2048, 1024, "v"), ops.conv2d(4, 8, 10, 10, 16, 3, 3, 1, "c")):
+            res = Ansor(hw, FAST).compile(g)
+            assert res.best_metrics.feasible
+
+
+class TestSearchOperators:
+    def test_sample_is_feasible_shape(self, hw):
+        g = ops.matmul(256, 128, 256, "m")
+        ansor = Ansor(hw, FAST)
+        rng = new_rng(0)
+        seen_valid = 0
+        for _ in range(50):
+            s = ansor._sample(g, rng)
+            if s is not None:
+                # Tile nesting invariants hold by construction.
+                for idx in range(3):
+                    assert s.tile(idx, 1) <= s.tile(idx, 2)
+                seen_valid += 1
+        assert seen_valid > 0
+
+    def test_mutate_changes_one_thing(self, hw):
+        g = ops.matmul(256, 128, 256, "m")
+        ansor = Ansor(hw, FAST)
+        rng = new_rng(0)
+        base = ansor._sample(g, rng)
+        mutated = ansor._mutate(base, rng)
+        assert mutated is not None
+        assert mutated.key() != base.key()
+
+    def test_crossover_mixes_parents(self, hw):
+        g = ops.matmul(256, 128, 256, "m")
+        ansor = Ansor(hw, FAST)
+        rng = new_rng(0)
+        a = ansor._sample(g, rng)
+        b = ansor._sample(g, rng)
+        child = ansor._crossover(a, b, rng)
+        if child is not None:
+            for idx in range(3):
+                assert child.tile(idx, 2) in (a.tile(idx, 2), b.tile(idx, 2))

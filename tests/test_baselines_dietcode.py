@@ -1,0 +1,73 @@
+"""DietCode: dynamic-shape micro-kernel optimization."""
+
+import math
+
+import pytest
+
+from repro.baselines import DietCode, DietCodeConfig
+from repro.baselines.dietcode import DietCode as DC
+from repro.ir import operators as ops
+
+
+@pytest.fixture
+def family():
+    return [ops.matmul(s * 8, 256, 256, f"g_s{s}") for s in (16, 32, 64, 128)]
+
+
+class TestCompileFamily:
+    def test_every_shape_served(self, hw, family):
+        res = DietCode(hw).compile_family(family)
+        assert set(res.per_shape) == {c.name for c in family}
+        for r in res.per_shape.values():
+            assert r.best_metrics.feasible
+
+    def test_microkernel_count_bounded(self, hw, family):
+        cfg = DietCodeConfig(num_microkernels=3)
+        res = DietCode(hw, cfg).compile_family(family)
+        assert len(res.microkernels) <= 3
+
+    def test_empty_family_rejected(self, hw):
+        with pytest.raises(ValueError, match="at least one"):
+            DietCode(hw).compile_family([])
+
+    def test_deterministic(self, hw, family):
+        a = DietCode(hw).compile_family(family)
+        b = DietCode(hw).compile_family(family)
+        for name in a.per_shape:
+            assert (
+                a.per_shape[name].best_metrics.latency_s
+                == b.per_shape[name].best_metrics.latency_s
+            )
+
+    def test_compile_cost_accounted(self, hw, family):
+        res = DietCode(hw).compile_family(family)
+        assert res.compile_seconds > 0
+        assert res.simulated_measure_s > 0
+
+    def test_shared_kernels_adapt_to_each_shape(self, hw, family):
+        res = DietCode(hw).compile_family(family)
+        # Larger shapes take longer with the same shared kernel set.
+        lats = [res.per_shape[c.name].best_metrics.latency_s for c in family]
+        assert lats[0] < lats[-1]
+
+
+class TestGreedySelect:
+    def test_picks_covering_set(self):
+        table = [
+            [1.0, math.inf],  # kernel 0 only covers shape 0
+            [math.inf, 1.0],  # kernel 1 only covers shape 1
+            [2.0, 2.0],  # kernel 2 covers both, worse
+        ]
+        chosen = DC._greedy_select(table, 2)
+        best0 = min(table[i][0] for i in chosen)
+        best1 = min(table[i][1] for i in chosen)
+        assert math.isfinite(best0) and math.isfinite(best1)
+
+    def test_prefers_lower_latency(self):
+        table = [[5.0], [1.0], [3.0]]
+        chosen = DC._greedy_select(table, 1)
+        assert chosen == [1]
+
+    def test_k_larger_than_pool(self):
+        table = [[1.0], [2.0]]
+        assert len(DC._greedy_select(table, 10)) == 2

@@ -1,0 +1,88 @@
+"""Roller: tree-based construction baseline."""
+
+import pytest
+
+from repro.baselines import Roller, RollerConfig
+from repro.ir import operators as ops
+from repro.sim.measure import Measurer
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = RollerConfig()
+        assert cfg.beam >= 1 and cfg.measure_k >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RollerConfig(beam=0)
+        with pytest.raises(ValueError):
+            RollerConfig(measure_k=0)
+
+
+class TestCompile:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ops.matmul(1024, 512, 1024, "m"),
+            lambda: ops.gemv(4096, 2048, "v"),
+            lambda: ops.conv2d(8, 16, 18, 18, 32, 3, 3, 1, "c"),
+            lambda: ops.avgpool2d(16, 32, 32, 32, 2, 2, "p"),
+            lambda: ops.elementwise((2048, 512), "relu", "e"),
+            lambda: ops.batched_matmul(8, 128, 64, 128, "b"),
+        ],
+    )
+    def test_all_families_feasible(self, hw, factory):
+        res = Roller(hw).compile(factory())
+        assert res.best.memory_ok(hw)
+        assert res.best_metrics.feasible
+
+    def test_deterministic(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        a = Roller(hw).compile(g)
+        b = Roller(hw).compile(g)
+        assert a.best.key() == b.best.key()
+
+    def test_transaction_alignment(self, hw):
+        # The axes indexing each input's innermost dim get >= warp-wide
+        # block tiles (k for A, j for B).
+        g = ops.matmul(1024, 512, 1024, "m")
+        res = Roller(hw).compile(g)
+        tiles = res.best.block_tiles()
+        assert tiles["k"] >= 32
+        assert tiles["j"] >= 32
+
+    def test_sm_saturation(self, hw):
+        g = ops.matmul(4096, 512, 4096, "m")
+        res = Roller(hw).compile(g)
+        assert res.best.num_blocks() >= hw.num_sms
+
+    def test_small_op_keeps_parallelism(self, hw):
+        # Tiny-M GEMM: saturation rule must not let the grid collapse.
+        g = ops.matmul(32, 512, 512, "pooler")
+        res = Roller(hw).compile(g)
+        assert res.best_metrics.latency_s < 100e-6
+
+    def test_no_vthreads_ever(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        res = Roller(hw).compile(g)
+        assert res.best.total_vthreads() == 1
+
+    def test_measurement_budget(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        meas = Measurer(hw)
+        Roller(hw, RollerConfig(measure_k=4)).compile(g, meas)
+        assert meas.num_measurements <= 4
+
+    def test_compile_seconds_accounting(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        res = Roller(hw).compile(g)
+        assert res.compile_seconds >= res.simulated_measure_s > 0
+
+    def test_candidates_counted(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        res = Roller(hw).compile(g)
+        assert res.candidates_evaluated > 0
+
+    def test_method_name(self, hw):
+        g = ops.matmul(256, 128, 256, "m")
+        assert Roller(hw).compile(g).method == "roller"

@@ -1,0 +1,87 @@
+"""Vendor library and PyTorch-eager baselines."""
+
+import pytest
+
+from repro.baselines import PyTorchEager, VendorLibrary
+from repro.baselines.pytorch_eager import _DISPATCH_OVERHEAD_S, _LIBRARY_DERATE
+from repro.ir import operators as ops
+
+
+class TestVendorLibrary:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ops.matmul(4096, 4096, 4096, "m"),
+            lambda: ops.gemv(8192, 4096, "v"),
+            lambda: ops.batched_matmul(16, 128, 64, 128, "b"),
+            lambda: ops.conv2d(16, 32, 30, 30, 64, 3, 3, 1, "c"),
+            lambda: ops.depthwise_conv2d(16, 32, 30, 30, 3, 3, 1, "d"),
+            lambda: ops.avgpool2d(16, 32, 32, 32, 2, 2, "p"),
+            lambda: ops.elementwise((4096, 512), "relu", "e"),
+            lambda: ops.softmax_proxy(1024, 128, "s"),
+        ],
+    )
+    def test_every_kind_dispatches(self, hw, factory):
+        res = VendorLibrary(hw).compile(factory())
+        assert res.best_metrics.feasible
+
+    def test_strided_dwconv_has_a_kernel(self, hw):
+        g = ops.depthwise_conv2d(128, 96, 114, 114, 3, 3, 2, "dws2")
+        res = VendorLibrary(hw).compile(g)
+        assert res.best_metrics.feasible
+
+    def test_fallback_used_when_templates_do_not_fit(self, hw):
+        # A 1-element-deep op that no dense template matches cleanly.
+        g = ops.elementwise((7,), "relu", "tiny")
+        res = VendorLibrary(hw).compile(g)
+        assert res.best_metrics.feasible
+
+    def test_compile_is_free(self, hw):
+        res = VendorLibrary(hw).compile(ops.matmul(1024, 512, 1024, "m"))
+        assert res.simulated_measure_s == 0.0
+
+    def test_strong_on_balanced_gemm(self, hw):
+        g = ops.matmul(8192, 8192, 8192, "m")
+        res = VendorLibrary(hw).compile(g)
+        # Vendor templates reach a healthy fraction of peak on M1.
+        assert res.best_metrics.achieved_flops > 0.3 * hw.peak_flops
+
+    def test_deterministic(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        a = VendorLibrary(hw).compile(g)
+        b = VendorLibrary(hw).compile(g)
+        assert a.best_metrics.latency_s == b.best_metrics.latency_s
+
+
+class TestPyTorchEager:
+    def test_dense_ops_pay_derate_and_overhead(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        vendor = VendorLibrary(hw).compile(g)
+        eager = PyTorchEager(hw).compile(g)
+        expected = vendor.best_metrics.latency_s * _LIBRARY_DERATE + _DISPATCH_OVERHEAD_S
+        assert eager.best_metrics.latency_s == pytest.approx(expected, rel=1e-6)
+
+    def test_elementwise_naive_plus_overhead(self, hw):
+        g = ops.elementwise((4096, 512), "relu", "e")
+        eager = PyTorchEager(hw).compile(g)
+        assert eager.best_metrics.latency_s > _DISPATCH_OVERHEAD_S
+
+    def test_always_slower_than_vendor(self, hw):
+        for g in (
+            ops.matmul(1024, 512, 1024, "m"),
+            ops.conv2d(16, 32, 30, 30, 64, 3, 3, 1, "c"),
+        ):
+            vendor = VendorLibrary(hw).compile(g)
+            eager = PyTorchEager(hw).compile(g)
+            assert eager.best_metrics.latency_s > vendor.best_metrics.latency_s
+
+    def test_zero_compile_cost(self, hw):
+        res = PyTorchEager(hw).compile(ops.matmul(256, 128, 256, "m"))
+        assert res.simulated_measure_s == 0.0
+
+    def test_throughput_consistent(self, hw):
+        g = ops.matmul(1024, 512, 1024, "m")
+        res = PyTorchEager(hw).compile(g)
+        assert res.best_metrics.achieved_flops == pytest.approx(
+            g.total_flops / res.best_metrics.latency_s
+        )

@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_operator, build_parser, main
+
+
+class TestBuildOperator:
+    def test_gemm(self):
+        op = build_operator("gemm", "64x32x48")
+        assert op.kind == "gemm"
+        assert op.extents() == {"i": 64, "k": 32, "j": 48}
+
+    def test_gemv(self):
+        op = build_operator("gemv", "128x64")
+        assert op.kind == "gemv"
+
+    def test_bmm(self):
+        op = build_operator("bmm", "4x32x16x32")
+        assert op.kind == "bmm"
+
+    def test_conv2d(self):
+        op = build_operator("conv2d", "2x4x10x10x8x3x3x1")
+        assert op.kind == "conv2d"
+        assert op.axis("oh").extent == 8
+
+    def test_avgpool2d(self):
+        op = build_operator("avgpool2d", "2x4x8x8x2x2")
+        assert op.kind == "avgpool2d"
+
+    def test_elementwise(self):
+        op = build_operator("elementwise", "16x16")
+        assert op.kind == "elementwise"
+
+    def test_case_insensitive_separator(self):
+        op = build_operator("gemm", "64X32X48")
+        assert op.axis("i").extent == 64
+
+    @pytest.mark.parametrize(
+        "op,shape",
+        [("gemm", "64x32"), ("gemv", "64"), ("conv2d", "1x2x3"), ("bmm", "1x2x3")],
+    )
+    def test_wrong_arity_rejected(self, op, shape):
+        with pytest.raises(ValueError):
+            build_operator(op, shape)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            build_operator("fft", "64")
+
+
+class TestParser:
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(
+            ["compile", "--op", "gemm", "--shape", "64x64x64"]
+        )
+        assert args.method == "gensor"
+        assert args.device == "rtx4090"
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "fig06", "--full"])
+        assert args.name == "fig06" and args.full
+
+
+class TestMain:
+    def test_devices_command(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "rtx4090" in out and "orin_nano" in out
+
+    def test_compile_roller_small(self, capsys):
+        code = main(
+            ["compile", "--op", "gemm", "--shape", "256x128x256",
+             "--method", "roller"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule:" in out and "predicted:" in out
+
+    def test_compile_with_emit(self, capsys):
+        code = main(
+            ["compile", "--op", "gemm", "--shape", "256x128x256",
+             "--method", "cublas", "--emit"]
+        )
+        assert code == 0
+        assert "__global__" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "convergence"]) == 0
+        assert "Markov" in capsys.readouterr().out

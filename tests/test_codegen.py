@@ -1,0 +1,111 @@
+"""Lowering and CUDA-like emission."""
+
+import pytest
+
+from repro.codegen import emit_cuda, lower_etir, lower_schedule
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.ir.loopnest import Alloc, LoadStage, Loop, LoopKind, StoreStmt, Sync
+from repro.ir.schedule import Schedule
+
+
+@pytest.fixture
+def state():
+    g = ops.matmul(256, 128, 192, "demo")
+    return ETIR.from_tiles(
+        g, {"i": 64, "j": 64, "k": 32}, {"i": 4, "j": 4, "k": 4}, {"i": 2}
+    )
+
+
+class TestLowering:
+    def test_launch_config(self, state):
+        k = lower_etir(state)
+        assert k.grid_dim == state.num_blocks()
+        assert k.block_dim == state.threads_per_block()
+
+    def test_shared_allocs_for_each_input(self, state):
+        k = lower_etir(state)
+        shared = [s for s in k.body if isinstance(s, Alloc) and s.scope == "shared"]
+        assert {a.buffer for a in shared} == {"A_shared", "B_shared"}
+
+    def test_shared_alloc_sizes_match_footprints(self, state):
+        k = lower_etir(state)
+        shared = {s.buffer: s for s in k.body if isinstance(s, Alloc) and s.scope == "shared"}
+        # A slab: 64 x 32 elements; B slab: 32 x 64.
+        assert shared["A_shared"].num_elems == 64 * 32
+        assert shared["B_shared"].num_elems == 32 * 64
+
+    def test_local_accumulator_present(self, state):
+        k = lower_etir(state)
+        local = [s for s in k.body if isinstance(s, Alloc) and s.scope == "local"]
+        assert len(local) == 1
+
+    def test_loop_kinds_present(self, state):
+        k = lower_etir(state)
+        assert k.loops_of_kind(LoopKind.BLOCK)
+        assert k.loops_of_kind(LoopKind.THREAD)
+        assert k.loops_of_kind(LoopKind.VTHREAD)
+        assert k.loops_of_kind(LoopKind.UNROLL)
+
+    def test_stage_then_sync_inside_reduce_loop(self, state):
+        k = lower_etir(state)
+        staged_loops = [
+            lp for lp in k.all_loops()
+            if any(isinstance(s, LoadStage) for s in lp.body)
+        ]
+        assert len(staged_loops) == 1
+        body = staged_loops[0].body
+        sync_idx = next(i for i, s in enumerate(body) if isinstance(s, Sync))
+        load_idx = [i for i, s in enumerate(body) if isinstance(s, LoadStage)]
+        assert all(i < sync_idx for i in load_idx)
+
+    def test_store_after_loops(self, state):
+        k = lower_etir(state)
+        assert isinstance(k.body[-1], StoreStmt)
+
+    def test_render_runs(self, state):
+        text = lower_etir(state).render()
+        assert "kernel demo" in text
+
+    def test_lower_schedule_without_cache_stages(self):
+        g = ops.elementwise((64, 64), "relu", "e")
+        sched = Schedule(g)
+        sched.split("d0", 8)
+        k = lower_schedule(sched)
+        assert k.all_loops()
+
+
+class TestCudaEmission:
+    def test_signature(self, state):
+        src = emit_cuda(lower_etir(state), state.compute)
+        assert 'extern "C" __global__ void demo_kernel(' in src
+        assert "const float* __restrict__ A" in src
+        assert "float* __restrict__ C" in src
+
+    def test_launch_comment(self, state):
+        src = emit_cuda(lower_etir(state), state.compute)
+        assert f"<<<dim3({state.num_blocks()}), dim3({state.threads_per_block()})>>>" in src
+
+    def test_shared_memory_declared(self, state):
+        src = emit_cuda(lower_etir(state), state.compute)
+        assert "__shared__ float A_shared[2048];" in src
+
+    def test_sync_and_unroll_present(self, state):
+        src = emit_cuda(lower_etir(state), state.compute)
+        assert "__syncthreads();" in src
+        assert "#pragma unroll" in src
+
+    def test_vthread_annotated(self, state):
+        src = emit_cuda(lower_etir(state), state.compute)
+        assert "virtual thread" in src
+
+    def test_no_dotted_identifiers(self, state):
+        src = emit_cuda(lower_etir(state), state.compute)
+        for line in src.splitlines():
+            if "int " in line and "=" in line:
+                name = line.strip().split()[1]
+                assert "." not in name, line
+
+    def test_balanced_braces(self, state):
+        src = emit_cuda(lower_etir(state), state.compute)
+        assert src.count("{") == src.count("}")

@@ -1,0 +1,165 @@
+"""Actions and the paper's benefit formulas."""
+
+import math
+
+import pytest
+
+from repro.core.actions import (
+    Action,
+    ActionKind,
+    action_benefit,
+    enumerate_actions,
+)
+from repro.core.actions import _caching_benefit, _tiling_benefit, _vthread_benefit
+from repro.hardware.memory import bank_conflict_factor
+from repro.ir import operators as ops
+from repro.ir.access import tile_footprint_bytes, tile_traffic_bytes
+from repro.ir.etir import ETIR
+
+
+@pytest.fixture
+def gemm():
+    return ops.matmul(256, 128, 256, "g")
+
+
+class TestEnumeration:
+    def test_outer_level_has_cache_no_vthread(self, gemm):
+        s = ETIR.initial(gemm)
+        kinds = {a.kind for a in enumerate_actions(s)}
+        assert ActionKind.CACHE in kinds
+        assert ActionKind.VTHREAD_UP not in kinds
+
+    def test_inner_level_has_vthread_no_cache(self, gemm):
+        s = ETIR.initial(gemm).with_cache_advance()
+        kinds = {a.kind for a in enumerate_actions(s)}
+        assert ActionKind.CACHE not in kinds
+        assert ActionKind.VTHREAD_UP in kinds
+
+    def test_tile_actions_cover_all_axes(self, gemm):
+        s = ETIR.initial(gemm)
+        ups = [a for a in enumerate_actions(s) if a.kind == ActionKind.TILE_UP]
+        assert {a.axis_idx for a in ups} == {0, 1, 2}
+
+    def test_vthread_only_on_spatial(self, gemm):
+        s = ETIR.initial(gemm).with_cache_advance()
+        vts = [a for a in enumerate_actions(s) if a.kind == ActionKind.VTHREAD_UP]
+        assert {a.axis_idx for a in vts} == {0, 1}  # not k (idx 2)
+
+
+class TestApply:
+    def test_tile_up(self, gemm):
+        s = ETIR.initial(gemm)
+        nxt = Action(ActionKind.TILE_UP, 0).apply(s)
+        assert nxt is not None and nxt.tile(0, 2) == 2
+
+    def test_tile_down_at_one_illegal(self, gemm):
+        s = ETIR.initial(gemm)
+        assert Action(ActionKind.TILE_DOWN, 0).apply(s) is None
+
+    def test_cache(self, gemm):
+        s = ETIR.initial(gemm)
+        nxt = Action(ActionKind.CACHE).apply(s)
+        assert nxt is not None and nxt.cur_level == 1
+
+    def test_vthread_down_at_one_illegal(self, gemm):
+        s = ETIR.initial(gemm).with_cache_advance()
+        assert Action(ActionKind.VTHREAD_DOWN, 0).apply(s) is None
+
+    def test_unknown_kind_raises(self, gemm):
+        s = ETIR.initial(gemm)
+        with pytest.raises(ValueError):
+            Action("warp_specialize", 0).apply(s)
+
+    def test_describe(self, gemm):
+        s = ETIR.initial(gemm)
+        assert "tile_up(i)" == Action(ActionKind.TILE_UP, 0).describe(s)
+        assert "cache" in Action(ActionKind.CACHE).describe(s)
+
+
+class TestFormula1Tiling:
+    def test_matches_hand_computation(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 4, "j": 4, "k": 4})
+        nxt = s.scaled_tile_at(0, 2, up=True)
+        got = _tiling_benefit(s, nxt)
+        t_old = s.tile_sizes(s.cur_level)
+        t_new = nxt.tile_sizes(s.cur_level)
+        q_old = tile_traffic_bytes(gemm, t_old)
+        q_new = tile_traffic_bytes(gemm, t_new)
+        f_old = tile_footprint_bytes(gemm, t_old)
+        f_new = tile_footprint_bytes(gemm, t_new)
+        assert got == pytest.approx((q_old * f_new) / (q_new * f_old))
+
+    def test_tile_up_rewarded_over_down(self, gemm):
+        base = ETIR.from_tiles(gemm, {"i": 8, "j": 8, "k": 8})
+        # from_tiles leaves cur_level at 1; the benefit is evaluated at the
+        # level being scheduled, so lift the state back to level 2.
+        s = ETIR(base.compute, base.config, cur_level=2, num_levels=2)
+        up = s.scaled_tile(0, up=True)
+        down = s.scaled_tile(0, up=False)
+        assert _tiling_benefit(s, up) > 1.0 > _tiling_benefit(s, down)
+
+    def test_inverse_benefit_reciprocal(self, gemm):
+        base = ETIR.from_tiles(gemm, {"i": 8, "j": 8, "k": 8})
+        s = ETIR(base.compute, base.config, cur_level=2, num_levels=2)
+        up = s.scaled_tile(0, up=True)
+        assert _tiling_benefit(s, up) == pytest.approx(
+            1.0 / _tiling_benefit(up, s)
+        )
+
+
+class TestFormula2Caching:
+    def test_positive_and_large_for_dram_to_smem(self, gemm, hw):
+        s = ETIR.from_tiles(gemm, {"i": 32, "j": 32, "k": 16})
+        # from_tiles puts cur_level at 1; lift back to 2 for the DRAM case.
+        s2 = ETIR(s.compute, s.config, cur_level=2, num_levels=2)
+        benefit = _caching_benefit(s2, hw)
+        assert benefit > 10.0  # DRAM vs smem access-time ratio
+
+    def test_formula_values(self, gemm, hw):
+        s = ETIR.from_tiles(gemm, {"i": 32, "j": 32, "k": 16})
+        s2 = ETIR(s.compute, s.config, cur_level=2, num_levels=2)
+        data = float(tile_footprint_bytes(gemm, s2.tile_sizes(2), include_output=False))
+        expected = hw.dram.access_time(data) / hw.smem.access_time(data)
+        assert _caching_benefit(s2, hw) == pytest.approx(expected)
+
+    def test_inner_level_uses_smem_regs_pair(self, gemm, hw):
+        s = ETIR.from_tiles(gemm, {"i": 32, "j": 32, "k": 16}, {"i": 4, "j": 4})
+        data = float(tile_footprint_bytes(gemm, s.tile_sizes(1), include_output=False))
+        expected = hw.smem.access_time(data) / hw.regs.access_time(data)
+        assert _caching_benefit(s, hw) == pytest.approx(expected)
+
+
+class TestFormula3VThread:
+    def test_innermost_axis_formula(self, gemm, hw):
+        s = ETIR.from_tiles(gemm, {"j": 128, "i": 128}, {"j": 8, "i": 8})
+        action = Action(ActionKind.VTHREAD_UP, 1)  # j is innermost spatial
+        nxt = action.apply(s)
+        got = _vthread_benefit(action, s, nxt, hw)
+        x = 8 * (128 // 8)
+        expected = bank_conflict_factor(x, hw.bank_width_elems, 1) / bank_conflict_factor(
+            x, hw.bank_width_elems, 2
+        )
+        assert got == pytest.approx(expected)
+
+    def test_outer_axis_neutral(self, gemm, hw):
+        s = ETIR.from_tiles(gemm, {"i": 128, "j": 128}, {"i": 8, "j": 8})
+        action = Action(ActionKind.VTHREAD_UP, 0)  # i is not innermost
+        nxt = action.apply(s)
+        assert _vthread_benefit(action, s, nxt, hw) == 1.0
+
+
+class TestActionBenefit:
+    def test_infeasible_scores_zero(self, hw):
+        big = ops.matmul(4096, 4096, 4096)
+        s = ETIR.from_tiles(big, {"i": 256, "j": 512, "k": 64})
+        s2 = ETIR(s.compute, s.config, cur_level=2, num_levels=2)
+        action = Action(ActionKind.TILE_UP, 0)
+        nxt = action.apply(s2)
+        if nxt is not None and not nxt.memory_ok(hw, strict=False):
+            assert action_benefit(action, s2, nxt, hw) == 0.0
+
+    def test_benefit_positive_for_legal_growth(self, gemm, hw):
+        s = ETIR.initial(gemm)
+        action = Action(ActionKind.TILE_UP, 0)
+        nxt = action.apply(s)
+        assert action_benefit(action, s, nxt, hw) > 0.0

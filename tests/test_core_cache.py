@@ -1,0 +1,110 @@
+"""Persistent schedule cache."""
+
+import pytest
+
+from repro.core.cache import CachedSchedule, ScheduleCache, shape_fingerprint
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+
+
+def make_state(m=512, k=256, n=512, name="g"):
+    g = ops.matmul(m, k, n, name)
+    return ETIR.from_tiles(g, {"i": 64, "j": 64, "k": 32}, {"i": 4, "j": 4}, {"i": 2})
+
+
+class TestFingerprint:
+    def test_name_independent(self):
+        a = ops.matmul(64, 32, 64, "first")
+        b = ops.matmul(64, 32, 64, "second")
+        assert shape_fingerprint(a) == shape_fingerprint(b)
+
+    def test_shape_sensitive(self):
+        a = ops.matmul(64, 32, 64)
+        b = ops.matmul(64, 32, 128)
+        assert shape_fingerprint(a) != shape_fingerprint(b)
+
+    def test_kind_sensitive(self):
+        a = ops.matmul(64, 64, 64)
+        fp = shape_fingerprint(a)
+        assert fp.startswith("gemm[")
+
+
+class TestCachedSchedule:
+    def test_round_trip_state(self):
+        state = make_state()
+        entry = CachedSchedule.from_state(state, 1e-3)
+        rebuilt = entry.instantiate(state.compute)
+        assert rebuilt is not None
+        assert rebuilt.block_tiles() == state.block_tiles()
+        assert rebuilt.thread_tiles() == state.thread_tiles()
+        assert rebuilt.total_vthreads() == state.total_vthreads()
+
+    def test_instantiate_adapts_to_smaller_shape(self):
+        entry = CachedSchedule.from_state(make_state(), 1e-3)
+        small = ops.matmul(32, 16, 32, "small")
+        adapted = entry.instantiate(small)
+        assert adapted is not None
+        assert adapted.block_tiles()["i"] == 32  # clipped to extent
+
+    def test_instantiate_rejects_foreign_axes(self):
+        entry = CachedSchedule.from_state(make_state(), 1e-3)
+        conv = ops.conv2d(1, 4, 8, 8, 4, 3, 3, 1, "c")
+        assert entry.instantiate(conv) is None
+
+    def test_json_round_trip(self):
+        entry = CachedSchedule.from_state(make_state(), 2.5e-3)
+        again = CachedSchedule.from_json(entry.to_json())
+        assert again == entry
+
+
+class TestScheduleCache:
+    def test_put_get(self, hw):
+        cache = ScheduleCache(hw)
+        state = make_state()
+        cache.put(state, 1e-3)
+        entry = cache.get(state.compute)
+        assert entry is not None and entry.latency_s == 1e-3
+
+    def test_put_keeps_faster_entry(self, hw):
+        cache = ScheduleCache(hw)
+        state = make_state()
+        cache.put(state, 1e-3)
+        cache.put(state, 5e-3)  # slower: ignored
+        assert cache.get(state.compute).latency_s == 1e-3
+        cache.put(state, 5e-4)  # faster: replaces
+        assert cache.get(state.compute).latency_s == 5e-4
+
+    def test_nearest_prefers_closest_shape(self, hw):
+        cache = ScheduleCache(hw)
+        cache.put(make_state(512, 256, 512, "a"), 1e-3)
+        cache.put(make_state(4096, 256, 512, "b"), 2e-3)
+        probe = ops.matmul(600, 256, 512, "probe")
+        entry = cache.nearest(probe)
+        assert entry is not None and entry.extents["i"] == 512
+
+    def test_nearest_ignores_other_kinds(self, hw):
+        cache = ScheduleCache(hw)
+        cache.put(make_state(), 1e-3)
+        probe = ops.gemv(512, 256, "v")
+        assert cache.nearest(probe) is None
+
+    def test_miss_returns_none(self, hw):
+        cache = ScheduleCache(hw)
+        assert cache.get(ops.matmul(8, 8, 8)) is None
+
+    def test_save_load_round_trip(self, hw, tmp_path):
+        cache = ScheduleCache(hw)
+        cache.put(make_state(), 1e-3)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        loaded = ScheduleCache.load(path, hw)
+        assert len(loaded) == 1
+        assert loaded.get(make_state().compute).latency_s == 1e-3
+
+    def test_load_rejects_wrong_device(self, hw, edge_hw, tmp_path):
+        cache = ScheduleCache(hw)
+        cache.put(make_state(), 1e-3)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        with pytest.raises(ValueError, match="tuned for"):
+            ScheduleCache.load(path, edge_hw)

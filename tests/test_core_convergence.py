@@ -1,0 +1,55 @@
+"""§IV-D analysis: irreducibility, aperiodicity, grouping."""
+
+import pytest
+
+from repro.core import convergence
+from repro.core.actions import ActionKind
+from repro.core.graph import ConstructionGraph
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+
+
+class TestSameLevelGroups:
+    def test_groups_by_outer_context(self):
+        keys = [
+            ("g", ((1, 4), (1, 2)), (1, 1), 1),
+            ("g", ((2, 4), (1, 2)), (1, 1), 1),  # same outer (4, 2)
+            ("g", ((1, 8), (1, 2)), (1, 1), 1),  # different outer
+            ("g", ((1, 4), (1, 2)), (1, 1), 2),  # different level
+        ]
+        groups = convergence.same_level_groups(keys)
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [1, 1, 2]
+
+
+class TestAnalysis:
+    @pytest.fixture(scope="class")
+    def report(self, hw):
+        # Non-power-of-two extents -> odd tiling cycles -> aperiodicity.
+        gemm = ops.matmul(12, 12, 4, "g")
+        return convergence.analyze(gemm, hw, max_nodes=8000)
+
+    def test_space_fully_materialized(self, report):
+        assert report.num_states < 8000  # exhausted, not truncated
+
+    def test_irreducible_within_levels(self, report):
+        assert all(report.irreducible_per_level.values())
+
+    def test_aperiodic_lazy_chain(self, report):
+        assert report.aperiodic
+
+    def test_value_iteration_converges(self, report):
+        assert 1 <= report.value_iterations < 1000
+
+    def test_stationary_mass_positive(self, report):
+        assert 0.0 < report.stationary_mass_on_top_decile <= 1.0
+
+    def test_strict_chain_on_pow2_lattice_is_periodic(self, hw):
+        # The always-move chain on a power-of-two lattice has only even
+        # cycles; laziness (the roulette fall-through) is what fixes this.
+        forbid = frozenset({ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN})
+        graph = ConstructionGraph(hw, forbid=forbid)
+        start = ETIR.initial(ops.matmul(16, 16, 16, "g"))
+        graph.explore(start, max_nodes=4000)
+        assert not convergence.is_aperiodic(graph, lazy=False)
+        assert convergence.is_aperiodic(graph, lazy=True)

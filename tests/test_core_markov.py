@@ -1,0 +1,117 @@
+"""Markov machinery: transition matrices, stationary vectors, value iteration."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import ConstructionGraph
+from repro.core.markov import (
+    TransitionMatrix,
+    build_transition_matrix,
+    stationary_distribution,
+    value_iteration,
+)
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+
+
+@pytest.fixture
+def tm(hw):
+    graph = ConstructionGraph(hw)
+    start = ETIR.initial(ops.matmul(16, 16, 16, "g"))
+    return build_transition_matrix(graph, start, max_nodes=120)
+
+
+class TestBuildTransitionMatrix:
+    def test_rows_stochastic(self, tm):
+        assert np.allclose(tm.matrix.sum(axis=1), 1.0)
+
+    def test_nonnegative(self, tm):
+        assert (tm.matrix >= 0).all()
+
+    def test_laziness_adds_self_loops(self, hw):
+        graph = ConstructionGraph(hw)
+        start = ETIR.initial(ops.matmul(16, 16, 16, "g"))
+        tm = build_transition_matrix(graph, start, max_nodes=60, laziness=0.1)
+        diag = np.diag(tm.matrix)
+        # Every non-sink row keeps exactly the lazy mass on the diagonal.
+        assert (diag >= 0.1 - 1e-12).all()
+
+    def test_zero_laziness_allowed(self, hw):
+        graph = ConstructionGraph(hw)
+        start = ETIR.initial(ops.matmul(16, 16, 16, "g"))
+        tm = build_transition_matrix(graph, start, max_nodes=40, laziness=0.0)
+        tm.validate()
+
+    def test_bad_laziness_rejected(self, hw):
+        graph = ConstructionGraph(hw)
+        start = ETIR.initial(ops.matmul(16, 16, 16, "g"))
+        with pytest.raises(ValueError, match="laziness"):
+            build_transition_matrix(graph, start, laziness=1.5)
+
+    def test_index_lookup(self, tm):
+        key = tm.keys[3]
+        assert tm.index(key) == 3
+
+    def test_validate_catches_bad_rows(self):
+        bad = TransitionMatrix(keys=[("a",), ("b",)], matrix=np.array([[0.5, 0.4], [0, 1.0]]))
+        with pytest.raises(ValueError, match="sum to 1"):
+            bad.validate()
+
+
+class TestStationaryDistribution:
+    def test_is_fixed_point(self, tm):
+        pi = stationary_distribution(tm)
+        assert np.allclose(pi @ tm.matrix, pi, atol=1e-6)
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= -1e-12).all()
+
+    def test_two_state_chain(self):
+        tm = TransitionMatrix(
+            keys=[("a",), ("b",)],
+            matrix=np.array([[0.9, 0.1], [0.3, 0.7]]),
+        )
+        pi = stationary_distribution(tm)
+        assert pi == pytest.approx([0.75, 0.25])
+
+    def test_periodic_chain_handled(self):
+        # Pure 2-cycle: power iteration oscillates; solver must not.
+        tm = TransitionMatrix(
+            keys=[("a",), ("b",)],
+            matrix=np.array([[0.0, 1.0], [1.0, 0.0]]),
+        )
+        pi = stationary_distribution(tm)
+        assert pi == pytest.approx([0.5, 0.5])
+
+
+class TestValueIteration:
+    def test_fixed_point_property(self, tm):
+        rng = np.random.default_rng(0)
+        rewards = rng.random(tm.n)
+        values, iters = value_iteration(tm, rewards)
+        assert iters >= 1
+        candidate = np.maximum((tm.matrix * values[None, :]).max(axis=1), rewards)
+        assert np.allclose(candidate, values, atol=1e-8)
+
+    def test_values_at_least_rewards(self, tm):
+        rewards = np.linspace(0, 1, tm.n)
+        values, _ = value_iteration(tm, rewards)
+        assert (values >= rewards - 1e-12).all()
+
+    def test_shape_mismatch_rejected(self, tm):
+        with pytest.raises(ValueError, match="one entry per state"):
+            value_iteration(tm, np.zeros(tm.n + 1))
+
+    def test_negative_rewards_rejected(self, tm):
+        with pytest.raises(ValueError, match="non-negative"):
+            value_iteration(tm, -np.ones(tm.n))
+
+    def test_value_propagates_backward(self):
+        # Chain a -> b with reward only at b: V(a) = P(a,b) * r(b).
+        tm = TransitionMatrix(
+            keys=[("a",), ("b",)],
+            matrix=np.array([[0.2, 0.8], [0.0, 1.0]]),
+        )
+        rewards = np.array([0.0, 1.0])
+        values, _ = value_iteration(tm, rewards)
+        assert values[0] == pytest.approx(0.8)
+        assert values[1] == pytest.approx(1.0)

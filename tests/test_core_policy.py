@@ -1,0 +1,114 @@
+"""Transition policy: probabilities, annealing, roulette."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ActionKind
+from repro.core.graph import ConstructionGraph
+from repro.core.policy import (
+    TransitionPolicy,
+    append_probability,
+    cache_anneal_factor,
+)
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture
+def policy(hw):
+    return TransitionPolicy(ConstructionGraph(hw), new_rng(0))
+
+
+@pytest.fixture
+def start():
+    return ETIR.initial(ops.matmul(256, 256, 256, "g"))
+
+
+class TestAnnealFactor:
+    def test_paper_values(self):
+        # 3 / (1 + e^{-(ln5/10)(t-10)}): at t=10 the factor is 1.5.
+        assert cache_anneal_factor(10) == pytest.approx(1.5)
+        assert cache_anneal_factor(0) == pytest.approx(0.5)
+
+    def test_monotone_increasing(self):
+        values = [cache_anneal_factor(t) for t in range(0, 40, 5)]
+        assert values == sorted(values)
+
+    def test_saturates_at_three(self):
+        assert cache_anneal_factor(1000) == pytest.approx(3.0)
+
+
+class TestAppendProbability:
+    def test_high_temperature_near_one(self):
+        assert append_probability(100.0) > 0.99
+
+    def test_decreases_with_temperature(self):
+        temps = [100.0, 1.0, 0.01, 1e-6]
+        probs = [append_probability(t) for t in temps]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_zero_temperature(self):
+        assert append_probability(0.0) == 0.0
+
+
+class TestProbabilities:
+    def test_normalized(self, policy, start):
+        _edges, probs = policy.probabilities(start, 0.0)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+    def test_cache_probability_rises_with_progress(self, policy, start):
+        def cache_prob(progress):
+            edges, probs = policy.probabilities(start, progress)
+            return sum(
+                p for e, p in zip(edges, probs)
+                if e.action.kind == ActionKind.CACHE
+            )
+
+        assert cache_prob(0.0) < cache_prob(15.0) < cache_prob(30.0)
+
+    def test_forbid_removes_family(self, policy, start):
+        edges, _ = policy.probabilities(
+            start, 0.0, forbid=frozenset({ActionKind.CACHE})
+        )
+        assert all(e.action.kind != ActionKind.CACHE for e in edges)
+
+    def test_sink_state_returns_empty(self, hw):
+        tiny = ops.elementwise((1,), name="tiny")
+        state = ETIR.initial(tiny).with_cache_advance()
+        policy = TransitionPolicy(ConstructionGraph(hw), new_rng(0))
+        edges, probs = policy.probabilities(state, 0.0)
+        assert edges == [] and probs.size == 0
+
+
+class TestSelect:
+    def test_returns_edge(self, policy, start):
+        edge = policy.select(start, 0.0)
+        assert edge is not None
+        assert edge.src_key == start.key()
+
+    def test_deterministic_with_seed(self, hw, start):
+        def run(seed):
+            p = TransitionPolicy(ConstructionGraph(hw), new_rng(seed))
+            return [p.select(start, 0.0).dst_key for _ in range(5)]
+
+        assert run(7) == run(7)
+
+    def test_sink_returns_none(self, hw):
+        tiny = ops.elementwise((1,), name="tiny")
+        state = ETIR.initial(tiny).with_cache_advance()
+        policy = TransitionPolicy(ConstructionGraph(hw), new_rng(0))
+        assert policy.select(state, 0.0) is None
+
+    def test_distribution_follows_probabilities(self, hw, start):
+        policy = TransitionPolicy(ConstructionGraph(hw), new_rng(0))
+        edges, probs = policy.probabilities(start, 0.0)
+        counts = {e.dst_key: 0 for e in edges}
+        for _ in range(400):
+            counts[policy.select(start, 0.0).dst_key] += 1
+        # The most likely edge should be sampled most often.
+        best = max(zip(edges, probs), key=lambda ep: ep[1])[0]
+        assert counts[best.dst_key] == max(counts.values())

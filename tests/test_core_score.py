@@ -1,0 +1,55 @@
+"""Gensor's internal analytical roofline."""
+
+import math
+
+import pytest
+
+from repro.core.score import quick_latency, quick_score
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+
+
+@pytest.fixture
+def gemm():
+    return ops.matmul(2048, 1024, 2048, "g")
+
+
+class TestQuickLatency:
+    def test_finite_for_feasible(self, hw, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 64, "j": 64, "k": 32}, {"i": 4, "j": 4})
+        assert math.isfinite(quick_latency(s, hw))
+
+    def test_infinite_for_strict_infeasible(self, hw, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 128, "j": 128})  # 16k threads
+        assert quick_latency(s, hw) == math.inf
+        assert math.isfinite(quick_latency(s, hw, strict=False))
+
+    def test_prefers_tuned_over_naive(self, hw, gemm):
+        naive = ETIR.from_tiles(gemm, {"j": 256})
+        tuned = ETIR.from_tiles(
+            gemm, {"i": 128, "j": 128, "k": 32}, {"i": 8, "j": 8, "k": 4}
+        )
+        assert quick_latency(tuned, hw) < quick_latency(naive, hw)
+
+    def test_penalizes_poor_coalescing(self, hw, gemm):
+        narrow_k = ETIR.from_tiles(gemm, {"i": 64, "j": 64, "k": 1}, {"i": 8, "j": 8})
+        wide_k = ETIR.from_tiles(gemm, {"i": 64, "j": 64, "k": 32}, {"i": 8, "j": 8})
+        assert quick_latency(wide_k, hw) < quick_latency(narrow_k, hw)
+
+    def test_lower_bounded_by_compute_roofline(self, hw, gemm):
+        s = ETIR.from_tiles(
+            gemm, {"i": 128, "j": 128, "k": 32}, {"i": 8, "j": 8, "k": 4}
+        )
+        assert quick_latency(s, hw) >= gemm.total_flops / hw.peak_flops
+
+
+class TestQuickScore:
+    def test_inverse_relation(self, hw, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 64, "j": 64, "k": 32}, {"i": 4, "j": 4})
+        assert quick_score(s, hw) == pytest.approx(
+            gemm.total_flops / quick_latency(s, hw)
+        )
+
+    def test_zero_for_infeasible(self, hw, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 128, "j": 128})
+        assert quick_score(s, hw) == 0.0

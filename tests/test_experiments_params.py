@@ -1,0 +1,34 @@
+"""Experiment-module parameter handling (cheap paths only)."""
+
+import pytest
+
+from repro.experiments.fig09_end2end import _models
+from repro.experiments.fig08_compile_time import GEMM_SHAPES
+from repro.experiments.fig11_dynamic_bert import SEQ_LENGTHS
+from repro.experiments.fig12_dynamic_timeline import WIDTH_CYCLE
+
+
+class TestFig09Models:
+    def test_model_factories(self):
+        models = _models()
+        assert set(models) == {"bert_small", "resnet50", "mobilenetv2", "gpt2"}
+        g = models["bert_small"]()
+        assert g.batch == 32
+
+    def test_batch_scale_divides(self):
+        models = _models(batch_scale=4)
+        assert models["resnet50"]().batch == 32
+
+
+class TestSweepDefinitions:
+    def test_fig08_includes_paper_shapes(self):
+        assert (8192, 8192, 8192) in GEMM_SHAPES
+        assert (65536, 4, 1024) in GEMM_SHAPES
+
+    def test_fig11_sequences_ascend(self):
+        assert list(SEQ_LENGTHS) == sorted(SEQ_LENGTHS)
+        assert len(SEQ_LENGTHS) >= 4
+
+    def test_fig12_width_cycle(self):
+        assert 1.0 in WIDTH_CYCLE
+        assert all(w > 0 for w in WIDTH_CYCLE)

@@ -1,0 +1,84 @@
+"""Experiment harness: structure and fast-path smoke runs.
+
+The heavyweight experiments are exercised by the benchmark suite; here we
+run the quick ones end to end and validate the shared infrastructure.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments import (
+    convergence_analysis,
+    fig01_tree_vs_graph,
+    memory_overhead,
+)
+from repro.experiments.fig06_ops_rtx4090 import run as run_fig06
+from repro.experiments.op_benchmark import run_op_benchmark
+
+
+class TestCommon:
+    def test_device_lookup(self):
+        assert common.device("rtx4090").name == "rtx4090"
+        assert common.device("orin_nano").name == "orin_nano"
+        with pytest.raises(KeyError):
+            common.device("a100")
+
+    def test_resolve_quick_explicit(self):
+        assert common.resolve_quick(True) is True
+        assert common.resolve_quick(False) is False
+
+    def test_resolve_quick_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert common.resolve_quick(None) is True
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert common.resolve_quick(None) is False
+
+    def test_make_methods_lineup(self, hw):
+        methods = common.make_methods(hw, quick=True)
+        assert set(methods) == {"pytorch", "cublas", "roller", "ansor", "gensor"}
+
+
+class TestFig01:
+    def test_graph_beats_tree(self):
+        result = fig01_tree_vs_graph.run()
+        assert result.rows["graph_flops"] > result.rows["tree_flops"]
+        assert result.rows["gain_pct"] > 0
+        assert "Fig. 1" in result.table.title
+
+    def test_render_includes_notes(self):
+        result = fig01_tree_vs_graph.run()
+        assert "note:" in result.render()
+
+
+class TestConvergenceAnalysis:
+    def test_report_properties(self):
+        result = convergence_analysis.run()
+        report = result.rows["report"]
+        assert all(report.irreducible_per_level.values())
+        assert report.aperiodic
+
+
+class TestMemoryOverhead:
+    def test_overhead_is_modest(self):
+        result = memory_overhead.run()
+        assert result.rows["gensor_mb"] > 0
+        assert result.rows["roller_mb"] > 0
+        # Tens of MB at most, as the paper reports.
+        assert result.rows["overhead_mb"] < 100
+
+
+class TestOpBenchmarkSubset:
+    @pytest.mark.slow
+    def test_single_label_subset(self):
+        result = run_op_benchmark("rtx4090", quick=True, labels=["M8"])
+        rows = result.rows["rows"]
+        assert len(rows) == 1
+        assert rows[0].label == "M8"
+        assert rows[0].relative["gensor"] > 0
+
+
+class TestFig06Wrapper:
+    @pytest.mark.slow
+    def test_label_passthrough(self):
+        result = run_fig06(quick=True, labels=["P1"])
+        assert result.rows["rows"][0].label == "P1"

@@ -1,0 +1,95 @@
+"""Bank-conflict and coalescing models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.memory import (
+    bank_conflict_factor,
+    coalescing_factor,
+    smem_transaction_factor,
+)
+
+
+class TestBankConflictFactor:
+    def test_within_one_bank_group(self):
+        assert bank_conflict_factor(16, 32) == 1.0
+
+    def test_exact_bank_width(self):
+        assert bank_conflict_factor(32, 32) == 1.0
+
+    def test_two_groups(self):
+        assert bank_conflict_factor(64, 32) == 2.0
+
+    def test_partial_group_rounds_up(self):
+        assert bank_conflict_factor(33, 32) == 2.0
+
+    def test_vthreads_reduce_groups(self):
+        # Formula 3: ceil(x/W) / ceil(x/(V*W)) with x=128, W=32, V=4 -> 4/1.
+        assert bank_conflict_factor(128, 32, 1) == 4.0
+        assert bank_conflict_factor(128, 32, 4) == 1.0
+
+    def test_vthreads_saturate(self):
+        assert bank_conflict_factor(32, 32, 8) == 1.0
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_tile_rejected(self, bad):
+        with pytest.raises(ValueError):
+            bank_conflict_factor(bad, 32)
+
+    def test_nonpositive_bank_width_rejected(self):
+        with pytest.raises(ValueError):
+            bank_conflict_factor(8, 0)
+
+    def test_nonpositive_vthreads_rejected(self):
+        with pytest.raises(ValueError):
+            bank_conflict_factor(8, 32, 0)
+
+    @given(
+        x=st.integers(1, 4096),
+        w=st.integers(1, 64),
+        v=st.integers(1, 16),
+    )
+    def test_more_vthreads_never_worse(self, x, w, v):
+        assert bank_conflict_factor(x, w, v + 1) <= bank_conflict_factor(x, w, v)
+
+    @given(x=st.integers(1, 4096), w=st.integers(1, 64))
+    def test_at_least_one_group(self, x, w):
+        assert bank_conflict_factor(x, w) >= 1.0
+
+
+class TestSmemTransactionFactor:
+    def test_conflict_free_costs_one(self):
+        assert smem_transaction_factor(32, 32) == 1.0
+
+    def test_damped_below_raw_groups(self):
+        raw = bank_conflict_factor(256, 32)
+        damped = smem_transaction_factor(256, 32)
+        assert 1.0 < damped < raw
+
+    @given(x=st.integers(1, 2048), v=st.integers(1, 8))
+    def test_always_at_least_one(self, x, v):
+        assert smem_transaction_factor(x, 32, v) >= 1.0
+
+
+class TestCoalescingFactor:
+    def test_full_warp_is_ideal(self):
+        assert coalescing_factor(32) == 1.0
+
+    def test_wider_than_warp_is_ideal(self):
+        assert coalescing_factor(128) == 1.0
+
+    def test_single_element_worst_case(self):
+        assert coalescing_factor(1) == 32.0
+
+    def test_half_warp(self):
+        assert coalescing_factor(16) == 2.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            coalescing_factor(0)
+
+    @given(w=st.integers(1, 256))
+    def test_bounded_by_warp(self, w):
+        f = coalescing_factor(w)
+        assert 1.0 <= f <= 32.0

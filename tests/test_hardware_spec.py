@@ -1,0 +1,112 @@
+"""Device specifications."""
+
+import pytest
+
+from repro.hardware import HardwareSpec, MemoryLevel, generic_gpu, orin_nano, rtx4090
+
+
+class TestDevices:
+    @pytest.mark.parametrize("factory", [rtx4090, orin_nano, generic_gpu])
+    def test_validate_passes(self, factory):
+        factory().validate()
+
+    def test_rtx4090_peak_flops(self):
+        hw = rtx4090()
+        # 128 SMs x 128 cores x 2.52 GHz x 2 (FMA) ~ 82.6 TFLOPS.
+        assert hw.peak_flops == pytest.approx(82.6e12, rel=0.01)
+
+    def test_orin_peak_flops(self):
+        hw = orin_nano()
+        assert hw.peak_flops == pytest.approx(1.28e12, rel=0.01)
+
+    def test_cloud_much_faster_than_edge(self):
+        assert rtx4090().peak_flops > 30 * orin_nano().peak_flops
+        assert (
+            rtx4090().dram.bandwidth_bytes_per_s
+            > 10 * orin_nano().dram.bandwidth_bytes_per_s
+        )
+
+    def test_level_lookup(self):
+        hw = rtx4090()
+        assert hw.level("dram") is hw.dram
+        assert hw.level("smem") is hw.smem
+        assert hw.level("regs") is hw.regs
+        assert hw.level("l2") is hw.l2
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError, match="no memory level"):
+            rtx4090().level("l3")
+
+    def test_bandwidth_increases_toward_core(self):
+        hw = rtx4090()
+        bws = [lv.bandwidth_bytes_per_s for lv in hw.levels]
+        assert bws == sorted(bws)
+
+    def test_latency_decreases_toward_core(self):
+        hw = rtx4090()
+        lats = [lv.latency_s for lv in hw.levels]
+        assert lats == sorted(lats, reverse=True)
+
+    def test_num_cache_levels_is_two(self):
+        assert rtx4090().num_cache_levels == 2
+
+    def test_schedulable_levels(self):
+        hw = rtx4090()
+        names = [lv.name for lv in hw.schedulable_levels()]
+        assert names == ["dram", "smem", "regs"]
+
+
+class TestMemoryLevel:
+    def test_access_time_formula(self):
+        lv = MemoryLevel("x", 1024, 1e9, 1e-6)
+        # L + S/B
+        assert lv.access_time(1e9) == pytest.approx(1e-6 + 1.0)
+
+    def test_access_time_zero_bytes(self):
+        lv = MemoryLevel("x", 1024, 1e9, 1e-6)
+        assert lv.access_time(0) == pytest.approx(1e-6)
+
+
+class TestValidation:
+    def _base_levels(self):
+        return (
+            MemoryLevel("dram", 2**30, 1e11, 500e-9),
+            MemoryLevel("l2", 2**20, 1e12, 100e-9),
+            MemoryLevel("smem", 2**15, 1e13, 10e-9, per_block=True),
+            MemoryLevel("regs", 2**14, 1e14, 1e-9, per_block=True),
+        )
+
+    def test_missing_level_rejected(self):
+        spec = HardwareSpec(
+            name="bad", num_sms=4, clock_hz=1e9, fp32_cores_per_sm=32,
+            levels=self._base_levels()[:2],
+        )
+        with pytest.raises(ValueError, match="missing memory level"):
+            spec.validate()
+
+    def test_no_levels_rejected(self):
+        spec = HardwareSpec(
+            name="bad", num_sms=4, clock_hz=1e9, fp32_cores_per_sm=32
+        )
+        with pytest.raises(ValueError, match="no memory levels"):
+            spec.validate()
+
+    def test_decreasing_bandwidth_rejected(self):
+        lv = list(self._base_levels())
+        lv[1] = MemoryLevel("l2", 2**20, 1e10, 100e-9)  # slower than DRAM
+        spec = HardwareSpec(
+            name="bad", num_sms=4, clock_hz=1e9, fp32_cores_per_sm=32,
+            levels=tuple(lv),
+        )
+        with pytest.raises(ValueError, match="bandwidth"):
+            spec.validate()
+
+    def test_increasing_latency_rejected(self):
+        lv = list(self._base_levels())
+        lv[1] = MemoryLevel("l2", 2**20, 1e12, 900e-9)  # slower than DRAM
+        spec = HardwareSpec(
+            name="bad", num_sms=4, clock_hz=1e9, fp32_cores_per_sm=32,
+            levels=tuple(lv),
+        )
+        with pytest.raises(ValueError, match="latency"):
+            spec.validate()

@@ -1,0 +1,101 @@
+"""Cross-module integration: the full pipeline and the headline orderings."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Ansor, AnsorConfig, Roller, VendorLibrary
+from repro.codegen import emit_cuda, lower_etir
+from repro.core import Gensor, GensorConfig
+from repro.ir import operators as ops
+from repro.sim.executor import execute_tiled
+
+FAST_GENSOR = GensorConfig(num_chains=2, top_k=6, polish_steps=40)
+
+
+class TestFullPipeline:
+    """operator -> Gensor -> schedule -> lowering -> source, with the
+    winning schedule verified against the functional oracle."""
+
+    def test_compile_lower_emit_execute(self, hw):
+        g = ops.matmul(64, 48, 80, "pipeline")
+        res = Gensor(hw, FAST_GENSOR).compile(g)
+        # The winning schedule computes the right values...
+        inputs = g.random_inputs()
+        out = execute_tiled(res.best, inputs)
+        assert np.allclose(out, inputs["A"] @ inputs["B"])
+        # ...and lowers to a complete kernel.
+        kernel = lower_etir(res.best)
+        src = emit_cuda(kernel, g)
+        assert "__global__" in src and "pipeline_kernel" in src
+
+    def test_winning_conv_schedule_is_correct(self, hw):
+        g = ops.conv2d(2, 4, 10, 10, 8, 3, 3, 1, "conv_pipe")
+        res = Gensor(hw, FAST_GENSOR).compile(g)
+        inputs = g.random_inputs()
+        out = execute_tiled(res.best, inputs)
+        assert np.allclose(out, g.evaluate(inputs))
+
+    def test_roller_winner_also_correct(self, hw):
+        g = ops.matmul(64, 48, 80, "roller_pipe")
+        res = Roller(hw).compile(g)
+        inputs = g.random_inputs()
+        out = execute_tiled(res.best, inputs)
+        assert np.allclose(out, inputs["A"] @ inputs["B"])
+
+
+class TestHeadlineOrderings:
+    """The relative results every figure relies on, at test-sized budgets."""
+
+    @pytest.fixture(scope="class")
+    def results(self, hw):
+        g = ops.matmul(4096, 1024, 4096, "headline")
+        return {
+            "gensor": Gensor(hw, FAST_GENSOR).compile(g),
+            "roller": Roller(hw).compile(g),
+            "ansor": Ansor(hw, AnsorConfig(num_trials=250)).compile(g),
+            "cublas": VendorLibrary(hw).compile(g),
+        }
+
+    def test_gensor_beats_roller(self, results):
+        assert (
+            results["gensor"].best_metrics.latency_s
+            < results["roller"].best_metrics.latency_s
+        )
+
+    def test_gensor_comparable_to_ansor(self, results):
+        ratio = (
+            results["gensor"].best_metrics.latency_s
+            / results["ansor"].best_metrics.latency_s
+        )
+        assert 0.5 < ratio < 1.5
+
+    def test_construction_much_faster_than_search(self, results):
+        assert results["gensor"].compile_seconds < results[
+            "ansor"
+        ].compile_seconds / 5
+        assert results["roller"].compile_seconds < results[
+            "gensor"
+        ].compile_seconds * 2
+
+    def test_everyone_beats_the_unscheduled_program(self, hw, results):
+        from repro.ir.etir import ETIR
+        from repro.sim.costmodel import CostModel
+
+        g = results["gensor"].best.compute
+        baseline = CostModel(hw).latency(ETIR.initial(g))
+        for res in results.values():
+            assert res.best_metrics.latency_s < baseline
+
+
+class TestDevicePortability:
+    def test_same_api_both_devices(self, hw, edge_hw):
+        g = ops.conv2d(4, 8, 18, 18, 16, 3, 3, 1, "port")
+        for device in (hw, edge_hw):
+            res = Gensor(device, FAST_GENSOR).compile(g)
+            assert res.best.memory_ok(device)
+
+    def test_edge_latency_higher(self, hw, edge_hw):
+        g = ops.matmul(2048, 1024, 2048, "port_m")
+        cloud = Gensor(hw, FAST_GENSOR).compile(g)
+        edge = Gensor(edge_hw, FAST_GENSOR).compile(g)
+        assert edge.best_metrics.latency_s > cloud.best_metrics.latency_s

@@ -1,0 +1,116 @@
+"""Footprint and traffic arithmetic (the fuel of every cost formula)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import operators as ops
+from repro.ir.access import (
+    access_footprint_elems,
+    num_tiles,
+    reuse_ratio,
+    tile_footprint_bytes,
+    tile_traffic_bytes,
+)
+
+
+class TestFootprint:
+    def test_gemm_footprints_exact(self):
+        g = ops.matmul(64, 32, 48)
+        tiles = {"i": 8, "j": 4, "k": 16}
+        a_acc, b_acc = g.inputs
+        assert access_footprint_elems(a_acc, tiles) == 8 * 16
+        assert access_footprint_elems(b_acc, tiles) == 16 * 4
+
+    def test_footprint_clipped_to_tensor(self):
+        g = ops.matmul(4, 4, 4)
+        a_acc = g.inputs[0]
+        assert access_footprint_elems(a_acc, {"i": 100, "k": 100}) == 16
+
+    def test_conv_halo(self):
+        g = ops.conv2d(1, 2, 10, 10, 4, 3, 3, 1)
+        i_acc = g.inputs[0]
+        tiles = {"n": 1, "c": 2, "oh": 4, "ow": 4, "r": 3, "s": 3}
+        # spatial span per image dim: 1*(4-1) + 1*(3-1) + 1 = 6 (halo).
+        assert access_footprint_elems(i_acc, tiles) == 1 * 2 * 6 * 6
+
+    def test_strided_conv_halo(self):
+        g = ops.conv2d(1, 1, 11, 11, 1, 3, 3, 2)
+        i_acc = g.inputs[0]
+        tiles = {"n": 1, "c": 1, "oh": 2, "ow": 2, "r": 3, "s": 3}
+        # span = 2*(2-1) + (3-1) + 1 = 5.
+        assert access_footprint_elems(i_acc, tiles) == 25
+
+    def test_tile_footprint_includes_output(self):
+        g = ops.matmul(64, 32, 48)
+        tiles = {"i": 8, "j": 4, "k": 16}
+        with_out = tile_footprint_bytes(g, tiles)
+        without = tile_footprint_bytes(g, tiles, include_output=False)
+        assert with_out - without == 8 * 4 * 4  # out tile elems * dtype
+
+    def test_repeated_reads_share_storage(self):
+        g = ops.add((16, 16))  # two distinct tensors
+        tiles = {"d0": 4, "d1": 4}
+        assert tile_footprint_bytes(g, tiles, include_output=False) == 2 * 16 * 4
+
+
+class TestNumTiles:
+    def test_exact_division(self):
+        g = ops.matmul(64, 32, 48)
+        assert num_tiles(g, {"i": 8, "j": 8, "k": 8}) == 8 * 6 * 4
+
+    def test_ceil_division(self):
+        g = ops.matmul(10, 10, 10)
+        assert num_tiles(g, {"i": 3, "j": 3, "k": 3}) == 4 * 4 * 4
+
+    def test_oversized_tile_clipped(self):
+        g = ops.matmul(8, 8, 8)
+        assert num_tiles(g, {"i": 100, "j": 100, "k": 100}) == 1
+
+
+class TestTraffic:
+    def test_gemm_traffic_formula(self):
+        m, k, n = 64, 32, 48
+        g = ops.matmul(m, k, n)
+        t = {"i": 8, "j": 8, "k": 8}
+        spatial_tiles = (m // 8) * (n // 8)
+        reduce_tiles = k // 8
+        per_tile_in = (8 * 8 + 8 * 8) * 4
+        expected = spatial_tiles * reduce_tiles * per_tile_in + m * n * 4
+        assert tile_traffic_bytes(g, t) == expected
+
+    def test_larger_tiles_reduce_traffic(self):
+        g = ops.matmul(256, 256, 256)
+        small = tile_traffic_bytes(g, {"i": 4, "j": 4, "k": 4})
+        large = tile_traffic_bytes(g, {"i": 32, "j": 32, "k": 32})
+        assert large < small
+
+    def test_whole_tensor_tile_is_compulsory_traffic(self):
+        g = ops.matmul(16, 16, 16)
+        t = {"i": 16, "j": 16, "k": 16}
+        assert tile_traffic_bytes(g, t) == g.total_io_bytes()
+
+    @given(
+        ti=st.sampled_from([1, 2, 4, 8, 16]),
+        tj=st.sampled_from([1, 2, 4, 8, 16]),
+        tk=st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_traffic_at_least_compulsory_output(self, ti, tj, tk):
+        g = ops.matmul(16, 16, 16)
+        traffic = tile_traffic_bytes(g, {"i": ti, "j": tj, "k": tk})
+        assert traffic >= g.output.nbytes
+
+
+class TestReuseRatio:
+    def test_monotone_in_tile_growth_for_gemm(self):
+        g = ops.matmul(256, 256, 256)
+        r_small = reuse_ratio(g, {"i": 2, "j": 2, "k": 2})
+        r_big = reuse_ratio(g, {"i": 32, "j": 32, "k": 32})
+        assert r_big > r_small
+
+    def test_positive(self):
+        g = ops.gemv(64, 64)
+        assert reuse_ratio(g, {"i": 4, "n": 4}) > 0

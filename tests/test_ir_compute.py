@@ -1,0 +1,167 @@
+"""ComputeDef validation and functional semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ir.compute import ComputeDef, TensorAccess
+from repro.ir.expr import IterVar
+from repro.ir.tensor import TensorSpec
+
+
+def _simple_gemm(m=4, k=3, n=5):
+    i = IterVar("i", m)
+    j = IterVar("j", n)
+    kk = IterVar("k", k, "reduce")
+    a = TensorSpec("A", (m, k))
+    b = TensorSpec("B", (k, n))
+    c = TensorSpec("C", (m, n))
+    return ComputeDef(
+        name="g",
+        kind="gemm",
+        axes=(i, j, kk),
+        inputs=(
+            TensorAccess(a, (i.as_expr(), kk.as_expr())),
+            TensorAccess(b, (kk.as_expr(), j.as_expr())),
+        ),
+        output=c,
+    )
+
+
+class TestValidation:
+    def test_duplicate_axis_names_rejected(self):
+        i = IterVar("i", 4)
+        i2 = IterVar("i", 8)
+        out = TensorSpec("O", (4, 8))
+        x = TensorSpec("X", (4, 8))
+        with pytest.raises(ValueError, match="duplicate axis"):
+            ComputeDef(
+                "bad", "elementwise", (i, i2),
+                (TensorAccess(x, (i.as_expr(), i2.as_expr())),), out,
+            )
+
+    def test_spatial_after_reduce_rejected(self):
+        k = IterVar("k", 4, "reduce")
+        i = IterVar("i", 4)
+        out = TensorSpec("O", (4,))
+        x = TensorSpec("X", (4, 4))
+        with pytest.raises(ValueError, match="after a reduce axis"):
+            ComputeDef(
+                "bad", "x", (k, i),
+                (TensorAccess(x, (i.as_expr(), k.as_expr())),), out,
+            )
+
+    def test_output_shape_mismatch_rejected(self):
+        i = IterVar("i", 4)
+        out = TensorSpec("O", (5,))
+        x = TensorSpec("X", (4,))
+        with pytest.raises(ValueError, match="output shape"):
+            ComputeDef("bad", "x", (i,), (TensorAccess(x, (i.as_expr(),)),), out)
+
+    def test_unknown_axis_in_access_rejected(self):
+        i = IterVar("i", 4)
+        z = IterVar("z", 4)
+        out = TensorSpec("O", (4,))
+        x = TensorSpec("X", (4,))
+        with pytest.raises(ValueError, match="unknown axis"):
+            ComputeDef("bad", "x", (i,), (TensorAccess(x, (z.as_expr(),)),), out)
+
+    def test_unknown_unary_fn_rejected(self):
+        i = IterVar("i", 4)
+        out = TensorSpec("O", (4,))
+        x = TensorSpec("X", (4,))
+        with pytest.raises(ValueError, match="unary_fn"):
+            ComputeDef(
+                "bad", "x", (i,), (TensorAccess(x, (i.as_expr(),)),), out,
+                unary_fn="banana",
+            )
+
+    def test_access_arity_checked(self):
+        i = IterVar("i", 4)
+        x = TensorSpec("X", (4, 4))
+        with pytest.raises(ValueError, match="indices"):
+            TensorAccess(x, (i.as_expr(),))
+
+
+class TestAxisViews:
+    def test_spatial_and_reduce_split(self):
+        g = _simple_gemm()
+        assert [a.name for a in g.spatial_axes] == ["i", "j"]
+        assert [a.name for a in g.reduce_axes] == ["k"]
+
+    def test_axis_lookup(self):
+        g = _simple_gemm()
+        assert g.axis("k").is_reduce
+        with pytest.raises(KeyError):
+            g.axis("zzz")
+
+    def test_extents(self):
+        g = _simple_gemm(4, 3, 5)
+        assert g.extents() == {"i": 4, "j": 5, "k": 3}
+
+
+class TestWorkloadStats:
+    def test_total_flops(self):
+        g = _simple_gemm(4, 3, 5)
+        assert g.total_flops == 2.0 * 4 * 3 * 5
+
+    def test_io_bytes_dedupes_tensors(self):
+        g = _simple_gemm(4, 3, 5)
+        assert g.total_input_bytes() == (4 * 3 + 3 * 5) * 4
+        assert g.total_io_bytes() == (4 * 3 + 3 * 5 + 4 * 5) * 4
+
+    def test_arithmetic_intensity_positive(self):
+        assert _simple_gemm().arithmetic_intensity() > 0
+
+
+class TestEvaluate:
+    def test_gemm_matches_numpy(self):
+        g = _simple_gemm(6, 7, 8)
+        inputs = g.random_inputs()
+        out = g.evaluate(inputs)
+        assert np.allclose(out, inputs["A"] @ inputs["B"])
+
+    def test_missing_input_raises(self):
+        g = _simple_gemm()
+        with pytest.raises(KeyError, match="missing input"):
+            g.evaluate({"A": np.zeros((4, 3))})
+
+    def test_wrong_shape_raises(self):
+        g = _simple_gemm()
+        bad = {"A": np.zeros((9, 9)), "B": np.zeros((3, 5))}
+        with pytest.raises(ValueError, match="shape"):
+            g.evaluate(bad)
+
+    def test_scale_applied(self):
+        i = IterVar("i", 4)
+        x = TensorSpec("X", (4,))
+        out = TensorSpec("O", (4,))
+        c = ComputeDef(
+            "scaled", "x", (i,), (TensorAccess(x, (i.as_expr(),)),), out,
+            scale=0.5,
+        )
+        vals = {"X": np.arange(4.0)}
+        assert np.allclose(c.evaluate(vals), np.arange(4.0) * 0.5)
+
+    def test_unary_fn_applied(self):
+        i = IterVar("i", 4)
+        x = TensorSpec("X", (4,))
+        out = TensorSpec("O", (4,))
+        c = ComputeDef(
+            "r", "x", (i,), (TensorAccess(x, (i.as_expr(),)),), out,
+            unary_fn="relu",
+        )
+        vals = {"X": np.array([-1.0, 2.0, -3.0, 4.0])}
+        assert np.allclose(c.evaluate(vals), [0, 2, 0, 4])
+
+    def test_random_inputs_deterministic(self):
+        g = _simple_gemm()
+        a = g.random_inputs()
+        b = g.random_inputs()
+        assert np.array_equal(a["A"], b["A"])
+
+
+class TestRender:
+    def test_render_contains_axes_and_reads(self):
+        text = _simple_gemm().render()
+        assert "sum[k<" in text
+        assert "A[i, k]" in text and "B[k, j]" in text

@@ -1,0 +1,211 @@
+"""ETIR: the tile-matrix states of the construction graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR, TileConfig
+
+
+@pytest.fixture
+def gemm():
+    return ops.matmul(128, 64, 256, "g")
+
+
+class TestConstruction:
+    def test_initial_state(self, gemm):
+        s = ETIR.initial(gemm)
+        assert s.cur_level == 2
+        assert s.num_levels == 2
+        assert all(s.tile(i, 1) == 1 and s.tile(i, 2) == 1 for i in range(3))
+        assert s.total_vthreads() == 1
+
+    def test_from_tiles(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32, "j": 64, "k": 16}, {"i": 4, "j": 8})
+        assert s.block_tiles() == {"i": 32, "j": 64, "k": 16}
+        assert s.thread_tiles() == {"i": 4, "j": 8, "k": 1}
+
+    def test_from_tiles_clips_to_extent(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 10_000})
+        assert s.block_tiles()["i"] == 128
+
+    def test_from_tiles_clips_thread_to_block(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 8}, {"i": 32})
+        assert s.thread_tiles()["i"] == 8
+
+    def test_nesting_violation_rejected(self, gemm):
+        cfg = TileConfig(
+            tiles=((8, 4), (1, 1), (1, 1)),  # T1 > T2 on axis i
+            vthreads=(1, 1, 1),
+        )
+        with pytest.raises(ValueError, match="smaller than inner"):
+            ETIR(gemm, cfg, cur_level=1, num_levels=2)
+
+    def test_block_tile_beyond_extent_rejected(self, gemm):
+        cfg = TileConfig(
+            tiles=((1, 256), (1, 1), (1, 1)),  # extent(i)=128
+            vthreads=(1, 1, 1),
+        )
+        with pytest.raises(ValueError, match="exceeds"):
+            ETIR(gemm, cfg, cur_level=1, num_levels=2)
+
+    def test_reduce_vthread_rejected(self, gemm):
+        cfg = TileConfig(
+            tiles=((2, 2), (1, 1), (2, 2)),
+            vthreads=(1, 1, 2),  # k is reduce
+        )
+        with pytest.raises(ValueError, match="reduce axis"):
+            ETIR(gemm, cfg, cur_level=1, num_levels=2)
+
+    def test_vthread_above_thread_tile_rejected(self, gemm):
+        cfg = TileConfig(
+            tiles=((2, 4), (1, 1), (1, 1)),
+            vthreads=(4, 1, 1),  # v > T1
+        )
+        with pytest.raises(ValueError, match="vthreads"):
+            ETIR(gemm, cfg, cur_level=1, num_levels=2)
+
+    def test_bad_level_bounds(self, gemm):
+        cfg = TileConfig(tiles=((1, 1),) * 3, vthreads=(1, 1, 1))
+        with pytest.raises(ValueError, match="cur_level"):
+            ETIR(gemm, cfg, cur_level=3, num_levels=2)
+
+
+class TestIdentity:
+    def test_equality_and_hash(self, gemm):
+        a = ETIR.from_tiles(gemm, {"i": 8}, {"i": 2})
+        b = ETIR.from_tiles(gemm, {"i": 8}, {"i": 2})
+        c = ETIR.from_tiles(gemm, {"i": 16}, {"i": 2})
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_key_contains_level(self, gemm):
+        s = ETIR.initial(gemm)
+        assert s.key()[-1] == 2
+
+
+class TestDerivedQuantities:
+    def test_threads_per_block(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32, "j": 64, "k": 16}, {"i": 4, "j": 8})
+        assert s.threads_per_block() == (32 // 4) * (64 // 8)
+
+    def test_reduce_axis_contributes_no_threads(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 8, "k": 64}, {"i": 8, "k": 1})
+        assert s.threads_per_block() == 1
+
+    def test_num_blocks(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32, "j": 64, "k": 64})
+        assert s.num_blocks() == (128 // 32) * (256 // 64)
+
+    def test_smem_footprint(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 16, "j": 8, "k": 4})
+        assert s.smem_footprint_bytes() == (16 * 4 + 4 * 8) * 4
+
+    def test_thread_stride(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32}, {"i": 8}, {"i": 4})
+        assert s.thread_stride(0) == 2
+
+    def test_traffic_orders(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32, "j": 32, "k": 16}, {"i": 4, "j": 4})
+        assert s.smem_traffic_bytes() > s.dram_traffic_bytes()
+
+
+class TestMemoryCheck:
+    def test_initial_feasible(self, gemm, hw):
+        assert ETIR.initial(gemm).memory_ok(hw)
+
+    def test_smem_overflow_infeasible(self, hw):
+        big = ops.matmul(4096, 4096, 4096)
+        s = ETIR.from_tiles(big, {"i": 512, "j": 512, "k": 64})
+        assert s.smem_footprint_bytes() > hw.smem.capacity_bytes
+        assert not s.memory_ok(hw)
+        assert not s.memory_ok(hw, strict=False)
+
+    def test_thread_overflow_strict_only(self, hw):
+        big = ops.matmul(4096, 4096, 4096)
+        s = ETIR.from_tiles(big, {"i": 128, "j": 128})  # 16384 threads
+        assert not s.memory_ok(hw)
+        assert s.memory_ok(hw, strict=False)
+
+    def test_register_cap_always_enforced(self, hw):
+        big = ops.matmul(4096, 4096, 4096)
+        s = ETIR.from_tiles(big, {"i": 64, "j": 64, "k": 64}, {"i": 32, "j": 32, "k": 8})
+        assert s.regs_per_thread() > 255
+        assert not s.memory_ok(hw, strict=False)
+
+
+class TestActions:
+    def test_scaled_tile_up(self, gemm):
+        s = ETIR.initial(gemm)
+        up = s.scaled_tile(0, up=True)
+        assert up is not None
+        assert up.tile(0, 2) == 2
+        assert s.tile(0, 2) == 1  # immutable original
+
+    def test_scaled_tile_up_clamps_to_extent(self):
+        g = ops.matmul(12, 12, 12)
+        s = ETIR.from_tiles(g, {"i": 8}, {"i": 1})
+        # from_tiles leaves us at level 1; adjust level-2 tile explicitly.
+        up = s.scaled_tile_at(0, 2, up=True)
+        assert up is not None and up.tile(0, 2) == 12
+
+    def test_scaled_tile_up_at_extent_returns_none(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 128})
+        assert s.scaled_tile_at(0, 2, up=True) is None
+
+    def test_scaled_tile_down_below_inner_returns_none(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 8}, {"i": 8})
+        assert s.scaled_tile_at(0, 2, up=False) is None
+
+    def test_scaled_tile_down_below_one_returns_none(self, gemm):
+        s = ETIR.initial(gemm)
+        assert s.scaled_tile(0, up=False) is None
+
+    def test_cache_advance(self, gemm):
+        s = ETIR.initial(gemm)
+        s1 = s.with_cache_advance()
+        assert s1 is not None and s1.cur_level == 1
+        assert s1.with_cache_advance() is None
+
+    def test_with_vthread(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32}, {"i": 8})
+        v = s.with_vthread(0, 4)
+        assert v is not None and v.vthreads(0) == 4
+        assert v.total_vthreads() == 4
+
+    def test_vthread_on_reduce_returns_none(self, gemm):
+        s = ETIR.from_tiles(gemm, {"k": 32}, {"k": 8})
+        assert s.with_vthread(2, 2) is None
+
+    def test_vthread_above_t1_returns_none(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32}, {"i": 2})
+        assert s.with_vthread(0, 4) is None
+
+    def test_tile_down_blocked_by_vthreads(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32}, {"i": 4}, {"i": 4})
+        assert s.scaled_tile_at(0, 1, up=False) is None
+
+
+class TestDescribe:
+    def test_describe_mentions_axes(self, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 32}, {"i": 8}, {"i": 2})
+        text = s.describe()
+        assert "i:[32/8]" in text and "v2" in text
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bi=st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128]),
+    bj=st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
+    ti=st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_invariants_hold(bi, bj, ti):
+    g = ops.matmul(128, 64, 256, "g")
+    s = ETIR.from_tiles(g, {"i": bi, "j": bj}, {"i": min(ti, bi)})
+    # Nesting invariant.
+    for idx in range(3):
+        assert s.tile(idx, 1) <= s.tile(idx, 2)
+    # Launch geometry covers the iteration space.
+    assert s.num_blocks() * s.threads_per_block() >= 1
+    assert s.smem_footprint_bytes() > 0

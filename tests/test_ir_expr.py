@@ -1,0 +1,135 @@
+"""Iteration variables and affine expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.expr import AffineExpr, IterVar
+
+
+class TestIterVar:
+    def test_basic(self):
+        v = IterVar("i", 16)
+        assert v.extent == 16
+        assert not v.is_reduce
+
+    def test_reduce_kind(self):
+        assert IterVar("k", 8, "reduce").is_reduce
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError, match="extent must be positive"):
+            IterVar("i", 0)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            IterVar("i", 4, "banana")
+
+    def test_hashable(self):
+        assert IterVar("i", 4) == IterVar("i", 4)
+        assert hash(IterVar("i", 4)) == hash(IterVar("i", 4))
+
+
+class TestAffineArithmetic:
+    def test_var_times_coefficient(self):
+        v = IterVar("h", 10)
+        e = v * 2
+        assert e.coefficient("h") == 2
+
+    def test_rmul(self):
+        v = IterVar("h", 10)
+        assert (3 * v).coefficient("h") == 3
+
+    def test_add_var_and_const(self):
+        h = IterVar("h", 10)
+        r = IterVar("r", 3, "reduce")
+        e = h * 2 + r + 1
+        assert e.coefficient("h") == 2
+        assert e.coefficient("r") == 1
+        assert e.const == 1
+
+    def test_add_merges_terms(self):
+        h = IterVar("h", 10)
+        e = h + h
+        assert e.coefficient("h") == 2
+
+    def test_zero_coefficients_dropped(self):
+        h = IterVar("h", 10)
+        e = h + (h * -1)
+        assert e.var_names() == ()
+        assert e.const == 0
+
+    def test_scalar_multiplication_distributes(self):
+        h = IterVar("h", 10)
+        e = (h + 3) * 2
+        assert e.coefficient("h") == 2
+        assert e.const == 6
+
+    def test_of_int(self):
+        e = AffineExpr.of(5)
+        assert e.const == 5 and not e.var_names()
+
+    def test_of_passthrough(self):
+        h = IterVar("h", 10)
+        e = h.as_expr()
+        assert AffineExpr.of(e) is e
+
+
+class TestEvaluate:
+    def test_evaluate_scalar(self):
+        h = IterVar("h", 10)
+        r = IterVar("r", 3, "reduce")
+        e = h * 2 + r
+        assert e.evaluate({"h": 3, "r": 1}) == 7
+
+    def test_evaluate_missing_var_raises(self):
+        h = IterVar("h", 10)
+        with pytest.raises(KeyError):
+            (h * 2).evaluate({})
+
+
+class TestExtentUnderTiles:
+    def test_identity_axis(self):
+        h = IterVar("h", 100)
+        assert h.as_expr().extent_under_tiles({"h": 8}) == 8
+
+    def test_strided_conv_index(self):
+        # oh*2 + r over tiles oh=4, r=3: span = 2*3 + 1*2 + 1 = 9.
+        oh = IterVar("oh", 14)
+        r = IterVar("r", 3, "reduce")
+        e = oh * 2 + r
+        assert e.extent_under_tiles({"oh": 4, "r": 3}) == 9
+
+    def test_missing_tile_defaults_to_one(self):
+        h = IterVar("h", 100)
+        e = h * 3
+        assert e.extent_under_tiles({}) == 1
+
+    @given(
+        coef=st.integers(1, 5),
+        tile=st.integers(1, 64),
+    )
+    def test_span_formula(self, coef, tile):
+        h = IterVar("h", 1000)
+        e = h * coef
+        assert e.extent_under_tiles({"h": tile}) == coef * (tile - 1) + 1
+
+
+class TestRenderAndImmutability:
+    def test_render(self):
+        h = IterVar("h", 10)
+        r = IterVar("r", 3, "reduce")
+        assert (h * 2 + r).render() == "2*h + r"
+
+    def test_render_const_only(self):
+        assert AffineExpr.of(4).render() == "4"
+
+    def test_terms_frozen(self):
+        h = IterVar("h", 10)
+        e = h * 2
+        with pytest.raises(TypeError):
+            e.terms["h"] = 5  # type: ignore[index]
+
+    def test_expr_hashable(self):
+        h = IterVar("h", 10)
+        assert hash(h * 2 + 1) == hash(h * 2 + 1)
+        assert (h * 2 + 1) == (h * 2 + 1)

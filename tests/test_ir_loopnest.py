@@ -1,0 +1,62 @@
+"""Loop-nest IR structure."""
+
+import pytest
+
+from repro.ir.loopnest import (
+    Alloc,
+    ComputeStmt,
+    Kernel,
+    LoadStage,
+    Loop,
+    LoopKind,
+    StoreStmt,
+    Sync,
+)
+
+
+class TestLoop:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="loop kind"):
+            Loop("i", 4, "spiral")
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError, match="extent"):
+            Loop("i", 0)
+
+    def test_walk_depth_first(self):
+        inner = Loop("j", 2)
+        outer = Loop("i", 4, body=[inner])
+        assert [l.var for l in outer.walk()] == ["i", "j"]
+
+
+class TestKernel:
+    def _kernel(self):
+        inner = Loop("j", 8, LoopKind.UNROLL, body=[ComputeStmt("x += 1;")])
+        outer = Loop("i", 4, LoopKind.BLOCK, body=[Sync(), inner])
+        return Kernel(
+            "demo", grid_dim=4, block_dim=32,
+            body=[Alloc("A_shared", "shared", 128), outer,
+                  StoreStmt("C", "C_local", 8)],
+        )
+
+    def test_all_loops(self):
+        k = self._kernel()
+        assert [l.var for l in k.all_loops()] == ["i", "j"]
+
+    def test_loops_of_kind(self):
+        k = self._kernel()
+        assert len(k.loops_of_kind(LoopKind.BLOCK)) == 1
+        assert len(k.loops_of_kind(LoopKind.UNROLL)) == 1
+        assert k.loops_of_kind(LoopKind.VTHREAD) == []
+
+    def test_render_structure(self):
+        text = self._kernel().render()
+        assert "kernel demo <<<4, 32>>>" in text
+        assert "alloc A_shared[128] @shared" in text
+        assert "for i in 0..4 [blockIdx]:" in text
+        assert "__syncthreads()" in text
+        assert "store C_local -> C" in text
+
+    def test_render_load_stage(self):
+        k = Kernel("k", 1, 1, body=[LoadStage("A", "A_shared", 64, "shared")])
+        assert "stage A -> A_shared (64 elems, shared)" in k.render()

@@ -1,0 +1,176 @@
+"""Operator zoo: shape and numerical correctness of every builder."""
+
+import numpy as np
+import pytest
+
+from repro.ir import operators as ops
+
+
+class TestMatmul:
+    def test_shapes(self):
+        g = ops.matmul(8, 4, 6)
+        assert g.output.shape == (8, 6)
+        assert g.kind == "gemm"
+
+    def test_numerics(self):
+        g = ops.matmul(5, 7, 3)
+        x = g.random_inputs()
+        assert np.allclose(g.evaluate(x), x["A"] @ x["B"])
+
+    def test_flops(self):
+        assert ops.matmul(2, 3, 4).total_flops == 2 * 2 * 3 * 4
+
+
+class TestGemv:
+    def test_shapes(self):
+        g = ops.gemv(8, 4)
+        assert g.output.shape == (8,)
+
+    def test_numerics(self):
+        g = ops.gemv(6, 9)
+        x = g.random_inputs()
+        assert np.allclose(g.evaluate(x), x["A"] @ x["x"])
+
+
+class TestBatchedMatmul:
+    def test_numerics(self):
+        g = ops.batched_matmul(3, 4, 5, 6)
+        x = g.random_inputs()
+        assert np.allclose(g.evaluate(x), np.einsum("bik,bkj->bij", x["A"], x["B"]))
+
+
+class TestConv2d:
+    def test_output_size_stride1(self):
+        g = ops.conv2d(1, 2, 10, 10, 4, 3, 3, 1)
+        assert g.output.shape == (1, 4, 8, 8)
+
+    def test_output_size_stride2(self):
+        g = ops.conv2d(1, 2, 11, 11, 4, 3, 3, 2)
+        assert g.output.shape == (1, 4, 5, 5)
+
+    def test_input_smaller_than_kernel_rejected(self):
+        with pytest.raises(ValueError, match="smaller than kernel"):
+            ops.conv2d(1, 2, 2, 2, 4, 3, 3, 1)
+
+    def test_numerics_against_direct_loop(self):
+        g = ops.conv2d(2, 3, 6, 6, 4, 3, 3, 1)
+        x = g.random_inputs()
+        I, K = x["I"], x["K"]
+        ref = np.zeros(g.output.shape)
+        for n in range(2):
+            for f in range(4):
+                for oh in range(4):
+                    for ow in range(4):
+                        ref[n, f, oh, ow] = np.sum(
+                            I[n, :, oh : oh + 3, ow : ow + 3] * K[f]
+                        )
+        assert np.allclose(g.evaluate(x), ref)
+
+    def test_numerics_strided(self):
+        g = ops.conv2d(1, 2, 7, 7, 3, 3, 3, 2)
+        x = g.random_inputs()
+        I, K = x["I"], x["K"]
+        ref = np.zeros(g.output.shape)
+        for f in range(3):
+            for oh in range(3):
+                for ow in range(3):
+                    ref[0, f, oh, ow] = np.sum(
+                        I[0, :, 2 * oh : 2 * oh + 3, 2 * ow : 2 * ow + 3] * K[f]
+                    )
+        assert np.allclose(g.evaluate(x), ref)
+
+    def test_flops(self):
+        g = ops.conv2d(1, 2, 6, 6, 4, 3, 3, 1)
+        # 2 * N*F*OH*OW*C*R*S
+        assert g.total_flops == 2 * 1 * 4 * 4 * 4 * 2 * 3 * 3
+
+
+class TestDepthwiseConv2d:
+    def test_numerics(self):
+        g = ops.depthwise_conv2d(2, 3, 6, 6, 3, 3, 1)
+        x = g.random_inputs()
+        I, K = x["I"], x["K"]
+        ref = np.zeros(g.output.shape)
+        for n in range(2):
+            for c in range(3):
+                for oh in range(4):
+                    for ow in range(4):
+                        ref[n, c, oh, ow] = np.sum(
+                            I[n, c, oh : oh + 3, ow : ow + 3] * K[c]
+                        )
+        assert np.allclose(g.evaluate(x), ref)
+
+
+class TestAvgPool2d:
+    def test_numerics(self):
+        g = ops.avgpool2d(1, 2, 6, 6, 2, 2)
+        x = g.random_inputs()
+        I = x["I"]
+        ref = np.zeros(g.output.shape)
+        for c in range(2):
+            for oh in range(3):
+                for ow in range(3):
+                    ref[0, c, oh, ow] = I[
+                        0, c, 2 * oh : 2 * oh + 2, 2 * ow : 2 * ow + 2
+                    ].mean()
+        assert np.allclose(g.evaluate(x), ref)
+
+    def test_scale_is_inverse_window(self):
+        g = ops.avgpool2d(1, 1, 8, 8, 3, 2)
+        assert g.scale == pytest.approx(1.0 / 9.0)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("fn", ["relu", "relu6", "tanh", "sigmoid", "gelu", "exp"])
+    def test_fns_run(self, fn):
+        g = ops.elementwise((3, 4), fn)
+        x = g.random_inputs()
+        out = g.evaluate(x)
+        assert out.shape == (3, 4)
+
+    def test_relu_numerics(self):
+        g = ops.elementwise((4,), "relu")
+        out = g.evaluate({"X": np.array([-2.0, -0.5, 0.5, 2.0])})
+        assert np.allclose(out, [0, 0, 0.5, 2.0])
+
+    def test_relu6_clips(self):
+        g = ops.elementwise((2,), "relu6")
+        out = g.evaluate({"X": np.array([10.0, -1.0])})
+        assert np.allclose(out, [6.0, 0.0])
+
+    def test_flops_per_point_one(self):
+        assert ops.elementwise((4, 4)).total_flops == 16
+
+
+class TestAdd:
+    def test_cost_profile(self):
+        g = ops.add((8, 8))
+        assert len(g.inputs) == 2
+        assert g.total_flops == 64
+
+    def test_documented_product_semantics(self):
+        # The contraction form multiplies inputs; cost profile matches add.
+        g = ops.add((2,))
+        out = g.evaluate({"X": np.array([2.0, 3.0]), "Z": np.array([4.0, 5.0])})
+        assert np.allclose(out, [8.0, 15.0])
+
+
+class TestProxies:
+    def test_softmax_proxy_cost(self):
+        g = ops.softmax_proxy(16, 64)
+        assert g.kind == "softmax"
+        assert g.flops_per_point == 5.0
+
+    def test_layernorm_proxy_cost(self):
+        g = ops.layernorm_proxy(16, 64)
+        assert g.kind == "layernorm"
+        assert g.flops_per_point == 6.0
+
+
+class TestConvOutSize:
+    @pytest.mark.parametrize(
+        "in_size,kernel,stride,expected",
+        [(10, 3, 1, 8), (11, 3, 2, 5), (7, 7, 1, 1), (230, 7, 2, 112)],
+    )
+    def test_values(self, in_size, kernel, stride, expected):
+        assert ops.conv_out_size(in_size, kernel, stride) == expected

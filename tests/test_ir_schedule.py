@@ -1,0 +1,167 @@
+"""Scheduling primitives (Table I) and the ETIR bridge."""
+
+import pytest
+
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.ir.loopnest import LoopKind
+from repro.ir.schedule import Schedule, ScheduleError
+
+
+@pytest.fixture
+def gemm():
+    return ops.matmul(64, 32, 48, "g")
+
+
+class TestSplit:
+    def test_split_extents(self, gemm):
+        s = Schedule(gemm)
+        outer, inner = s.split("i", 16)
+        assert s.axis(outer).extent == 4
+        assert s.axis(inner).extent == 16
+
+    def test_split_ceil(self, gemm):
+        s = Schedule(gemm)
+        outer, inner = s.split("i", 48)
+        assert s.axis(outer).extent == 2  # ceil(64/48)
+
+    def test_split_clamps_factor(self, gemm):
+        s = Schedule(gemm)
+        _outer, inner = s.split("i", 1000)
+        assert s.axis(inner).extent == 64
+
+    def test_split_preserves_origin_and_reduce(self, gemm):
+        s = Schedule(gemm)
+        outer, inner = s.split("k", 8)
+        assert s.axis(outer).is_reduce and s.axis(inner).is_reduce
+        assert s.axis(outer).origin == "k"
+
+    def test_invalid_factor(self, gemm):
+        with pytest.raises(ScheduleError):
+            Schedule(gemm).split("i", 0)
+
+    def test_unknown_axis(self, gemm):
+        with pytest.raises(ScheduleError, match="no axis"):
+            Schedule(gemm).split("zzz", 2)
+
+    def test_logged(self, gemm):
+        s = Schedule(gemm)
+        s.split("i", 8)
+        assert ("split", "i", 8) in s.log
+
+
+class TestFuse:
+    def test_fuse_extents(self, gemm):
+        s = Schedule(gemm)
+        fused = s.fuse("i", "j")
+        assert s.axis(fused).extent == 64 * 48
+
+    def test_fuse_nonadjacent_rejected(self, gemm):
+        s = Schedule(gemm)
+        with pytest.raises(ScheduleError, match="adjacent"):
+            s.fuse("i", "k")
+
+    def test_fuse_mixed_kinds_rejected(self, gemm):
+        s = Schedule(gemm)
+        with pytest.raises(ScheduleError, match="reduce"):
+            s.fuse("j", "k")
+
+
+class TestTileReorder:
+    def test_tile_produces_four_axes(self, gemm):
+        s = Schedule(gemm)
+        xo, yo, xi, yi = s.tile("i", "j", 8, 8)
+        names = s.axis_names()
+        assert names.index(xo) < names.index(yo) < names.index(xi) < names.index(yi)
+
+    def test_reorder_swaps(self, gemm):
+        s = Schedule(gemm)
+        s.reorder("j", "i")
+        assert s.axis_names()[:2] == ["j", "i"]
+
+    def test_reorder_duplicate_rejected(self, gemm):
+        with pytest.raises(ScheduleError, match="duplicate"):
+            Schedule(gemm).reorder("i", "i")
+
+
+class TestAnnotations:
+    def test_unroll(self, gemm):
+        s = Schedule(gemm)
+        s.unroll("i")
+        assert s.axis("i").kind == LoopKind.UNROLL
+
+    def test_vectorize(self, gemm):
+        s = Schedule(gemm)
+        s.vectorize("j")
+        assert s.axis("j").kind == LoopKind.VECTORIZE
+
+    def test_double_annotation_rejected(self, gemm):
+        s = Schedule(gemm)
+        s.unroll("i")
+        with pytest.raises(ScheduleError, match="already annotated"):
+            s.vectorize("i")
+
+    def test_bind_block(self, gemm):
+        s = Schedule(gemm)
+        s.bind("i", LoopKind.BLOCK)
+        assert s.grid_dim() == 64
+
+    def test_bind_reduce_rejected(self, gemm):
+        with pytest.raises(ScheduleError, match="reduce"):
+            Schedule(gemm).bind("k", LoopKind.THREAD)
+
+    def test_bind_serial_rejected(self, gemm):
+        with pytest.raises(ScheduleError, match="cannot bind"):
+            Schedule(gemm).bind("i", LoopKind.SERIAL)
+
+    def test_set_vthread_logs_primitive(self, gemm):
+        s = Schedule(gemm)
+        s.set_vthread("i")
+        assert ("set_vthread", "i") in s.log
+        assert s.num_vthreads() == 64
+
+
+class TestCacheStages:
+    def test_cache_read(self, gemm):
+        s = Schedule(gemm)
+        s.cache_read("A", "shared", "k")
+        assert s.cache_stages[0].tensor == "A"
+
+    def test_cache_read_unknown_tensor_rejected(self, gemm):
+        with pytest.raises(ScheduleError, match="not an input"):
+            Schedule(gemm).cache_read("Q", "shared", "k")
+
+    def test_cache_read_bad_scope_rejected(self, gemm):
+        with pytest.raises(ScheduleError, match="scope"):
+            Schedule(gemm).cache_read("A", "texture", "k")
+
+    def test_cache_write(self, gemm):
+        s = Schedule(gemm)
+        s.cache_write("local", "i")
+        assert s.cache_stages[0].tensor == "C"
+
+
+class TestFromEtir:
+    def test_launch_dims_match_state(self, gemm):
+        state = ETIR.from_tiles(gemm, {"i": 16, "j": 16, "k": 8}, {"i": 4, "j": 4})
+        sched = Schedule.from_etir(state)
+        assert sched.grid_dim() == state.num_blocks()
+        assert sched.block_dim() == state.threads_per_block()
+
+    def test_vthread_axes_emitted(self, gemm):
+        state = ETIR.from_tiles(gemm, {"i": 16}, {"i": 4}, {"i": 2})
+        sched = Schedule.from_etir(state)
+        assert sched.num_vthreads() == 2
+
+    def test_inputs_staged_once(self, gemm):
+        state = ETIR.from_tiles(gemm, {"i": 16, "j": 16, "k": 8}, {"i": 4, "j": 4})
+        sched = Schedule.from_etir(state)
+        staged = [st.tensor for st in sched.cache_stages]
+        assert staged.count("A") == 1 and staged.count("B") == 1
+        assert "C" in staged  # cache_write
+
+    def test_primitive_log_contains_table1_ops(self, gemm):
+        state = ETIR.from_tiles(gemm, {"i": 16, "j": 16, "k": 8}, {"i": 4, "j": 4})
+        sched = Schedule.from_etir(state)
+        kinds = {entry[0] for entry in sched.log}
+        assert {"split", "unroll", "bind", "reorder", "cache_read"} <= kinds

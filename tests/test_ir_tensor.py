@@ -1,0 +1,42 @@
+"""Tensor declarations."""
+
+import pytest
+
+from repro.ir.tensor import TensorSpec
+
+
+class TestTensorSpec:
+    def test_basic_properties(self):
+        t = TensorSpec("A", (4, 8))
+        assert t.ndim == 2
+        assert t.num_elems == 32
+        assert t.dtype_bytes == 4
+        assert t.nbytes == 128
+
+    def test_float16_bytes(self):
+        assert TensorSpec("A", (2,), "float16").nbytes == 4
+
+    def test_int8(self):
+        assert TensorSpec("A", (10,), "int8").nbytes == 10
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError, match="at least one dim"):
+            TensorSpec("A", ())
+
+    def test_nonpositive_dim_rejected(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            TensorSpec("A", (4, 0))
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            TensorSpec("A", (4,), "float128")
+
+    def test_shape_coerced_to_ints(self):
+        t = TensorSpec("A", (4.0, 8.0))  # type: ignore[arg-type]
+        assert t.shape == (4, 8)
+        assert all(isinstance(d, int) for d in t.shape)
+
+    def test_frozen(self):
+        t = TensorSpec("A", (4,))
+        with pytest.raises(AttributeError):
+            t.name = "B"  # type: ignore[misc]

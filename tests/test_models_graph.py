@@ -1,0 +1,51 @@
+"""Model graphs: dedupe, counts, statistics."""
+
+import pytest
+
+from repro.ir import operators as ops
+from repro.models.graph import ModelGraph, OpInstance
+
+
+class TestOpInstance:
+    def test_count_validated(self):
+        with pytest.raises(ValueError, match="count"):
+            OpInstance(ops.matmul(4, 4, 4), count=0)
+
+
+class TestModelGraph:
+    def test_add_merges_identical_shapes(self):
+        g = ModelGraph("m", batch=8)
+        g.add(ops.matmul(64, 32, 64, "a"))
+        g.add(ops.matmul(64, 32, 64, "b"))  # same shape, new name
+        assert g.num_unique_ops == 1
+        assert g.num_op_executions == 2
+
+    def test_different_shapes_not_merged(self):
+        g = ModelGraph("m", batch=8)
+        g.add(ops.matmul(64, 32, 64, "a"))
+        g.add(ops.matmul(64, 32, 128, "b"))
+        assert g.num_unique_ops == 2
+
+    def test_different_kinds_not_merged(self):
+        g = ModelGraph("m", batch=8)
+        g.add(ops.elementwise((64,), "relu", "a"))
+        g.add(ops.softmax_proxy(64, 1, "b"))
+        assert g.num_unique_ops == 2
+
+    def test_count_parameter(self):
+        g = ModelGraph("m", batch=8)
+        g.add(ops.matmul(64, 32, 64, "a"), count=5)
+        g.add(ops.matmul(64, 32, 64, "b"), count=3)
+        assert g.num_op_executions == 8
+
+    def test_total_flops_weighted_by_count(self):
+        g = ModelGraph("m", batch=8)
+        op = ops.matmul(64, 32, 64, "a")
+        g.add(op, count=3)
+        assert g.total_flops == pytest.approx(3 * op.total_flops)
+
+    def test_summary_text(self):
+        g = ModelGraph("m", batch=8)
+        g.add(ops.matmul(64, 32, 64, "a"))
+        text = g.summary()
+        assert "m (batch 8)" in text and "1 unique ops" in text

@@ -1,0 +1,91 @@
+"""The four evaluation networks: structure and FLOP sanity."""
+
+import pytest
+
+from repro.models import bert_small, gpt2, mobilenet_v2, resnet34, resnet50
+
+
+class TestResNet:
+    def test_resnet50_flops_per_image(self):
+        g = resnet50(batch=128)
+        per_image = g.total_flops / 128
+        # ResNet-50 is ~4.1 GMACs = ~8.2 GFLOPs per image.
+        assert 6e9 < per_image < 10e9
+
+    def test_resnet34_flops_per_image(self):
+        g = resnet34(batch=128)
+        per_image = g.total_flops / 128
+        assert 5e9 < per_image < 9e9
+
+    def test_resnet50_has_bottleneck_structure(self):
+        g = resnet50(batch=8)
+        kinds = [inst.compute.kind for inst in g.ops]
+        assert kinds.count("conv2d") > 15
+        assert "avgpool2d" in kinds
+        assert "gemm" in kinds  # classifier
+
+    def test_batch_scales_flops(self):
+        assert resnet50(batch=64).total_flops == pytest.approx(
+            resnet50(batch=32).total_flops * 2, rel=1e-6
+        )
+
+    def test_fc_output_classes(self):
+        g = resnet50(batch=4)
+        fc = [i.compute for i in g.ops if i.compute.kind == "gemm"][-1]
+        assert fc.axis("j").extent == 1000
+
+
+class TestMobileNet:
+    def test_depthwise_present(self):
+        g = mobilenet_v2(batch=8)
+        kinds = {inst.compute.kind for inst in g.ops}
+        assert "dwconv2d" in kinds
+
+    def test_flops_per_image(self):
+        g = mobilenet_v2(batch=128)
+        per_image = g.total_flops / 128
+        # MobileNetV2 ~0.3 GMACs = ~0.6 GFLOPs per image.
+        assert 0.4e9 < per_image < 1.0e9
+
+    def test_width_multiplier_scales_work(self):
+        slim = mobilenet_v2(batch=8, width_mult=0.5)
+        wide = mobilenet_v2(batch=8, width_mult=1.5)
+        assert wide.total_flops > 1.5 * slim.total_flops
+
+    def test_width_multiplier_in_name(self):
+        assert "w0.75" in mobilenet_v2(batch=8, width_mult=0.75).name
+
+    def test_channels_divisible_by_eight(self):
+        g = mobilenet_v2(batch=4, width_mult=0.7)
+        for inst in g.ops:
+            if inst.compute.kind == "conv2d":
+                f = inst.compute.axis("f").extent
+                assert f % 8 == 0 or f == 1000
+
+
+class TestTransformers:
+    def test_bert_small_op_inventory(self):
+        g = bert_small(batch=32, seq=128)
+        kinds = {inst.compute.kind for inst in g.ops}
+        assert {"gemm", "bmm", "softmax", "layernorm", "add"} <= kinds
+
+    def test_bert_seq_length_changes_shapes(self):
+        a = bert_small(batch=32, seq=128)
+        b = bert_small(batch=32, seq=256)
+        assert b.total_flops > a.total_flops
+        assert a.name != b.name
+
+    def test_bert_layer_counts(self):
+        g = bert_small(batch=32, seq=128)
+        proj = next(i for i in g.ops if "proj" in i.compute.name)
+        assert proj.count == 16  # 4 projections x 4 layers
+
+    def test_gpt2_bigger_than_bert(self):
+        bert = bert_small(batch=8, seq=512)
+        gpt = gpt2(batch=8, seq=512)
+        assert gpt.total_flops > bert.total_flops
+
+    def test_gpt2_lm_head_is_unbalanced_gemm(self):
+        g = gpt2(batch=8, seq=512)
+        head = next(i.compute for i in g.ops if "lm_head" in i.compute.name)
+        assert head.axis("j").extent == 50257

@@ -1,0 +1,81 @@
+"""Model compilation/timing and the dynamic scenario driver."""
+
+import pytest
+
+from repro.baselines import PyTorchEager, Roller, VendorLibrary
+from repro.ir import operators as ops
+from repro.models.graph import ModelGraph
+from repro.models.runner import DynamicScenario, compile_and_time
+
+
+@pytest.fixture
+def tiny_model():
+    g = ModelGraph("tiny", batch=16)
+    g.add(ops.matmul(256, 128, 256, "mm"), count=3)
+    g.add(ops.elementwise((256, 256), "relu", "act"), count=3)
+    return g
+
+
+class TestCompileAndTime:
+    def test_latency_is_weighted_sum(self, hw, tiny_model):
+        vendor = VendorLibrary(hw)
+        run = compile_and_time(tiny_model, vendor)
+        expected = sum(
+            vendor.compile(inst.compute).best_metrics.latency_s * inst.count
+            for inst in tiny_model.ops
+        )
+        assert run.latency_s == pytest.approx(expected)
+
+    def test_throughput(self, hw, tiny_model):
+        run = compile_and_time(tiny_model, VendorLibrary(hw))
+        assert run.throughput == pytest.approx(16 / run.latency_s)
+
+    def test_per_op_latencies_recorded(self, hw, tiny_model):
+        run = compile_and_time(tiny_model, VendorLibrary(hw))
+        assert set(run.per_op_latency) == {"mm", "act"}
+
+    def test_method_name_defaults_to_compiler(self, hw, tiny_model):
+        run = compile_and_time(tiny_model, Roller(hw))
+        assert run.method == "roller"
+
+    def test_compile_cost_summed(self, hw, tiny_model):
+        run = compile_and_time(tiny_model, Roller(hw))
+        assert run.compile_seconds > 0
+
+
+class TestDynamicScenario:
+    def _factory(self, cycle):
+        g = ModelGraph(f"m{cycle}", batch=16)
+        g.add(ops.matmul(256, 128 * (cycle + 1), 256, "mm"))
+        return g
+
+    def test_segments_alternate(self, hw):
+        scenario = DynamicScenario(self._factory, cycles=2, frames_per_stage=64)
+        segments = scenario.run(Roller(hw))
+        kinds = [s.kind for s in segments]
+        assert kinds == ["optimize", "inference", "optimize", "inference"]
+
+    def test_pytorch_never_reoptimizes(self, hw):
+        scenario = DynamicScenario(self._factory, cycles=3, frames_per_stage=64)
+        segments = scenario.run(PyTorchEager(hw), reoptimize=False)
+        assert all(s.kind == "inference" for s in segments)
+
+    def test_timeline_is_contiguous(self, hw):
+        scenario = DynamicScenario(self._factory, cycles=2, frames_per_stage=64)
+        segments = scenario.run(Roller(hw))
+        clock = 0.0
+        for seg in segments:
+            assert seg.start_s == pytest.approx(clock)
+            clock = seg.end_s
+        assert DynamicScenario.total_time(segments) == pytest.approx(clock)
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ValueError, match="cycles"):
+            DynamicScenario(self._factory, cycles=0)
+
+    def test_frames_scale_inference_time(self, hw):
+        short = DynamicScenario(self._factory, cycles=1, frames_per_stage=64)
+        long = DynamicScenario(self._factory, cycles=1, frames_per_stage=640)
+        t_short = [s for s in short.run(Roller(hw)) if s.kind == "inference"][0]
+        t_long = [s for s in long.run(Roller(hw)) if s.kind == "inference"][0]
+        assert t_long.duration_s == pytest.approx(t_short.duration_s * 10)

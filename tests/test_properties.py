@@ -1,0 +1,139 @@
+"""Cross-module property-based invariants (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import action_benefit, enumerate_actions
+from repro.core.graph import ConstructionGraph
+from repro.hardware import rtx4090
+from repro.ir import operators as ops
+from repro.ir.access import tile_footprint_bytes, tile_traffic_bytes
+from repro.ir.etir import ETIR
+from repro.sim.costmodel import CostModel
+
+HW = rtx4090()
+MODEL = CostModel(HW)
+
+pow2 = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+
+
+def gemm_state(m, k, n, bi, bj, bk, ti, tj):
+    g = ops.matmul(m, k, n, "prop")
+    return ETIR.from_tiles(
+        g,
+        {"i": bi, "j": bj, "k": bk},
+        {"i": min(ti, bi), "j": min(tj, bj)},
+    )
+
+
+class TestCostModelInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(bi=pow2, bj=pow2, bk=pow2, ti=pow2, tj=pow2)
+    def test_metrics_well_formed(self, bi, bj, bk, ti, tj):
+        state = gemm_state(1024, 512, 1024, bi, bj, bk, ti, tj)
+        m = MODEL.evaluate(state)
+        if not m.feasible:
+            return
+        assert m.latency_s > 0
+        assert 0.0 <= m.compute_throughput <= 1.0
+        assert 0.0 <= m.sm_occupancy <= 1.0
+        assert 0.0 <= m.mem_busy <= 1.0
+        assert 0.0 <= m.l2_hit_rate <= 1.0
+        assert m.bank_conflict_factor >= 1.0
+        assert m.achieved_flops <= HW.peak_flops
+
+    @settings(max_examples=50, deadline=None)
+    @given(bi=pow2, bj=pow2, bk=pow2, ti=pow2, tj=pow2)
+    def test_latency_above_physical_floors(self, bi, bj, bk, ti, tj):
+        state = gemm_state(1024, 512, 1024, bi, bj, bk, ti, tj)
+        m = MODEL.evaluate(state)
+        if not m.feasible:
+            return
+        compute = state.compute
+        assert m.latency_s >= compute.total_flops / HW.peak_flops
+        assert m.latency_s >= HW.kernel_launch_overhead_s
+
+    @settings(max_examples=30, deadline=None)
+    @given(bi=pow2, bj=pow2, bk=pow2)
+    def test_deterministic(self, bi, bj, bk):
+        a = gemm_state(512, 256, 512, bi, bj, bk, 4, 4)
+        b = gemm_state(512, 256, 512, bi, bj, bk, 4, 4)
+        assert MODEL.latency(a) == MODEL.latency(b)
+
+
+class TestAccessInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(ti=pow2, tj=pow2, tk=pow2)
+    def test_footprint_bounded_by_tensor_sizes(self, ti, tj, tk):
+        g = ops.matmul(128, 64, 128, "prop")
+        fp = tile_footprint_bytes(g, {"i": ti, "j": tj, "k": tk})
+        assert 0 < fp <= g.total_io_bytes()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ti=pow2, tj=pow2, tk=pow2)
+    def test_traffic_at_least_compulsory(self, ti, tj, tk):
+        g = ops.matmul(128, 64, 128, "prop")
+        q = tile_traffic_bytes(g, {"i": ti, "j": tj, "k": tk})
+        # Output is always written once; inputs read at least... once per
+        # covering tile, so traffic dominates the output compulsory bytes.
+        assert q >= g.output.nbytes
+
+    @settings(max_examples=40, deadline=None)
+    @given(t=pow2)
+    def test_growing_all_tiles_never_increases_traffic(self, t):
+        g = ops.matmul(256, 256, 256, "prop")
+        small = tile_traffic_bytes(g, {"i": t, "j": t, "k": t})
+        bigger = tile_traffic_bytes(
+            g, {"i": min(256, 2 * t), "j": min(256, 2 * t), "k": min(256, 2 * t)}
+        )
+        assert bigger <= small
+
+
+class TestGraphInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.sampled_from([16, 24, 32, 48]), n=st.sampled_from([16, 24, 32]))
+    def test_edges_always_positive_benefit_and_legal(self, m, n):
+        g = ops.matmul(m, 16, n, "prop")
+        graph = ConstructionGraph(HW)
+        state = ETIR.initial(g)
+        for edge in graph.expand(state):
+            assert edge.benefit > 0
+            dst = graph.nodes[edge.dst_key]
+            assert dst.memory_ok(HW, strict=False)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed_tile=st.sampled_from([1, 2, 4]))
+    def test_benefit_zero_iff_infeasible(self, seed_tile):
+        g = ops.matmul(64, 64, 64, "prop")
+        state = ETIR.initial(g)
+        for action in enumerate_actions(state):
+            nxt = action.apply(state)
+            if nxt is None:
+                continue
+            benefit = action_benefit(action, state, nxt, HW)
+            if nxt.memory_ok(HW, strict=False):
+                assert benefit >= 0
+            else:
+                assert benefit == 0.0
+
+
+class TestExecutorProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        shape=st.tuples(st.integers(2, 8), st.integers(2, 8)),
+        t0=st.integers(1, 8),
+        t1=st.integers(1, 8),
+    )
+    def test_elementwise_any_tiling(self, shape, t0, t1):
+        g = ops.elementwise(shape, "relu", "prop")
+        state = ETIR.from_tiles(g, {"d0": t0, "d1": t1})
+        inputs = g.random_inputs()
+        from repro.sim.executor import execute_tiled
+
+        assert np.allclose(
+            execute_tiled(state, inputs), np.maximum(inputs["X"], 0.0)
+        )

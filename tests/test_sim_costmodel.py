@@ -1,0 +1,141 @@
+"""Analytical cost model: feasibility, metric ranges, and the qualitative
+behaviours every experiment depends on."""
+
+import math
+
+import pytest
+
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.sim.costmodel import INFEASIBLE, CostModel
+
+
+@pytest.fixture(scope="module")
+def gemm():
+    return ops.matmul(4096, 4096, 4096, "g4k")
+
+
+@pytest.fixture(scope="module")
+def model(hw):
+    return CostModel(hw)
+
+
+def good_state(gemm):
+    return ETIR.from_tiles(
+        gemm, {"i": 128, "j": 128, "k": 32}, {"i": 8, "j": 8, "k": 4},
+        {"i": 2, "j": 2},
+    )
+
+
+class TestFeasibility:
+    def test_infeasible_smem(self, model, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 512, "j": 512, "k": 64})
+        assert model.evaluate(s) is INFEASIBLE
+
+    def test_infeasible_threads(self, model, gemm):
+        s = ETIR.from_tiles(gemm, {"i": 128, "j": 128})  # 16384 threads
+        assert not model.evaluate(s).feasible
+
+    def test_feasible_state(self, model, gemm):
+        m = model.evaluate(good_state(gemm))
+        assert m.feasible and m.latency_s > 0
+
+    def test_infeasible_summary(self):
+        assert INFEASIBLE.summary() == "<infeasible>"
+
+
+class TestMetricRanges:
+    def test_fractions_in_unit_interval(self, model, gemm):
+        m = model.evaluate(good_state(gemm))
+        for value in (
+            m.compute_throughput,
+            m.sm_occupancy,
+            m.mem_busy,
+            m.l2_hit_rate,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_achieved_flops_consistent(self, model, gemm):
+        m = model.evaluate(good_state(gemm))
+        assert m.achieved_flops == pytest.approx(
+            gemm.total_flops / m.latency_s
+        )
+
+    def test_achieved_below_peak(self, model, hw, gemm):
+        m = model.evaluate(good_state(gemm))
+        assert m.achieved_flops < hw.peak_flops
+
+    def test_conflict_factor_at_least_one(self, model, gemm):
+        assert model.evaluate(good_state(gemm)).bank_conflict_factor >= 1.0
+
+
+class TestQualitativeBehaviours:
+    def test_tuned_beats_naive(self, model, gemm):
+        naive = ETIR.from_tiles(gemm, {"j": 256})
+        tuned = good_state(gemm)
+        assert model.latency(tuned) < model.latency(naive) / 5
+
+    def test_unscheduled_is_terrible(self, model, gemm):
+        initial = ETIR.initial(gemm)
+        assert model.latency(good_state(gemm)) < model.latency(initial) / 20
+
+    def test_poor_coalescing_costs(self, model, gemm):
+        # k-block-tile of 1 gives a 1-wide innermost slab for A.
+        narrow = ETIR.from_tiles(gemm, {"i": 64, "j": 64, "k": 1}, {"i": 8, "j": 8})
+        wide = ETIR.from_tiles(gemm, {"i": 64, "j": 64, "k": 32}, {"i": 8, "j": 8, "k": 4})
+        assert model.latency(wide) < model.latency(narrow)
+
+    def test_vthreads_relieve_conflicts(self, model, gemm):
+        base = ETIR.from_tiles(
+            gemm, {"i": 128, "j": 128, "k": 32}, {"i": 8, "j": 8, "k": 4}
+        )
+        vt = base.with_vthread(1, 4)
+        assert vt is not None
+        base_m = model.evaluate(base)
+        vt_m = model.evaluate(vt)
+        assert base_m.bank_conflict_factor > vt_m.bank_conflict_factor
+        assert vt_m.latency_s < base_m.latency_s
+
+    def test_excess_vthreads_add_overhead(self, model, gemm):
+        base = ETIR.from_tiles(
+            gemm, {"i": 128, "j": 128, "k": 32}, {"i": 8, "j": 8, "k": 4},
+            {"j": 8},
+        )
+        more = base.with_vthread(0, 8)
+        assert more is not None
+        # Conflicts already resolved; extra lanes only add overhead.
+        assert model.latency(more) > model.latency(base)
+
+    def test_partial_warp_penalized(self, model):
+        gemv = ops.gemv(16384, 16384)
+        tiny = ETIR.from_tiles(gemv, {"i": 128, "n": 128}, {"i": 64})  # 2 threads
+        warpy = ETIR.from_tiles(gemv, {"i": 128, "n": 128}, {"i": 4})  # 32 threads
+        assert model.latency(warpy) < model.latency(tiny)
+
+    def test_memory_bound_op_near_bandwidth_roofline(self, model, hw):
+        pool = ops.avgpool2d(128, 64, 112, 112, 2, 2)
+        s = ETIR.from_tiles(
+            pool,
+            {"n": 2, "c": 4, "oh": 4, "ow": 32, "fi": 2, "fj": 2},
+            {"ow": 2},
+        )
+        m = model.evaluate(s)
+        floor = pool.total_io_bytes() / hw.dram.bandwidth_bytes_per_s
+        assert m.latency_s >= floor * 0.9
+        assert m.latency_s <= floor * 20
+
+    def test_edge_device_slower(self, gemm, hw, edge_hw):
+        s = good_state(gemm)
+        cloud = CostModel(hw).latency(s)
+        edge = CostModel(edge_hw).latency(s)
+        assert edge > 10 * cloud
+
+    def test_launch_overhead_floors_tiny_ops(self, model, hw):
+        tiny = ops.elementwise((32,), "relu")
+        s = ETIR.from_tiles(tiny, {"d0": 32})
+        assert model.latency(s) >= hw.kernel_launch_overhead_s
+
+    def test_waves_counted(self, model, gemm):
+        m = model.evaluate(good_state(gemm))
+        assert m.waves > 0
+        assert m.blocks_per_sm >= 1

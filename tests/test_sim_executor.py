@@ -1,0 +1,94 @@
+"""Functional executor: tiled execution preserves operator semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.sim.executor import execute_tiled, tile_ranges
+
+
+class TestTileRanges:
+    def test_even_division(self):
+        assert tile_ranges(8, 4) == [(0, 4), (4, 8)]
+
+    def test_overhang_clipped(self):
+        assert tile_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_tile_larger_than_extent(self):
+        assert tile_ranges(5, 100) == [(0, 5)]
+
+    def test_tile_of_one(self):
+        assert tile_ranges(3, 1) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestExecuteTiled:
+    def _check(self, compute, block, thread=None, vthreads=None):
+        state = ETIR.from_tiles(compute, block, thread or {}, vthreads or {})
+        inputs = compute.random_inputs()
+        ref = compute.evaluate(inputs)
+        for level in (state.num_levels, 1):
+            out = execute_tiled(state, inputs, level=level)
+            assert np.allclose(out, ref), f"level {level} diverged"
+
+    def test_gemm(self):
+        self._check(
+            ops.matmul(16, 12, 20), {"i": 8, "j": 8, "k": 4}, {"i": 2, "j": 2}
+        )
+
+    def test_gemm_uneven_tiles(self):
+        self._check(ops.matmul(17, 13, 19), {"i": 5, "j": 7, "k": 4})
+
+    def test_gemv(self):
+        self._check(ops.gemv(24, 16), {"i": 8, "n": 4}, {"i": 2})
+
+    def test_conv(self):
+        self._check(
+            ops.conv2d(2, 3, 8, 8, 4, 3, 3, 1),
+            {"n": 1, "f": 2, "oh": 3, "ow": 3, "c": 2, "r": 3, "s": 1},
+        )
+
+    def test_strided_conv(self):
+        self._check(
+            ops.conv2d(1, 2, 9, 9, 2, 3, 3, 2),
+            {"n": 1, "f": 2, "oh": 2, "ow": 2, "c": 1, "r": 2, "s": 3},
+        )
+
+    def test_avgpool(self):
+        self._check(
+            ops.avgpool2d(2, 3, 8, 8, 2, 2),
+            {"n": 1, "c": 2, "oh": 2, "ow": 4, "fi": 2, "fj": 1},
+        )
+
+    def test_dwconv(self):
+        self._check(
+            ops.depthwise_conv2d(1, 4, 7, 7, 3, 3, 1),
+            {"n": 1, "c": 2, "oh": 5, "ow": 2, "r": 3, "s": 3},
+        )
+
+    def test_elementwise_relu(self):
+        self._check(ops.elementwise((9, 7), "relu"), {"d0": 4, "d1": 3})
+
+    def test_vthread_config_does_not_change_semantics(self):
+        self._check(
+            ops.matmul(16, 8, 16), {"i": 8, "j": 8, "k": 4},
+            {"i": 4, "j": 4}, {"i": 2, "j": 2},
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(2, 12),
+        k=st.integers(1, 10),
+        n=st.integers(2, 12),
+        ti=st.integers(1, 12),
+        tj=st.integers(1, 12),
+        tk=st.integers(1, 10),
+    )
+    def test_property_gemm_any_tiling(self, m, k, n, ti, tj, tk):
+        g = ops.matmul(m, k, n)
+        state = ETIR.from_tiles(g, {"i": ti, "j": tj, "k": tk})
+        inputs = g.random_inputs()
+        out = execute_tiled(state, inputs)
+        assert np.allclose(out, inputs["A"] @ inputs["B"])

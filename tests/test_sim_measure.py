@@ -1,0 +1,60 @@
+"""Simulated on-device measurement."""
+
+import pytest
+
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.sim.measure import Measurer
+
+
+@pytest.fixture
+def state():
+    g = ops.matmul(1024, 512, 1024, "g")
+    return ETIR.from_tiles(g, {"i": 64, "j": 64, "k": 32}, {"i": 4, "j": 4})
+
+
+class TestMeasurer:
+    def test_noise_is_deterministic_per_state(self, hw, state):
+        m1 = Measurer(hw, seed=0).measure(state)
+        m2 = Measurer(hw, seed=0).measure(state)
+        assert m1.latency_s == m2.latency_s
+
+    def test_noise_differs_across_seeds(self, hw, state):
+        m1 = Measurer(hw, seed=0).measure(state)
+        m2 = Measurer(hw, seed=1).measure(state)
+        assert m1.latency_s != m2.latency_s
+
+    def test_noise_is_small(self, hw, state):
+        meas = Measurer(hw, seed=0, noise_sigma=0.015)
+        truth = meas.model.evaluate(state).latency_s
+        measured = meas.measure(state).latency_s
+        assert abs(measured / truth - 1.0) < 0.10
+
+    def test_zero_sigma_matches_truth(self, hw, state):
+        meas = Measurer(hw, seed=0, noise_sigma=0.0)
+        assert meas.measure(state).latency_s == pytest.approx(
+            meas.model.evaluate(state).latency_s
+        )
+
+    def test_measurement_accounting(self, hw, state):
+        meas = Measurer(hw, seconds_per_measurement=0.5)
+        meas.measure(state)
+        meas.measure(state)
+        assert meas.num_measurements == 2
+        assert meas.simulated_seconds == pytest.approx(1.0)
+
+    def test_infeasible_passthrough(self, hw):
+        g = ops.matmul(4096, 4096, 4096, "g")
+        bad = ETIR.from_tiles(g, {"i": 512, "j": 512, "k": 64})
+        assert not Measurer(hw).measure(bad).feasible
+
+    def test_latency_shortcut(self, hw, state):
+        meas = Measurer(hw, seed=0)
+        assert meas.latency(state) == Measurer(hw, seed=0).measure(state).latency_s
+
+    def test_derived_metrics_follow_jitter(self, hw, state):
+        meas = Measurer(hw, seed=3)
+        m = meas.measure(state)
+        assert m.achieved_flops == pytest.approx(
+            state.compute.total_flops / m.latency_s
+        )

@@ -1,0 +1,41 @@
+"""KernelMetrics surface."""
+
+import math
+
+from repro.sim.metrics import KernelMetrics
+
+
+def _metrics(latency=1e-3):
+    return KernelMetrics(
+        latency_s=latency,
+        achieved_flops=1e12,
+        compute_throughput=0.5,
+        sm_occupancy=0.4,
+        mem_busy=0.2,
+        l2_hit_rate=0.9,
+    )
+
+
+class TestKernelMetrics:
+    def test_feasible_flag(self):
+        assert _metrics().feasible
+        assert not _metrics(math.inf).feasible
+
+    def test_summary_contains_units(self):
+        text = _metrics().summary()
+        assert "ms" in text and "TFLOPS" in text
+        assert "occ 40.0%" in text
+
+    def test_frozen(self):
+        m = _metrics()
+        try:
+            m.latency_s = 5.0  # type: ignore[misc]
+        except AttributeError:
+            return
+        raise AssertionError("KernelMetrics should be immutable")
+
+    def test_defaults(self):
+        m = _metrics()
+        assert m.bank_conflict_factor == 1.0
+        assert m.blocks_per_sm == 0
+        assert m.waves == 0.0

@@ -1,0 +1,58 @@
+"""Roofline analysis tool."""
+
+import pytest
+
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.sim.roofline import analyze_roofline, roofline_limit_flops
+
+
+class TestRooflineLimit:
+    def test_compute_bound_region(self, hw):
+        # Huge AI: limited by peak compute.
+        assert roofline_limit_flops(hw, 1e6) == hw.peak_flops
+
+    def test_bandwidth_bound_region(self, hw):
+        limit = roofline_limit_flops(hw, 1.0)
+        assert limit == pytest.approx(hw.dram.bandwidth_bytes_per_s)
+
+    def test_knee_point(self, hw):
+        knee = hw.peak_flops / hw.dram.bandwidth_bytes_per_s
+        assert roofline_limit_flops(hw, knee) == pytest.approx(hw.peak_flops)
+
+    def test_invalid_ai(self, hw):
+        with pytest.raises(ValueError):
+            roofline_limit_flops(hw, 0.0)
+
+
+class TestAnalyze:
+    def test_gemm_is_compute_bound(self, hw):
+        g = ops.matmul(4096, 4096, 4096, "g")
+        s = ETIR.from_tiles(
+            g, {"i": 128, "j": 128, "k": 32}, {"i": 8, "j": 8, "k": 4},
+            {"i": 2, "j": 2},
+        )
+        report = analyze_roofline(s, hw)
+        assert report.bound in ("compute", "smem")
+        assert 0.0 < report.efficiency <= 1.0
+
+    def test_pool_is_memory_bound(self, hw):
+        p = ops.avgpool2d(128, 64, 112, 112, 2, 2, "p")
+        s = ETIR.from_tiles(
+            p, {"n": 2, "c": 4, "oh": 4, "ow": 32, "fi": 2, "fj": 2}, {"ow": 2}
+        )
+        report = analyze_roofline(s, hw)
+        assert report.bound in ("dram", "l2")
+        assert report.arithmetic_intensity < 2.0
+
+    def test_infeasible_rejected(self, hw):
+        g = ops.matmul(4096, 4096, 4096, "g")
+        bad = ETIR.from_tiles(g, {"i": 512, "j": 512, "k": 64})
+        with pytest.raises(ValueError, match="infeasible"):
+            analyze_roofline(bad, hw)
+
+    def test_summary_text(self, hw):
+        g = ops.matmul(1024, 512, 1024, "g")
+        s = ETIR.from_tiles(g, {"i": 64, "j": 64, "k": 32}, {"i": 4, "j": 4})
+        text = analyze_roofline(s, hw).summary()
+        assert "-bound" in text and "attainable" in text

@@ -1,0 +1,68 @@
+"""Table rendering and number formatting."""
+
+import pytest
+
+from repro.utils.tables import Table, format_ratio, format_si
+
+
+class TestFormatSi:
+    def test_tera(self):
+        assert format_si(45.2e12) == "45.2T"
+
+    def test_giga(self):
+        assert format_si(1.5e9) == "1.5G"
+
+    def test_plain(self):
+        assert format_si(3.0) == "3"
+
+    def test_milli(self):
+        assert format_si(2.5e-3) == "2.5m"
+
+    def test_negative(self):
+        assert format_si(-1.2e6) == "-1.2M"
+
+    def test_nan(self):
+        assert format_si(float("nan")) == "nan"
+
+    def test_unit_suffix(self):
+        assert format_si(1e12, unit="FLOPS") == "1TFLOPS"
+
+
+class TestFormatRatio:
+    def test_default_digits(self):
+        assert format_ratio(1.176) == "1.18x"
+
+    def test_custom_digits(self):
+        assert format_ratio(1.5, digits=1) == "1.5x"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Op", "FLOPS")
+        t.add_row("M1", "45.2T")
+        t.add_row("longer-label", "1T")
+        out = t.render()
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert all(len(l) == len(lines[0]) for l in lines[1:2])
+        assert "M1" in out and "longer-label" in out
+
+    def test_title_rendered_first(self):
+        t = Table("A", title="My Title")
+        t.add_row("x")
+        assert t.render().splitlines()[0] == "My Title"
+
+    def test_wrong_cell_count_raises(self):
+        t = Table("A", "B")
+        with pytest.raises(ValueError, match="expected 2 cells"):
+            t.add_row("only-one")
+
+    def test_float_cells_formatted(self):
+        t = Table("v")
+        t.add_row(1.23456789)
+        assert "1.235" in t.render()
+
+    def test_str_dunder(self):
+        t = Table("x")
+        t.add_row("y")
+        assert str(t) == t.render()

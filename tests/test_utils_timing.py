@@ -1,0 +1,42 @@
+"""Stopwatch behaviour."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_lap_accumulates(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("a"):
+            pass
+        assert sw.laps["a"] >= 0.0
+        assert set(sw.laps) == {"a"}
+
+    def test_multiple_labels(self):
+        sw = Stopwatch()
+        with sw.lap("x"):
+            pass
+        with sw.lap("y"):
+            pass
+        assert set(sw.laps) == {"x", "y"}
+        assert sw.total() == pytest.approx(sw.laps["x"] + sw.laps["y"])
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start("a")
+        with pytest.raises(RuntimeError, match="already running"):
+            sw.start("b")
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_stop_returns_elapsed(self):
+        sw = Stopwatch()
+        sw.start("a")
+        elapsed = sw.stop()
+        assert elapsed >= 0.0
+        assert sw.laps["a"] == pytest.approx(elapsed)

@@ -1,0 +1,72 @@
+"""Benchmark workload tables."""
+
+import pytest
+
+from repro.workloads import TABLE4_CONFIGS, build, by_label, labels
+from repro.workloads.ablation import ABLATION_CONFIGS, build_ablation
+from repro.workloads.unbalanced import UNBALANCED_GEMMS, build_unbalanced
+
+
+class TestTable4:
+    def test_thirty_two_configs(self):
+        assert len(TABLE4_CONFIGS) == 32
+
+    def test_eight_per_family(self):
+        for family in ("conv2d", "gemm", "gemv", "avgpool2d"):
+            assert len(labels(family)) == 8
+
+    def test_labels_unique(self):
+        all_labels = labels()
+        assert len(set(all_labels)) == 32
+
+    def test_published_subset(self):
+        published = {c.label for c in TABLE4_CONFIGS if c.published}
+        assert published == {
+            "C1", "C2", "C3", "M1", "M2", "M3", "V1", "V2", "V3",
+            "P1", "P2", "P3",
+        }
+
+    @pytest.mark.parametrize("cfg", TABLE4_CONFIGS, ids=lambda c: c.label)
+    def test_every_config_builds(self, cfg):
+        op = cfg.build()
+        assert op.name == cfg.label
+        assert op.kind == cfg.family
+        assert op.total_flops > 0
+
+    def test_published_shapes_match_paper(self):
+        m1 = build("M1")
+        assert m1.extents() == {"i": 8192, "j": 8192, "k": 8192}
+        m2 = build("M2")
+        assert m2.extents() == {"i": 65536, "k": 4, "j": 1024}
+        v1 = build("V1")
+        assert v1.extents() == {"i": 16384, "n": 16384}
+        c1 = build("C1")
+        assert c1.axis("f").extent == 256
+        assert c1.axis("oh").extent == 14  # (30-3)//2 + 1
+
+    def test_by_label_unknown(self):
+        with pytest.raises(KeyError):
+            by_label("Z9")
+
+
+class TestUnbalanced:
+    def test_exact_paper_shapes(self):
+        shapes = [s for _l, s in UNBALANCED_GEMMS]
+        assert shapes == [(65536, 4, 1024), (32768, 64, 2048), (16384, 32, 1024)]
+
+    def test_builders(self):
+        built = build_unbalanced()
+        assert len(built) == 3
+        label, op = built[0]
+        assert label == "[65536,4,1024]"
+        assert op.extents() == {"i": 65536, "k": 4, "j": 1024}
+
+
+class TestAblation:
+    def test_four_families(self):
+        assert len(ABLATION_CONFIGS) == 4
+
+    def test_builders(self):
+        built = build_ablation()
+        kinds = [op.kind for _t, op in built]
+        assert kinds == ["conv2d", "gemm", "gemv", "avgpool2d"]

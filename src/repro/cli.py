@@ -1,15 +1,18 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro compile --op gemm --shape 4096x4096x4096 --method gensor
     python -m repro experiment fig06 [--full]
+    python -m repro serve-bench --model bert --requests 200 --workers 8
     python -m repro devices
 
 ``compile`` optimizes a single operator with any method and prints the
 winning schedule, predicted metrics, generated kernel (with ``--emit``),
 and compile cost.  ``experiment`` regenerates one of the paper's
-tables/figures by name.  ``devices`` lists the simulated GPUs.
+tables/figures by name.  ``serve-bench`` replays a synthetic dynamic-shape
+request trace through the concurrent compile service and prints its stats
+table.  ``devices`` lists the simulated GPUs.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import importlib
 import sys
 
 from repro.baselines import Ansor, AnsorConfig, PyTorchEager, Roller, VendorLibrary
-from repro.core import Gensor, GensorConfig
+from repro.core import DynamicCompileResult, DynamicGensor, Gensor, GensorConfig
 from repro.hardware import orin_nano, rtx4090
 from repro.ir import operators as ops
 
@@ -40,6 +43,7 @@ _EXPERIMENTS = {
     "table06": "repro.experiments.table06_ablation",
     "memory": "repro.experiments.memory_overhead",
     "convergence": "repro.experiments.convergence_analysis",
+    "serving": "repro.experiments.serving_throughput",
 }
 
 
@@ -81,6 +85,8 @@ def build_operator(op: str, shape: str):
 def _make_method(name: str, hw, trials: int):
     if name == "gensor":
         return Gensor(hw)
+    if name == "dynamic":
+        return DynamicGensor(hw)
     if name == "roller":
         return Roller(hw)
     if name == "ansor":
@@ -97,8 +103,14 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     compute = build_operator(args.op, args.shape)
     method = _make_method(args.method, hw, args.trials)
     result = method.compile(compute)
+    source = None
+    if isinstance(result, DynamicCompileResult):
+        source = result.source
+        result = result.result
     print("operator:  ", compute.render())
     print("method:    ", args.method, "on", hw.name)
+    if source is not None:
+        print("served:    ", source, "(hit=cache, warm=neighbor, cold=full)")
     print("schedule:  ", result.best.describe())
     print("predicted: ", result.best_metrics.summary())
     print(f"compile:    {result.compile_seconds:.2f}s "
@@ -130,6 +142,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import run_serve_bench
+
+    try:
+        report = run_serve_bench(
+            model=args.model,
+            num_requests=args.requests,
+            workers=args.workers,
+            device_name=args.device,
+            deadline_ms=args.deadline_ms,
+            seed=args.seed,
+            window=args.window,
+            time_scale=args.time_scale,
+        )
+    except ValueError as exc:
+        print(f"serve-bench: {exc}", file=sys.stderr)
+        return 2
+    print(report.table)
+    print()
+    print(f"replayed {report.requests} requests "
+          f"({report.unique_shapes} unique shapes) in {report.wall_s:.2f}s "
+          f"-> {report.requests_per_s:.1f} req/s, {report.failed} failed")
+    return 0 if report.failed == 0 else 1
+
+
 def _cmd_devices(_args: argparse.Namespace) -> int:
     for name, factory in _DEVICES.items():
         hw = factory()
@@ -154,7 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--shape", required=True,
                            help="x-separated dims, e.g. 4096x4096x4096")
     p_compile.add_argument("--method", default="gensor",
-                           choices=["gensor", "roller", "ansor", "cublas", "pytorch"])
+                           choices=["gensor", "dynamic", "roller", "ansor",
+                                    "cublas", "pytorch"])
     p_compile.add_argument("--device", default="rtx4090", choices=list(_DEVICES))
     p_compile.add_argument("--trials", type=int, default=500,
                            help="Ansor measurement budget")
@@ -169,6 +207,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--full", action="store_true",
                        help="paper-scale search budgets")
     p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="replay a dynamic-shape trace through the compile service",
+    )
+    p_serve.add_argument("--model", default="bert", choices=["bert", "gpt2"])
+    p_serve.add_argument("--requests", type=int, default=200)
+    p_serve.add_argument("--workers", type=int, default=8)
+    p_serve.add_argument("--device", default="rtx4090", choices=list(_DEVICES))
+    p_serve.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request deadline; tight values trigger "
+                              "degraded serving tiers")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--window", type=int, default=64,
+                         help="closed-loop client concurrency")
+    p_serve.add_argument("--time-scale", type=float, default=1.0,
+                         help="fraction of simulated profiling cost slept "
+                              "in real time (0 = CPU-only)")
+    p_serve.set_defaults(fn=_cmd_serve_bench)
 
     p_dev = sub.add_parser("devices", help="list simulated devices")
     p_dev.set_defaults(fn=_cmd_devices)

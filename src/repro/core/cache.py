@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
@@ -21,12 +23,28 @@ from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.ir.etir import ETIR
 
-__all__ = ["CachedSchedule", "ScheduleCache", "shape_fingerprint"]
+__all__ = [
+    "CachedSchedule",
+    "ScheduleCache",
+    "shape_fingerprint",
+    "family_fingerprint",
+]
 
 
 def shape_fingerprint(compute: ComputeDef) -> str:
     """Canonical key for an operator's *shape* (name-independent)."""
     axes = ",".join(f"{ax.name}:{ax.extent}:{ax.kind[0]}" for ax in compute.axes)
+    return f"{compute.kind}[{axes}]"
+
+
+def family_fingerprint(compute: ComputeDef) -> str:
+    """Canonical key for an operator *family* (kind + axis set, any extents).
+
+    Two shapes share a family exactly when :meth:`ScheduleCache.nearest`
+    could warm-start one from the other — the granularity at which the
+    serving layer guards against cold-start stampedes.
+    """
+    axes = ",".join(f"{ax.name}:{ax.kind[0]}" for ax in compute.axes)
     return f"{compute.kind}[{axes}]"
 
 
@@ -95,25 +113,35 @@ class CachedSchedule:
 
 
 class ScheduleCache:
-    """Per-device map from shape fingerprint to winning schedule."""
+    """Per-device map from shape fingerprint to winning schedule.
+
+    Thread-safe: the serving layer (:mod:`repro.serve`) reads and writes
+    one shared cache from many worker threads, so every entry operation
+    holds an internal lock.
+    """
 
     def __init__(self, hardware: HardwareSpec) -> None:
         self.hw = hardware
         self._entries: dict[str, CachedSchedule] = {}
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def put(self, state: ETIR, latency_s: float) -> None:
         """Record a winner; keeps the faster entry on fingerprint collision."""
         key = shape_fingerprint(state.compute)
-        existing = self._entries.get(key)
-        if existing is None or latency_s < existing.latency_s:
-            self._entries[key] = CachedSchedule.from_state(state, latency_s)
+        entry = CachedSchedule.from_state(state, latency_s)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is None or latency_s < existing.latency_s:
+                self._entries[key] = entry
 
     def get(self, compute: ComputeDef) -> CachedSchedule | None:
         """Exact-shape hit."""
-        return self._entries.get(shape_fingerprint(compute))
+        with self._lock:
+            return self._entries.get(shape_fingerprint(compute))
 
     def nearest(self, compute: ComputeDef) -> CachedSchedule | None:
         """Closest cached entry of the same kind and axis set.
@@ -124,7 +152,7 @@ class ScheduleCache:
         target = {ax.name: ax.extent for ax in compute.axes}
         best: CachedSchedule | None = None
         best_dist = math.inf
-        for entry in self._entries.values():
+        for entry in self.entries():
             if entry.kind != compute.kind or set(entry.extents) != set(target):
                 continue
             dist = sum(
@@ -136,22 +164,52 @@ class ScheduleCache:
         return best
 
     def entries(self) -> Iterable[CachedSchedule]:
-        return self._entries.values()
+        with self._lock:
+            return list(self._entries.values())
 
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        payload = {
-            "device": self.hw.name,
-            "entries": {
-                key: entry.to_json() for key, entry in self._entries.items()
-            },
-        }
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        """Persist atomically: a crash mid-save never corrupts the file.
+
+        The payload is written to a temporary sibling and moved into place
+        with :func:`os.replace`, so readers only ever observe either the old
+        or the new complete database.
+        """
+        path = Path(path)
+        with self._lock:
+            payload = {
+                "device": self.hw.name,
+                "entries": {
+                    key: entry.to_json() for key, entry in self._entries.items()
+                },
+            }
+        tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+        try:
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path: str | Path, hardware: HardwareSpec) -> "ScheduleCache":
-        payload = json.loads(Path(path).read_text())
+        """Load a persisted cache, validating it was tuned for ``hardware``.
+
+        Raises :class:`ValueError` on corrupt or ill-formed files instead of
+        leaking ``JSONDecodeError``/``KeyError`` — the serving layer treats
+        that as "start with an empty tuning database", not a crash.
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt schedule cache {path}: {exc}") from exc
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("entries"), dict
+        ):
+            raise ValueError(
+                f"ill-formed schedule cache {path}: expected an object with "
+                "an 'entries' mapping"
+            )
         if payload.get("device") != hardware.name:
             raise ValueError(
                 f"cache was tuned for {payload.get('device')!r}, "
@@ -159,5 +217,10 @@ class ScheduleCache:
             )
         cache = cls(hardware)
         for key, data in payload["entries"].items():
-            cache._entries[key] = CachedSchedule.from_json(data)
+            try:
+                cache._entries[key] = CachedSchedule.from_json(data)
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise ValueError(
+                    f"ill-formed schedule cache entry {key!r} in {path}: {exc}"
+                ) from exc
         return cache

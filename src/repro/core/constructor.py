@@ -176,13 +176,13 @@ class Gensor:
         # Algorithm 1 receives dim_configs as input: canonical dimension
         # configurations seed the pool alongside the walked states, so the
         # refinement stage always starts from at least one sane anchor.
-        for seed_state in self._seed_states(compute):
+        for seed_state in self.seed_states(compute):
             candidates.setdefault(seed_state.key(), seed_state)
         shortlist = self._rank(candidates.values())[: cfg.top_k]
         if cfg.polish_steps > 0:
             polished = {s.key(): s for s in shortlist}
             for s in shortlist:
-                p = self._polish(s, cfg.polish_steps, forbid)
+                p = self.polish(s, cfg.polish_steps, forbid)
                 polished[p.key()] = p
             shortlist = self._rank(polished.values())[: cfg.top_k]
         best, best_metrics = self._measure_shortlist(shortlist, measurer)
@@ -197,10 +197,10 @@ class Gensor:
             simulated_measure_s=measurer.simulated_seconds - measured_before,
         )
 
-    # -- internals ---------------------------------------------------------------
+    # -- warm-start hooks (public: used by DynamicGensor and repro.serve) --------
 
-    def _polish(
-        self, state: ETIR, max_steps: int, forbid: frozenset[str]
+    def polish(
+        self, state: ETIR, max_steps: int, forbid: frozenset[str] = frozenset()
     ) -> ETIR:
         """Deterministic greedy refinement under the analytical value.
 
@@ -208,6 +208,9 @@ class Gensor:
         ``state``, repeatedly move to the neighbor (tile change at any
         level, vThread change) with the lowest analytical latency, until a
         local optimum.  Purely analytical — no measurements.
+
+        Public API: warm-started and degraded serving paths refine adapted
+        cache entries with a reduced step budget instead of a full walk.
         """
         current = state
         current_lat = self._model_latency(current)
@@ -224,9 +227,13 @@ class Gensor:
             current, current_lat = best_next, best_lat
         return current
 
-    def _seed_states(self, compute: ComputeDef) -> list[ETIR]:
+    def seed_states(self, compute: ComputeDef) -> list[ETIR]:
         """Canonical dim_configs: square-ish thread tiles with block tiles a
-        power-of-two multiple, reduce axes staged in warp-wide chunks."""
+        power-of-two multiple, reduce axes staged in warp-wide chunks.
+
+        Public API: the cheapest serving tier picks the best seed when a
+        deadline leaves no room for construction or refinement.
+        """
         spatial = [ax for ax in compute.axes if not ax.is_reduce]
         reduce_axes = [ax for ax in compute.axes if ax.is_reduce]
         seeds: list[ETIR] = []
@@ -247,6 +254,8 @@ class Gensor:
                 if state.memory_ok(self.hw):
                     seeds.append(state)
         return seeds
+
+    # -- internals ---------------------------------------------------------------
 
     def _all_level_neighbors(self, state: ETIR, vthread_allowed: bool):
         """Neighbors of ``state`` across every tiling level (refinement moves)."""

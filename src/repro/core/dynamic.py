@@ -20,6 +20,7 @@ dynamic shape stream, at schedule quality matching cold construction
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -56,6 +57,22 @@ class DynamicStats:
     hits: int = 0
     warm: int = 0
     cold: int = 0
+    #: guards increments — the serving layer drives one DynamicGensor from
+    #: many worker threads.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def count(self, source: str) -> None:
+        with self._lock:
+            if source == "hit":
+                self.hits += 1
+            elif source == "warm":
+                self.warm += 1
+            elif source == "cold":
+                self.cold += 1
+            else:
+                raise ValueError(f"unknown serve source {source!r}")
 
     @property
     def total(self) -> int:
@@ -72,13 +89,21 @@ class DynamicGensor:
         cache: ScheduleCache | None = None,
         #: refinement steps applied to a warm-started configuration.
         warm_polish_steps: int = 40,
+        #: how many of the (adapted entry + seed) candidates get polished;
+        #: serving deployments shrink this to cut per-request CPU.
+        warm_pool: int = 3,
     ) -> None:
+        if warm_pool < 1:
+            raise ValueError(f"warm_pool must be >= 1, got {warm_pool}")
         self.hw = hardware
         self.config = config or GensorConfig()
         self.cache = cache or ScheduleCache(hardware)
         self.warm_polish_steps = warm_polish_steps
+        self.warm_pool = warm_pool
         self.stats = DynamicStats()
-        self._gensor = Gensor(hardware, self.config)
+        #: the underlying constructor — public so the serving layer can use
+        #: its warm-start hooks (``seed_states`` / ``polish``) directly.
+        self.gensor = Gensor(hardware, self.config)
         self._model = CostModel(hardware)
 
     def compile(
@@ -97,7 +122,7 @@ class DynamicGensor:
         if exact is not None:
             state = exact.instantiate(compute)
             if state is not None and state.memory_ok(self.hw):
-                self.stats.hits += 1
+                self.stats.count("hit")
                 metrics = self._model.evaluate(state)
                 wall = time.perf_counter() - t0
                 return DynamicCompileResult(
@@ -117,19 +142,19 @@ class DynamicGensor:
         if neighbor is not None:
             warm = neighbor.instantiate(compute)
             if warm is not None and warm.memory_ok(self.hw):
-                self.stats.warm += 1
+                self.stats.count("warm")
                 measured_before = measurer.simulated_seconds
                 # Refine the adapted entry alongside the best canonical dim
                 # configs — a few deterministic polish runs instead of the
                 # full annealed walk.
-                pool = [warm] + self._gensor._seed_states(compute)
+                pool = [warm] + self.gensor.seed_states(compute)
                 pool.sort(key=self._model.latency)
                 refined = min(
                     (
-                        self._gensor._polish(
+                        self.gensor.polish(
                             s, self.warm_polish_steps, frozenset()
                         )
-                        for s in pool[:3]
+                        for s in pool[: self.warm_pool]
                     ),
                     key=self._model.latency,
                 )
@@ -148,7 +173,7 @@ class DynamicGensor:
                 self.cache.put(refined, metrics.latency_s)
                 return DynamicCompileResult(result, source="warm")
 
-        self.stats.cold += 1
-        result = self._gensor.compile(compute, measurer)
+        self.stats.count("cold")
+        result = self.gensor.compile(compute, measurer)
         self.cache.put(result.best, result.best_metrics.latency_s)
         return DynamicCompileResult(result, source="cold")

@@ -39,6 +39,7 @@ EXPERIMENT_SEQUENCE: tuple[tuple[str, dict, list[dict]], ...] = (
     ("fig12_dynamic_timeline", {}, []),
     ("memory_overhead", {}, []),
     ("convergence_analysis", {}, []),
+    ("serving_throughput", {}, []),
 )
 
 

@@ -19,6 +19,7 @@ from repro.models.bert import bert_small
 from repro.models.mobilenet import mobilenet_v2
 from repro.models.gpt2 import gpt2
 from repro.models.runner import ModelRunResult, compile_and_time, DynamicScenario
+from repro.models.trace import shape_stream, trace_summary
 
 __all__ = [
     "ModelGraph",
@@ -31,4 +32,6 @@ __all__ = [
     "ModelRunResult",
     "compile_and_time",
     "DynamicScenario",
+    "shape_stream",
+    "trace_summary",
 ]

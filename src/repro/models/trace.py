@@ -1,0 +1,94 @@
+"""Synthetic dynamic-shape request traces for the serving layer.
+
+A trace replays what a multi-tenant inference service actually sees: the
+operators of one network family (BERT-small or GPT-2) across a stream of
+varying sequence lengths, with bursty repetition — the same hot shape
+arrives many times, often back-to-back.  Bursts are what make single-flight
+coalescing matter; shape variety is what exercises the warm-start path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cache import shape_fingerprint
+from repro.ir.compute import ComputeDef
+from repro.models.bert import bert_small
+from repro.models.gpt2 import gpt2
+from repro.utils.rng import spawn_rng
+
+__all__ = ["shape_stream", "trace_summary", "TRACE_MODELS"]
+
+#: model name -> (graph factory taking (batch, seq), default seq lengths)
+TRACE_MODELS = {
+    "bert": (bert_small, (64, 128, 192, 256, 384, 512)),
+    "gpt2": (gpt2, (128, 256, 512, 1024)),
+}
+
+
+def shape_stream(
+    model: str = "bert",
+    num_requests: int = 200,
+    seed: int = 0,
+    seq_lengths: tuple[int, ...] | None = None,
+    batches: tuple[int, ...] = (4, 8, 16),
+    burstiness: float = 0.35,
+) -> list[ComputeDef]:
+    """A request stream over ``model``'s dynamic-shape operator family.
+
+    The shape pool crosses every sequence length with every batch size —
+    the two axes a real serving frontend actually varies — so a 200-request
+    trace stays cold-construction-bound rather than collapsing onto a few
+    hot shapes.  Each step repeats the previous operator with probability
+    ``burstiness`` (a traffic burst on one hot shape) and otherwise draws
+    uniformly from the pool.  Deterministic in ``seed``.
+    """
+    if model not in TRACE_MODELS:
+        raise ValueError(
+            f"unknown trace model {model!r}; choices: {sorted(TRACE_MODELS)}"
+        )
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    if not (0.0 <= burstiness < 1.0):
+        raise ValueError(f"burstiness must be in [0, 1), got {burstiness}")
+    if not batches:
+        raise ValueError("batches must be non-empty")
+    factory, default_seqs = TRACE_MODELS[model]
+    seqs = tuple(seq_lengths) if seq_lengths else default_seqs
+    unique: dict[str, ComputeDef] = {}
+    for batch in batches:
+        for seq in seqs:
+            for inst in factory(batch=batch, seq=seq).ops:
+                unique.setdefault(shape_fingerprint(inst.compute), inst.compute)
+    ops = list(unique.values())
+    rng = spawn_rng(seed, "trace", model, *batches, *seqs)
+    stream: list[ComputeDef] = []
+    current = ops[int(rng.integers(len(ops)))]
+    for _ in range(num_requests):
+        if not stream or rng.random() >= burstiness:
+            current = ops[int(rng.integers(len(ops)))]
+        stream.append(current)
+    return stream
+
+
+@dataclass
+class TraceSummary:
+    """Shape of a generated trace (for reports and sanity checks)."""
+
+    requests: int
+    unique_shapes: int
+    kinds: tuple[str, ...]
+
+    @property
+    def duplication(self) -> float:
+        """Mean repeats per unique shape — the coalescing/caching headroom."""
+        return self.requests / self.unique_shapes if self.unique_shapes else 0.0
+
+
+def trace_summary(stream: list[ComputeDef]) -> TraceSummary:
+    fingerprints = {shape_fingerprint(c) for c in stream}
+    return TraceSummary(
+        requests=len(stream),
+        unique_shapes=len(fingerprints),
+        kinds=tuple(sorted({c.kind for c in stream})),
+    )

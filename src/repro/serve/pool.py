@@ -1,0 +1,91 @@
+"""Bounded, priority-ordered worker pool.
+
+A fixed set of daemon threads drains a bounded :class:`queue.PriorityQueue`.
+Admission is strictly non-blocking: when the queue is full,
+:meth:`WorkerPool.submit_nowait` raises :class:`queue.Full` and the service
+turns that into a reject-with-reason response — backpressure is surfaced to
+tenants instead of silently growing an unbounded backlog.  Shutdown drains
+whatever was already admitted, then stops.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["WorkerPool"]
+
+
+@dataclass(order=True)
+class _WorkItem:
+    #: (-priority, admission sequence): higher priority first, FIFO within.
+    sort_key: tuple[int, int]
+    fn: Callable[[], None] = field(compare=False)
+
+
+class WorkerPool:
+    """Thread pool with a bounded priority queue and non-blocking admission."""
+
+    def __init__(
+        self, workers: int = 4, capacity: int = 64, name: str = "serve"
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: queue.PriorityQueue[_WorkItem] = queue.PriorityQueue(
+            maxsize=capacity
+        )
+        self._seq = itertools.count()
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"{name}-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._threads)
+
+    def depth(self) -> int:
+        """Current queue backlog (approximate, racy by nature)."""
+        return self._queue.qsize()
+
+    def submit_nowait(self, fn: Callable[[], None], priority: int = 0) -> None:
+        """Admit one work item or fail fast.
+
+        Raises :class:`queue.Full` when saturated and :class:`RuntimeError`
+        after :meth:`shutdown` — the caller owns turning either into a
+        rejection response.
+        """
+        if self._stop.is_set():
+            raise RuntimeError("worker pool is shut down")
+        self._queue.put_nowait(_WorkItem((-priority, next(self._seq)), fn))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; drain admitted items, then stop workers."""
+        self._stop.set()
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    def _run(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            try:
+                item.fn()
+            finally:
+                self._queue.task_done()

@@ -1,0 +1,360 @@
+"""CompileService: the multi-tenant front-end over DynamicGensor.
+
+Request lifecycle (documented in README/DESIGN "Serving"):
+
+1. **admit** — :meth:`CompileService.submit` either attaches the request to
+   an identical in-flight compilation (single-flight), enqueues it on the
+   bounded worker pool, or rejects it with a reason when saturated.
+2. **coalesce** — followers of an in-flight key never occupy a queue slot
+   or a worker; they resolve when the leader lands, tagged ``coalesced``.
+3. **serve-tier selection** — a worker serves the request from the best
+   tier its deadline affords: exact cache hit, then the normal
+   :class:`~repro.core.dynamic.DynamicGensor` hit/warm/cold path; when the
+   remaining deadline cannot fit the (EMA-estimated) cost of a cold
+   construction, it degrades to a cache-nearest warm start with a reduced
+   polish budget, then to the best canonical seed state.
+4. **stats** — every outcome is recorded in :class:`ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import replace
+
+from repro.core.cache import (
+    ScheduleCache,
+    family_fingerprint,
+    shape_fingerprint,
+)
+from repro.core.constructor import GensorConfig, GensorResult
+from repro.core.dynamic import DynamicGensor
+from repro.hardware.spec import HardwareSpec
+from repro.ir.compute import ComputeDef
+from repro.serve.pool import WorkerPool
+from repro.serve.request import CompileRequest, CompileResponse, ServeTicket
+from repro.serve.singleflight import SingleFlight
+from repro.serve.stats import ServiceStats
+from repro.sim.costmodel import CostModel
+from repro.sim.measure import MICROBENCH_SECONDS, Measurer
+
+__all__ = ["CompileService"]
+
+
+class CompileService:
+    """Concurrent compile serving over one device's DynamicGensor stack.
+
+    Args:
+        hardware: the device requests are optimized for.
+        config: construction budget for cold compilations.
+        workers: worker-thread count.
+        queue_capacity: bounded backlog; admission rejects beyond it.
+        cache: shared/persisted tuning database (fresh one by default).
+        warm_polish_steps: polish budget of the normal warm tier.
+        degraded_polish_steps: reduced budget of the degraded warm tier.
+        measurer_factory: builds the per-request measurer (benchmarks pass
+            one with ``time_scale > 0`` so profiling cost elapses in real
+            time); defaults to a noise-free micro-benchmark measurer.
+        cold_cost_estimate_s: initial guess of a cold construction's wall
+            cost, refined by an EMA of observed colds; deadline degradation
+            triggers when the remaining budget falls below the estimate.
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareSpec,
+        config: GensorConfig | None = None,
+        *,
+        workers: int = 4,
+        queue_capacity: int = 64,
+        cache: ScheduleCache | None = None,
+        warm_polish_steps: int = 40,
+        warm_pool: int = 3,
+        degraded_polish_steps: int = 8,
+        measurer_factory=None,
+        cold_cost_estimate_s: float = 1.0,
+    ) -> None:
+        self.hw = hardware
+        self.dynamic = DynamicGensor(
+            hardware,
+            config,
+            cache=cache,
+            warm_polish_steps=warm_polish_steps,
+            warm_pool=warm_pool,
+        )
+        self.degraded_polish_steps = degraded_polish_steps
+        self.stats = ServiceStats()
+        self._measurer_factory = measurer_factory or (
+            lambda: Measurer(
+                hardware,
+                seed=self.dynamic.config.seed,
+                noise_sigma=0.0,
+                seconds_per_measurement=MICROBENCH_SECONDS,
+            )
+        )
+        self._model = CostModel(hardware)
+        self._flight = SingleFlight()
+        self._pool = WorkerPool(workers=workers, capacity=queue_capacity)
+        self._cold_lock = threading.Lock()
+        self._cold_estimate_s = cold_cost_estimate_s
+        #: cold-stampede protection: one cold construction per operator
+        #: family at a time, so concurrent near shapes warm-start off the
+        #: first winner instead of all paying the cold cost.
+        self._family_locks: dict[str, threading.Lock] = {}
+        self._family_guard = threading.Lock()
+        #: shapes with a background compile-ahead pending (dedup set).
+        self._backfills: set[str] = set()
+        self._backfill_guard = threading.Lock()
+        self._closed = False
+
+    # -- public surface ----------------------------------------------------------
+
+    @property
+    def cache(self) -> ScheduleCache:
+        return self.dynamic.cache
+
+    @property
+    def cold_cost_estimate_s(self) -> float:
+        """Current EMA estimate of one cold construction's wall cost."""
+        with self._cold_lock:
+            return self._cold_estimate_s
+
+    def submit(
+        self,
+        compute: ComputeDef,
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ) -> ServeTicket:
+        """Admit one request; always returns a ticket (rejections resolve
+        immediately with ``tier="rejected"`` and a reason)."""
+        request = CompileRequest(
+            compute=compute, deadline_s=deadline_s, priority=priority
+        )
+        ticket = ServeTicket(request)
+        self.stats.record_submitted()
+        key = f"{self.hw.name}/{shape_fingerprint(compute)}"
+        if self._flight.attach_or_lead(key, ticket):
+            return ticket  # follower: resolved by the leader's completion
+        try:
+            self._pool.submit_nowait(
+                lambda: self._serve(key, ticket), priority=priority
+            )
+        except queue.Full:
+            self._refuse(key, ticket, "queue_full")
+        except RuntimeError:
+            self._refuse(key, ticket, "shutting_down")
+        return ticket
+
+    def serve(
+        self,
+        compute: ComputeDef,
+        deadline_s: float | None = None,
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> CompileResponse:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(compute, deadline_s, priority).result(timeout)
+
+    def close(self) -> None:
+        """Drain admitted work, then stop the workers.  Idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- worker path -------------------------------------------------------------
+
+    def _refuse(self, key: str, ticket: ServeTicket, reason: str) -> None:
+        """Reject the would-be leader and anyone who attached meanwhile."""
+        followers = self._flight.complete(key)
+        for t in (ticket, *followers):
+            response = CompileResponse(
+                request_id=t.request.request_id,
+                tier="rejected",
+                ok=False,
+                reason=reason,
+                coalesced=t is not ticket,
+                deadline_s=t.request.deadline_s,
+            )
+            t.fulfill(response)
+            self.stats.record(response)
+
+    def _serve(self, key: str, ticket: ServeTicket) -> None:
+        """Worker entry: compile, then resolve the leader and followers."""
+        request = ticket.request
+        try:
+            response = self._compile(request)
+        except Exception as exc:  # never kill a worker thread
+            response = CompileResponse(
+                request_id=request.request_id,
+                tier="failed",
+                ok=False,
+                reason=f"{type(exc).__name__}: {exc}",
+                deadline_s=request.deadline_s,
+            )
+        response.service_latency_s = time.perf_counter() - request.submitted_at
+        followers = self._flight.complete(key)
+        ticket.fulfill(response)
+        self.stats.record(response)
+        now = time.perf_counter()
+        for f in followers:
+            shared = replace(
+                response,
+                request_id=f.request.request_id,
+                coalesced=True,
+                deadline_s=f.request.deadline_s,
+                service_latency_s=now - f.request.submitted_at,
+            )
+            f.fulfill(shared)
+            self.stats.record(shared)
+
+    def _compile(self, request: CompileRequest) -> CompileResponse:
+        measurer = self._measurer_factory()
+        compute = request.compute
+        remaining = request.remaining_s()
+        degrade = (
+            remaining is not None
+            and remaining < self.cold_cost_estimate_s
+            and self.cache.get(compute) is None
+        )
+        if degrade:
+            served = self._degraded(compute, measurer)
+            if served is not None:
+                result, tier = served
+                # Compile-ahead: a degraded answer is a promise, not an end
+                # state — schedule the full construction in the background
+                # (lowest priority) so repeats of this shape hit the cache.
+                self._schedule_backfill(compute)
+                return CompileResponse(
+                    request_id=request.request_id,
+                    tier=tier,
+                    ok=True,
+                    result=result,
+                    deadline_s=request.deadline_s,
+                )
+            # No neighbor and no feasible seed: a cold construction is the
+            # only correct answer — serve it late rather than not at all.
+        t0 = time.perf_counter()
+        if self.cache.get(compute) is None and self.cache.nearest(compute) is None:
+            # Looks cold: serialize per family so a stampede of near shapes
+            # produces one cold construction plus warm starts, not N colds.
+            # DynamicGensor re-checks the cache once the lock is held, so
+            # waiters land on the warm path.
+            with self._family_lock(family_fingerprint(compute)):
+                dyn = self.dynamic.compile(compute, measurer)
+        else:
+            dyn = self.dynamic.compile(compute, measurer)
+        if dyn.source == "cold":
+            self._observe_cold(time.perf_counter() - t0)
+        return CompileResponse(
+            request_id=request.request_id,
+            tier=dyn.source,
+            ok=True,
+            result=dyn.result,
+            deadline_s=request.deadline_s,
+        )
+
+    def _degraded(
+        self, compute: ComputeDef, measurer: Measurer
+    ) -> tuple[GensorResult, str] | None:
+        """Deadline fallbacks, best first: reduced-polish warm, then seed."""
+        t0 = time.perf_counter()
+        gensor = self.dynamic.gensor
+        neighbor = self.cache.nearest(compute)
+        if neighbor is not None:
+            warm = neighbor.instantiate(compute)
+            if warm is not None and warm.memory_ok(self.hw):
+                measured_before = measurer.simulated_seconds
+                refined = gensor.polish(
+                    warm, self.degraded_polish_steps, frozenset()
+                )
+                metrics = measurer.measure(refined)
+                self.cache.put(refined, metrics.latency_s)
+                return (
+                    GensorResult(
+                        best=refined,
+                        best_metrics=metrics,
+                        top_results=[refined],
+                        iterations=0,
+                        states_visited=1,
+                        compile_wall_s=time.perf_counter() - t0,
+                        simulated_measure_s=measurer.simulated_seconds
+                        - measured_before,
+                    ),
+                    "degraded_warm",
+                )
+        seeds = [
+            s
+            for s in gensor.seed_states(compute)
+            if s.memory_ok(self.hw)
+        ]
+        if not seeds:
+            return None
+        best = min(seeds, key=self._model.latency)
+        # Purely analytical pick — not even one micro-benchmark round, so
+        # the tightest deadlines still get a schedule in milliseconds.  Not
+        # cached: seed quality would pollute future warm starts.
+        metrics = self._model.evaluate(best)
+        return (
+            GensorResult(
+                best=best,
+                best_metrics=metrics,
+                top_results=[best],
+                iterations=0,
+                states_visited=len(seeds),
+                compile_wall_s=time.perf_counter() - t0,
+                simulated_measure_s=0.0,
+            ),
+            "degraded_seed",
+        )
+
+    def _schedule_backfill(self, compute: ComputeDef) -> None:
+        """Queue a background full compile for a degraded-served shape.
+
+        Deduplicated per fingerprint and shed outright when the pool is
+        saturated or shutting down — backfill must never displace tenant
+        traffic.
+        """
+        key = shape_fingerprint(compute)
+        with self._backfill_guard:
+            if key in self._backfills:
+                return
+            self._backfills.add(key)
+
+        def run() -> None:
+            try:
+                if self.cache.get(compute) is None:
+                    t0 = time.perf_counter()
+                    with self._family_lock(family_fingerprint(compute)):
+                        dyn = self.dynamic.compile(
+                            compute, self._measurer_factory()
+                        )
+                    if dyn.source == "cold":
+                        self._observe_cold(time.perf_counter() - t0)
+                self.stats.record_backfill()
+            finally:
+                with self._backfill_guard:
+                    self._backfills.discard(key)
+
+        try:
+            self._pool.submit_nowait(run, priority=-(1 << 30))
+        except (queue.Full, RuntimeError):
+            with self._backfill_guard:
+                self._backfills.discard(key)
+
+    def _family_lock(self, family: str) -> threading.Lock:
+        with self._family_guard:
+            lock = self._family_locks.get(family)
+            if lock is None:
+                lock = self._family_locks[family] = threading.Lock()
+            return lock
+
+    def _observe_cold(self, wall_s: float) -> None:
+        with self._cold_lock:
+            self._cold_estimate_s = 0.7 * self._cold_estimate_s + 0.3 * wall_s

@@ -1,0 +1,57 @@
+"""Single-flight deduplication of concurrent identical requests.
+
+When many tenants ask for the same ``(device, shape_fingerprint)`` at
+once, only the first becomes the *leader* and occupies a worker; everyone
+else *attaches* as a follower and shares the leader's result the moment it
+lands.  This is the serving-layer analogue of the schedule cache: the
+cache deduplicates across time, single-flight deduplicates across
+concurrency — without it, a traffic spike on one hot shape would burn the
+whole worker pool compiling the same kernel N times.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.request import ServeTicket
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Key-indexed registry of in-flight compilations and their followers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._followers: dict[str, list[ServeTicket]] = {}
+
+    def attach_or_lead(self, key: str, ticket: ServeTicket) -> bool:
+        """Join ``key``'s in-flight compilation, or start leading it.
+
+        Returns ``True`` when ``ticket`` was attached as a follower (it will
+        be resolved by the leader's completion) and ``False`` when the caller
+        just became the leader and must run — and eventually
+        :meth:`complete` — the compilation.
+        """
+        with self._lock:
+            followers = self._followers.get(key)
+            if followers is not None:
+                followers.append(ticket)
+                return True
+            self._followers[key] = []
+            return False
+
+    def complete(self, key: str) -> list[ServeTicket]:
+        """End ``key``'s flight; returns the followers awaiting its result.
+
+        Also used to abandon a flight whose leader was refused admission —
+        any followers that attached in the meantime are returned so they can
+        be refused alongside it.
+        """
+        with self._lock:
+            return self._followers.pop(key, [])
+
+    def in_flight(self) -> int:
+        """Number of distinct keys currently being compiled."""
+        with self._lock:
+            return len(self._followers)

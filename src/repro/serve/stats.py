@@ -1,0 +1,116 @@
+"""Service-level statistics: tier counts, throughput, latency percentiles.
+
+The stats object is the service's single source of operational truth: every
+response (served, coalesced, degraded, rejected, failed) is recorded under
+one lock, and :meth:`ServiceStats.snapshot` / :meth:`ServiceStats.render`
+expose the aggregate as a plain dict and a pretty table — the output of
+``python -m repro serve-bench``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.serve.request import CompileResponse, TIERS
+from repro.utils.tables import Table
+
+__all__ = ["ServiceStats", "percentile"]
+
+
+def percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    if not (0.0 < pct <= 100.0):
+        raise ValueError(f"pct must be in (0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+class ServiceStats:
+    """Thread-safe counters and latency sample of one compile service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tiers = {tier: 0 for tier in TIERS}
+        self._coalesced = 0
+        self._deadline_missed = 0
+        self._submitted = 0
+        self._backfills = 0
+        self._latencies: list[float] = []
+        self._first_submit: float | None = None
+        self._last_done: float | None = None
+
+    def record_backfill(self) -> None:
+        """A background compile-ahead completed after a degraded response."""
+        with self._lock:
+            self._backfills += 1
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+            if self._first_submit is None:
+                self._first_submit = time.perf_counter()
+
+    def record(self, response: CompileResponse) -> None:
+        with self._lock:
+            self._tiers[response.tier] += 1
+            if response.coalesced:
+                self._coalesced += 1
+            if response.ok:
+                self._latencies.append(response.service_latency_s)
+            if not response.deadline_met and response.deadline_s is not None:
+                self._deadline_missed += 1
+            self._last_done = time.perf_counter()
+
+    def snapshot(self, wall_s: float | None = None) -> dict:
+        """Aggregate view as a plain dict.
+
+        ``wall_s`` overrides the measured first-submission → last-completion
+        window used for throughput (benchmarks pass their own clock).
+        """
+        with self._lock:
+            tiers = dict(self._tiers)
+            latencies = list(self._latencies)
+            completed = len(latencies)
+            if wall_s is None:
+                if self._first_submit is None or self._last_done is None:
+                    wall_s = 0.0
+                else:
+                    wall_s = self._last_done - self._first_submit
+            return {
+                **tiers,
+                "submitted": self._submitted,
+                "completed": completed,
+                "coalesced": self._coalesced,
+                "degraded": tiers["degraded_warm"] + tiers["degraded_seed"],
+                "deadline_missed": self._deadline_missed,
+                "backfilled": self._backfills,
+                "wall_s": wall_s,
+                "throughput_rps": completed / wall_s if wall_s > 0 else 0.0,
+                "p50_ms": percentile(latencies, 50) * 1e3,
+                "p95_ms": percentile(latencies, 95) * 1e3,
+                "p99_ms": percentile(latencies, 99) * 1e3,
+            }
+
+    def render(self, wall_s: float | None = None, title: str = "") -> str:
+        """The stats as an aligned two-column table."""
+        snap = self.snapshot(wall_s)
+        table = Table(
+            "metric", "value", title=title or "compile service stats"
+        )
+        table.add_row("submitted", snap["submitted"])
+        table.add_row("completed", snap["completed"])
+        for tier in TIERS:
+            table.add_row(f"tier:{tier}", snap[tier])
+        table.add_row("coalesced", snap["coalesced"])
+        table.add_row("degraded", snap["degraded"])
+        table.add_row("deadline_missed", snap["deadline_missed"])
+        table.add_row("backfilled", snap["backfilled"])
+        table.add_row("throughput", f"{snap['throughput_rps']:.2f} req/s")
+        table.add_row("p50 latency", f"{snap['p50_ms']:.1f} ms")
+        table.add_row("p95 latency", f"{snap['p95_ms']:.1f} ms")
+        table.add_row("p99 latency", f"{snap['p99_ms']:.1f} ms")
+        return table.render()

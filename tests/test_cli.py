@@ -61,6 +61,21 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "fig06", "--full"])
         assert args.name == "fig06" and args.full
 
+    def test_compile_accepts_dynamic_method(self):
+        args = build_parser().parse_args(
+            ["compile", "--op", "gemm", "--shape", "64x64x64",
+             "--method", "dynamic"]
+        )
+        assert args.method == "dynamic"
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.model == "bert"
+        assert args.requests == 200
+        assert args.workers == 8
+        assert args.deadline_ms is None
+        assert args.window == 64
+
 
 class TestMain:
     def test_devices_command(self, capsys):
@@ -84,6 +99,26 @@ class TestMain:
         )
         assert code == 0
         assert "__global__" in capsys.readouterr().out
+
+    def test_compile_dynamic_reports_serve_source(self, capsys):
+        code = main(
+            ["compile", "--op", "gemm", "--shape", "64x32x64",
+             "--method", "dynamic"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served:     cold" in out
+        assert "schedule:" in out and "predicted:" in out
+
+    def test_serve_bench_runs(self, capsys):
+        code = main(
+            ["serve-bench", "--model", "bert", "--requests", "8",
+             "--workers", "2", "--time-scale", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench" in out and "tier:cold" in out
+        assert "0 failed" in out
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "fig99"]) == 2

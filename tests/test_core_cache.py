@@ -1,8 +1,15 @@
 """Persistent schedule cache."""
 
+import threading
+
 import pytest
 
-from repro.core.cache import CachedSchedule, ScheduleCache, shape_fingerprint
+from repro.core.cache import (
+    CachedSchedule,
+    ScheduleCache,
+    family_fingerprint,
+    shape_fingerprint,
+)
 from repro.ir import operators as ops
 from repro.ir.etir import ETIR
 
@@ -27,6 +34,24 @@ class TestFingerprint:
         a = ops.matmul(64, 64, 64)
         fp = shape_fingerprint(a)
         assert fp.startswith("gemm[")
+
+
+class TestFamilyFingerprint:
+    def test_extent_independent(self):
+        a = ops.matmul(64, 32, 64, "small")
+        b = ops.matmul(4096, 4096, 4096, "big")
+        assert family_fingerprint(a) == family_fingerprint(b)
+
+    def test_kind_sensitive(self):
+        a = ops.matmul(64, 64, 64)
+        b = ops.gemv(64, 64)
+        assert family_fingerprint(a) != family_fingerprint(b)
+
+    def test_coarser_than_shape_fingerprint(self):
+        a = ops.matmul(64, 32, 64)
+        b = ops.matmul(128, 32, 64)
+        assert shape_fingerprint(a) != shape_fingerprint(b)
+        assert family_fingerprint(a) == family_fingerprint(b)
 
 
 class TestCachedSchedule:
@@ -108,3 +133,74 @@ class TestScheduleCache:
         cache.save(path)
         with pytest.raises(ValueError, match="tuned for"):
             ScheduleCache.load(path, edge_hw)
+
+    def test_save_leaves_no_temp_files(self, hw, tmp_path):
+        cache = ScheduleCache(hw)
+        cache.put(make_state(), 1e-3)
+        cache.save(tmp_path / "cache.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+    def test_save_replaces_existing_file(self, hw, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ScheduleCache(hw)
+        cache.save(path)
+        cache.put(make_state(), 1e-3)
+        cache.save(path)
+        assert len(ScheduleCache.load(path, hw)) == 1
+
+    def test_load_rejects_corrupt_json(self, hw, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text('{"device": "NVIDIA GeF')  # truncated mid-write
+        with pytest.raises(ValueError, match="corrupt schedule cache"):
+            ScheduleCache.load(path, hw)
+
+    def test_load_rejects_wrong_payload_shape(self, hw, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text('["not", "a", "cache"]')
+        with pytest.raises(ValueError, match="ill-formed schedule cache"):
+            ScheduleCache.load(path, hw)
+
+    def test_load_rejects_ill_formed_entry(self, hw, tmp_path):
+        cache = ScheduleCache(hw)
+        cache.put(make_state(), 1e-3)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        import json
+
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["entries"]))
+        del payload["entries"][key]["block_tiles"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="ill-formed schedule cache entry"):
+            ScheduleCache.load(path, hw)
+
+
+class TestCacheThreadSafety:
+    def test_concurrent_put_get_nearest(self, hw):
+        """Many threads hammering one cache: no exceptions, no lost entries."""
+        cache = ScheduleCache(hw)
+        sizes = [64, 128, 256, 512, 1024, 2048]
+        errors: list[Exception] = []
+
+        def worker(tid: int) -> None:
+            try:
+                for round_ in range(30):
+                    m = sizes[(tid + round_) % len(sizes)]
+                    state = make_state(m, 256, 512, f"t{tid}")
+                    cache.put(state, 1e-3 / (tid + 1))
+                    cache.get(state.compute)
+                    cache.nearest(ops.matmul(m + 8, 256, 512, "probe"))
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) == len(sizes)
+        # every fingerprint kept its fastest observed latency
+        for entry in cache.entries():
+            assert entry.latency_s == pytest.approx(1e-3 / 8)

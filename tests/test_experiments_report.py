@@ -22,7 +22,7 @@ class TestReport:
             "table05_breakdown", "table06_ablation", "fig08_compile_time",
             "fig09_end2end", "fig10_tradeoff", "fig11_dynamic_bert",
             "fig12_dynamic_timeline", "memory_overhead",
-            "convergence_analysis",
+            "convergence_analysis", "serving_throughput",
         }
         assert names == expected
 

@@ -1,0 +1,75 @@
+"""Synthetic dynamic-shape request traces."""
+
+import pytest
+
+from repro.core.cache import shape_fingerprint
+from repro.models.trace import TRACE_MODELS, shape_stream, trace_summary
+
+
+class TestShapeStream:
+    def test_deterministic_in_seed(self):
+        a = shape_stream("bert", num_requests=50, seed=3)
+        b = shape_stream("bert", num_requests=50, seed=3)
+        assert [shape_fingerprint(c) for c in a] == [
+            shape_fingerprint(c) for c in b
+        ]
+
+    def test_seed_changes_stream(self):
+        a = shape_stream("bert", num_requests=50, seed=0)
+        b = shape_stream("bert", num_requests=50, seed=1)
+        assert [shape_fingerprint(c) for c in a] != [
+            shape_fingerprint(c) for c in b
+        ]
+
+    def test_requested_length(self):
+        assert len(shape_stream("bert", num_requests=17)) == 17
+
+    def test_bursts_repeat_shapes(self):
+        stream = shape_stream("bert", num_requests=200, seed=0)
+        summary = trace_summary(stream)
+        assert summary.requests == 200
+        assert 1 < summary.unique_shapes < 200
+        assert summary.duplication > 1.5  # hot shapes genuinely repeat
+
+    def test_gpt2_trace(self):
+        stream = shape_stream("gpt2", num_requests=40, seed=0)
+        summary = trace_summary(stream)
+        assert summary.requests == 40
+        assert summary.unique_shapes > 1
+        assert "gemm" in summary.kinds and "bmm" in summary.kinds
+
+    def test_custom_seq_lengths_shrink_pool(self):
+        narrow = shape_stream("bert", num_requests=100, seq_lengths=(128,),
+                              batches=(8,))
+        wide = shape_stream("bert", num_requests=100)
+        assert (
+            trace_summary(narrow).unique_shapes
+            < trace_summary(wide).unique_shapes
+        )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace model"):
+            shape_stream("resnet")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_requests": 0},
+            {"burstiness": 1.0},
+            {"burstiness": -0.1},
+            {"batches": ()},
+        ],
+    )
+    def test_invalid_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            shape_stream("bert", **kwargs)
+
+    def test_model_registry_names(self):
+        assert set(TRACE_MODELS) == {"bert", "gpt2"}
+
+
+class TestTraceSummary:
+    def test_empty_stream(self):
+        summary = trace_summary([])
+        assert summary.requests == 0
+        assert summary.duplication == 0.0

@@ -1,0 +1,75 @@
+"""Bounded priority worker pool."""
+
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.serve.pool import WorkerPool
+
+
+class TestWorkerPool:
+    def test_executes_submitted_work(self):
+        pool = WorkerPool(workers=2, capacity=8)
+        done = threading.Event()
+        pool.submit_nowait(done.set)
+        assert done.wait(5.0)
+        pool.shutdown()
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError, match="capacity"):
+            WorkerPool(capacity=0)
+
+    def test_higher_priority_runs_first(self):
+        pool = WorkerPool(workers=1, capacity=8)
+        gate = threading.Event()
+        order: list[str] = []
+        # Occupy the single worker so the rest queue up and get reordered.
+        pool.submit_nowait(lambda: gate.wait(5.0))
+        time.sleep(0.1)  # let the worker pick up the blocker
+        pool.submit_nowait(lambda: order.append("low"), priority=-5)
+        pool.submit_nowait(lambda: order.append("high"), priority=5)
+        pool.submit_nowait(lambda: order.append("normal"), priority=0)
+        gate.set()
+        pool.shutdown(wait=True)
+        assert order == ["high", "normal", "low"]
+
+    def test_fifo_within_same_priority(self):
+        pool = WorkerPool(workers=1, capacity=8)
+        gate = threading.Event()
+        order: list[int] = []
+        pool.submit_nowait(lambda: gate.wait(5.0))
+        time.sleep(0.1)
+        for i in range(4):
+            pool.submit_nowait(lambda i=i: order.append(i))
+        gate.set()
+        pool.shutdown(wait=True)
+        assert order == [0, 1, 2, 3]
+
+    def test_full_queue_raises(self):
+        pool = WorkerPool(workers=1, capacity=1)
+        gate = threading.Event()
+        pool.submit_nowait(lambda: gate.wait(5.0))
+        time.sleep(0.1)  # blocker now holds the worker, queue is empty
+        pool.submit_nowait(lambda: None)  # fills the single slot
+        with pytest.raises(queue.Full):
+            pool.submit_nowait(lambda: None)
+        gate.set()
+        pool.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(workers=1, capacity=4)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit_nowait(lambda: None)
+
+    def test_shutdown_drains_admitted_work(self):
+        pool = WorkerPool(workers=2, capacity=16)
+        ran: list[int] = []
+        for i in range(10):
+            pool.submit_nowait(lambda i=i: ran.append(i))
+        pool.shutdown(wait=True)
+        assert sorted(ran) == list(range(10))

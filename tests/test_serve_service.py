@@ -1,0 +1,226 @@
+"""CompileService: admission, single-flight coalescing, serve tiers."""
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.cache import shape_fingerprint
+from repro.core.constructor import GensorConfig
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.serve import CompileService, SingleFlight
+from repro.serve.request import CompileRequest, ServeTicket
+
+
+def tiny_config(seed=0):
+    return GensorConfig(
+        seed=seed, num_chains=1, top_k=2, polish_steps=2,
+        max_iterations_per_chain=8,
+    )
+
+
+def make_service(hw, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("queue_capacity", 16)
+    kwargs.setdefault("warm_polish_steps", 2)
+    kwargs.setdefault("degraded_polish_steps", 2)
+    return CompileService(hw, tiny_config(), **kwargs)
+
+
+def gemm(m=64, k=32, n=64, name="op"):
+    return ops.matmul(m, k, n, name)
+
+
+def ticket_for(compute):
+    return ServeTicket(CompileRequest(compute=compute))
+
+
+class TestSingleFlightRegistry:
+    def test_first_leads_rest_attach(self):
+        flight = SingleFlight()
+        lead, follow = ticket_for(gemm()), ticket_for(gemm())
+        assert flight.attach_or_lead("k", lead) is False
+        assert flight.attach_or_lead("k", follow) is True
+        assert flight.in_flight() == 1
+        assert flight.complete("k") == [follow]
+        assert flight.in_flight() == 0
+
+    def test_distinct_keys_fly_independently(self):
+        flight = SingleFlight()
+        assert flight.attach_or_lead("a", ticket_for(gemm())) is False
+        assert flight.attach_or_lead("b", ticket_for(gemm())) is False
+        assert flight.in_flight() == 2
+
+    def test_complete_unknown_key_is_empty(self):
+        assert SingleFlight().complete("ghost") == []
+
+
+class TestSingleFlightDedup:
+    def test_concurrent_duplicates_compile_once(self, hw):
+        """N identical in-flight requests trigger exactly one compilation."""
+        service = make_service(hw)
+        calls: list = []
+        started = threading.Event()
+        gate = threading.Event()
+
+        def fake_compile(compute, measurer=None):
+            calls.append(compute)
+            started.set()
+            assert gate.wait(5.0)
+            return SimpleNamespace(source="cold", result=None)
+
+        service.dynamic.compile = fake_compile
+        compute = gemm()
+        leader = service.submit(compute)
+        assert started.wait(5.0)  # the leader now holds a worker
+        followers = [service.submit(gemm(name=f"dup{i}")) for i in range(5)]
+        gate.set()
+        responses = [t.result(timeout=5.0) for t in (leader, *followers)]
+        service.close()
+        assert len(calls) == 1
+        assert all(r.ok and r.tier == "cold" for r in responses)
+        assert [r.coalesced for r in responses] == [False] + [True] * 5
+        assert service.stats.snapshot()["coalesced"] == 5
+
+    def test_sequential_duplicates_do_not_coalesce(self, hw):
+        """Coalescing is concurrency-scoped; repeats over time hit the cache."""
+        with make_service(hw) as service:
+            first = service.serve(gemm(), timeout=30.0)
+            second = service.serve(gemm(), timeout=30.0)
+        assert first.tier == "cold" and not first.coalesced
+        assert second.tier == "hit" and not second.coalesced
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_rejects_with_reason(self, hw):
+        service = make_service(hw, workers=1, queue_capacity=1)
+        started = threading.Event()
+        gate = threading.Event()
+
+        def fake_compile(compute, measurer=None):
+            started.set()
+            assert gate.wait(5.0)
+            return SimpleNamespace(source="cold", result=None)
+
+        service.dynamic.compile = fake_compile
+        blocker = service.submit(gemm(64, 32, 64))
+        assert started.wait(5.0)
+        queued = service.submit(gemm(128, 32, 64))  # fills the only slot
+        rejected = service.submit(gemm(256, 32, 64)).result(timeout=1.0)
+        assert rejected.tier == "rejected" and not rejected.ok
+        assert rejected.reason == "queue_full"
+        gate.set()
+        assert blocker.result(timeout=5.0).ok
+        assert queued.result(timeout=5.0).ok
+        service.close()
+        assert service.stats.snapshot()["rejected"] == 1
+
+    def test_rejection_covers_attached_followers(self, hw):
+        service = make_service(hw, workers=1, queue_capacity=1)
+        # Force the leader's enqueue to fail while a follower is attached.
+        key = f"{hw.name}/{shape_fingerprint(gemm())}"
+        follower = ticket_for(gemm())
+        lead = ticket_for(gemm())
+        assert service._flight.attach_or_lead(key, lead) is False
+        assert service._flight.attach_or_lead(key, follower) is True
+        service._refuse(key, lead, "queue_full")
+        assert lead.result(timeout=1.0).tier == "rejected"
+        resp = follower.result(timeout=1.0)
+        assert resp.tier == "rejected" and resp.coalesced
+        service.close()
+
+    def test_submit_after_close_rejects(self, hw):
+        service = make_service(hw)
+        service.close()
+        response = service.submit(gemm()).result(timeout=1.0)
+        assert response.tier == "rejected" and not response.ok
+        assert response.reason == "shutting_down"
+
+    def test_close_is_idempotent(self, hw):
+        service = make_service(hw)
+        service.close()
+        service.close()
+
+
+class TestServeTiers:
+    def test_hit_then_warm_progression(self, hw):
+        with make_service(hw) as service:
+            cold = service.serve(gemm(64, 32, 64), timeout=30.0)
+            hit = service.serve(gemm(64, 32, 64), timeout=30.0)
+            warm = service.serve(gemm(128, 32, 64), timeout=30.0)
+        assert cold.tier == "cold"
+        assert hit.tier == "hit"
+        assert warm.tier == "warm"
+        assert all(r.ok and r.result is not None for r in (cold, hit, warm))
+
+    def test_failure_is_contained(self, hw):
+        service = make_service(hw)
+
+        def boom(compute, measurer=None):
+            raise RuntimeError("kaboom")
+
+        service.dynamic.compile = boom
+        response = service.submit(gemm()).result(timeout=5.0)
+        assert response.tier == "failed" and not response.ok
+        assert "kaboom" in response.reason
+        # the worker survived the exception and still serves
+        service.dynamic.compile = lambda c, m=None: SimpleNamespace(
+            source="cold", result=None
+        )
+        assert service.submit(gemm(128, 32, 64)).result(timeout=5.0).ok
+        service.close()
+
+
+class TestDeadlineDegradation:
+    def test_tight_deadline_serves_seed_tier(self, hw):
+        service = make_service(hw, cold_cost_estimate_s=1e9)
+        response = service.serve(gemm(), deadline_s=10.0, timeout=30.0)
+        assert response.tier == "degraded_seed"
+        assert response.ok and response.degraded
+        assert response.result is not None
+        assert service.stats.snapshot()["degraded_seed"] == 1
+        # seed picks are analytical only and never pollute the cache...
+        service.close()
+        # ...but the backfill compiled the shape in the background.
+        assert service.cache.get(gemm()) is not None
+        assert service.stats.snapshot()["backfilled"] == 1
+
+    def test_tight_deadline_with_neighbor_serves_degraded_warm(self, hw):
+        service = make_service(hw, cold_cost_estimate_s=1e9)
+        neighbor = ETIR.from_tiles(
+            gemm(128, 32, 64, "seed"),
+            {"i": 32, "j": 32, "k": 16}, {"i": 4, "j": 4}, {"i": 1},
+        )
+        service.cache.put(neighbor, 1e-3)
+        response = service.serve(gemm(64, 32, 64), deadline_s=10.0, timeout=30.0)
+        service.close()
+        assert response.tier == "degraded_warm"
+        assert response.ok and response.degraded
+        # degraded-warm results are measured, so they do enter the cache
+        assert service.cache.get(gemm(64, 32, 64)) is not None
+
+    def test_no_deadline_never_degrades(self, hw):
+        with make_service(hw, cold_cost_estimate_s=1e9) as service:
+            response = service.serve(gemm(), timeout=30.0)
+        assert response.tier == "cold"
+
+    def test_generous_deadline_not_degraded(self, hw):
+        with make_service(hw, cold_cost_estimate_s=0.0) as service:
+            response = service.serve(gemm(), deadline_s=600.0, timeout=30.0)
+        assert response.tier == "cold"
+        assert response.deadline_met
+
+    def test_cached_shape_ignores_deadline_pressure(self, hw):
+        with make_service(hw, cold_cost_estimate_s=1e9) as service:
+            service.serve(gemm(), timeout=30.0)  # cold-fills the cache
+            response = service.serve(gemm(), deadline_s=0.5, timeout=30.0)
+        assert response.tier == "hit"
+
+    def test_cold_observation_updates_estimate(self, hw):
+        with make_service(hw, cold_cost_estimate_s=100.0) as service:
+            before = service.cold_cost_estimate_s
+            service.serve(gemm(), timeout=30.0)
+            after = service.cold_cost_estimate_s
+        assert after < before  # EMA pulled toward the observed fast cold

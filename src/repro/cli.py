@@ -1,18 +1,23 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro compile --op gemm --shape 4096x4096x4096 --method gensor
     python -m repro experiment fig06 [--full]
     python -m repro serve-bench --model bert --requests 200 --workers 8
+    python -m repro trace-report walk.jsonl [--chrome timeline.json]
     python -m repro devices
 
 ``compile`` optimizes a single operator with any method and prints the
 winning schedule, predicted metrics, generated kernel (with ``--emit``),
-and compile cost.  ``experiment`` regenerates one of the paper's
-tables/figures by name.  ``serve-bench`` replays a synthetic dynamic-shape
-request trace through the concurrent compile service and prints its stats
-table.  ``devices`` lists the simulated GPUs.
+and compile cost; ``--trace out.jsonl`` records the full Markov walk
+(per-step actions, probabilities, temperature) for gensor/dynamic.
+``experiment`` regenerates one of the paper's tables/figures by name.
+``serve-bench`` replays a synthetic dynamic-shape request trace through
+the concurrent compile service and prints its stats table.
+``trace-report`` summarizes a recorded trace (action mix, acceptance
+rate, convergence step) and can export a Chrome ``trace_event`` timeline.
+``devices`` lists the simulated GPUs.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ _EXPERIMENTS = {
     "memory": "repro.experiments.memory_overhead",
     "convergence": "repro.experiments.convergence_analysis",
     "serving": "repro.experiments.serving_throughput",
+    "walk": "repro.experiments.walk_diagnostics",
 }
 
 
@@ -102,7 +108,30 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     hw = _DEVICES[args.device]()
     compute = build_operator(args.op, args.shape)
     method = _make_method(args.method, hw, args.trials)
-    result = method.compile(compute)
+    tracer = None
+    if args.trace:
+        if args.method not in ("gensor", "dynamic"):
+            print(
+                f"--trace records the construction walk and needs "
+                f"--method gensor or dynamic, not {args.method!r}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.obs import JsonlTracer
+        from repro.sim.measure import MICROBENCH_SECONDS, Measurer
+
+        tracer = JsonlTracer(args.trace)
+        measurer = Measurer(
+            hw,
+            seed=method.config.seed,
+            noise_sigma=0.0,
+            seconds_per_measurement=MICROBENCH_SECONDS,
+            tracer=tracer,
+        )
+        result = method.compile(compute, measurer, tracer=tracer)
+        tracer.close()
+    else:
+        result = method.compile(compute)
     source = None
     if isinstance(result, DynamicCompileResult):
         source = result.source
@@ -115,6 +144,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print("predicted: ", result.best_metrics.summary())
     print(f"compile:    {result.compile_seconds:.2f}s "
           f"({result.simulated_measure_s:.2f}s simulated profiling)")
+    if tracer is not None:
+        print(f"trace:      {tracer.num_events} events -> {tracer.path} "
+              f"(summarize with: repro trace-report {tracer.path})")
     if args.emit:
         from repro.codegen import emit_cuda, lower_etir
 
@@ -167,6 +199,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import trace_report, write_chrome_trace
+
+    try:
+        print(trace_report(args.trace))
+    except (OSError, ValueError) as exc:
+        print(f"trace-report: {exc}", file=sys.stderr)
+        return 2
+    if args.chrome:
+        n = write_chrome_trace(args.trace, args.chrome)
+        print()
+        print(f"chrome trace: {n} events -> {args.chrome} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_devices(_args: argparse.Namespace) -> int:
     for name, factory in _DEVICES.items():
         hw = factory()
@@ -198,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="Ansor measurement budget")
     p_compile.add_argument("--emit", action="store_true",
                            help="print the generated kernel source")
+    p_compile.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                           help="record the construction walk as JSONL "
+                                "events (gensor/dynamic only)")
     p_compile.set_defaults(fn=_cmd_compile)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -226,6 +277,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of simulated profiling cost slept "
                               "in real time (0 = CPU-only)")
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_trace = sub.add_parser(
+        "trace-report",
+        help="summarize a JSONL construction trace",
+    )
+    p_trace.add_argument("trace", help="trace file from compile --trace")
+    p_trace.add_argument("--chrome", default=None, metavar="OUT.json",
+                         help="also export a Chrome trace_event timeline")
+    p_trace.set_defaults(fn=_cmd_trace_report)
 
     p_dev = sub.add_parser("devices", help="list simulated devices")
     p_dev.set_defaults(fn=_cmd_devices)

@@ -28,6 +28,7 @@ from repro.core.score import quick_latency
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.ir.etir import ETIR
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.costmodel import CostModel
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 from repro.sim.metrics import KernelMetrics
@@ -104,10 +105,17 @@ class Gensor:
     """Graph-based construction tensor compiler."""
 
     def __init__(
-        self, hardware: HardwareSpec, config: GensorConfig | None = None
+        self,
+        hardware: HardwareSpec,
+        config: GensorConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.hw = hardware
         self.config = config or GensorConfig()
+        #: default event sink; per-call tracers can override it.  The
+        #: NullTracer default keeps the walk allocation-free: every emission
+        #: below is guarded on ``tracer.enabled``.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Gensor's full analytical hardware model (noise-free — this is
         # analysis, not profiling).  The cheap roofline guides the walk;
         # this model ranks and refines the final candidates.
@@ -127,20 +135,27 @@ class Gensor:
         return cached
 
     def compile(
-        self, compute: ComputeDef, measurer: Measurer | None = None
+        self,
+        compute: ComputeDef,
+        measurer: Measurer | None = None,
+        tracer: Tracer | None = None,
     ) -> GensorResult:
         """Construct an optimized schedule for ``compute``.
 
         ``measurer`` provides the final top-k profiling; when omitted a
         fresh noise-free measurer on the constructor's device is used.
+        ``tracer`` overrides the constructor-level tracer for this call;
+        the walk consumes the identical RNG stream with tracing on or off.
         """
         t_start = time.perf_counter()
         cfg = self.config
+        tracer = tracer if tracer is not None else self.tracer
         measurer = measurer or Measurer(
             self.hw,
             seed=cfg.seed,
             noise_sigma=0.0,
             seconds_per_measurement=MICROBENCH_SECONDS,
+            tracer=tracer,
         )
         measured_before = measurer.simulated_seconds
         forbid = (
@@ -162,16 +177,62 @@ class Gensor:
                 and iteration < cfg.max_iterations_per_chain
             ):
                 progress = math.log2(cfg.initial_temperature / temperature)
-                edge = policy.select(state, progress, forbid)
+                if tracer.enabled:
+                    # Mirror TransitionPolicy.select call-for-call so the
+                    # RNG stream (and thus the walk) is trace-invariant.
+                    edges, probs = policy.probabilities(state, progress, forbid)
+                    edge = None
+                    if edges:
+                        idx = int(rng.choice(len(edges), p=probs))
+                        edge = edges[idx]
+                else:
+                    edge = policy.select(state, progress, forbid)
                 if edge is None:
                     break
+                src_level = state.cur_level
                 state = graph.nodes[edge.dst_key]
-                if rng.random() < append_probability(temperature):
+                appended = rng.random() < append_probability(temperature)
+                if appended:
                     candidates[state.key()] = state
+                if tracer.enabled:
+                    tracer.emit(
+                        "walk_step",
+                        {
+                            "compute": compute.name,
+                            "chain": chain,
+                            "iteration": iteration,
+                            "temperature": temperature,
+                            "level": src_level,
+                            "actions": [
+                                {
+                                    "kind": e.action.kind,
+                                    "axis": e.action.axis_idx,
+                                    "benefit": e.benefit,
+                                    "prob": float(p),
+                                }
+                                for e, p in zip(edges, probs)
+                            ],
+                            "chosen": idx,
+                            "appended": appended,
+                        },
+                        tid=chain,
+                    )
                 temperature *= cfg.cooling
                 iteration += 1
             candidates[state.key()] = state
             total_iterations += iteration
+            if tracer.enabled:
+                tracer.emit(
+                    "chain_end",
+                    {
+                        "compute": compute.name,
+                        "chain": chain,
+                        "iterations": iteration,
+                        "final_level": state.cur_level,
+                        "final_temperature": temperature,
+                    },
+                    tid=chain,
+                )
 
         # Algorithm 1 receives dim_configs as input: canonical dimension
         # configurations seed the pool alongside the walked states, so the
@@ -182,11 +243,24 @@ class Gensor:
         if cfg.polish_steps > 0:
             polished = {s.key(): s for s in shortlist}
             for s in shortlist:
-                p = self.polish(s, cfg.polish_steps, forbid)
+                p = self.polish(s, cfg.polish_steps, forbid, tracer=tracer)
                 polished[p.key()] = p
             shortlist = self._rank(polished.values())[: cfg.top_k]
         best, best_metrics = self._measure_shortlist(shortlist, measurer)
         wall = time.perf_counter() - t_start
+        if tracer.enabled:
+            tracer.emit(
+                "compile",
+                {
+                    "compute": compute.name,
+                    "iterations": total_iterations,
+                    "states_visited": graph.num_nodes,
+                    "shortlist": len(shortlist),
+                    "best_latency_s": best_metrics.latency_s,
+                    "chains": cfg.num_chains,
+                },
+                dur=wall,
+            )
         return GensorResult(
             best=best,
             best_metrics=best_metrics,
@@ -200,7 +274,11 @@ class Gensor:
     # -- warm-start hooks (public: used by DynamicGensor and repro.serve) --------
 
     def polish(
-        self, state: ETIR, max_steps: int, forbid: frozenset[str] = frozenset()
+        self,
+        state: ETIR,
+        max_steps: int,
+        forbid: frozenset[str] = frozenset(),
+        tracer: Tracer | None = None,
     ) -> ETIR:
         """Deterministic greedy refinement under the analytical value.
 
@@ -212,9 +290,12 @@ class Gensor:
         Public API: warm-started and degraded serving paths refine adapted
         cache entries with a reduced step budget instead of a full walk.
         """
+        tracer = tracer if tracer is not None else self.tracer
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         current = state
-        current_lat = self._model_latency(current)
+        start_lat = current_lat = self._model_latency(current)
         vthread_allowed = ActionKind.VTHREAD_UP not in forbid
+        steps = 0
         for _ in range(max_steps):
             best_next: ETIR | None = None
             best_lat = current_lat
@@ -225,6 +306,19 @@ class Gensor:
             if best_next is None:
                 break
             current, current_lat = best_next, best_lat
+            steps += 1
+        if tracer.enabled:
+            tracer.emit(
+                "polish",
+                {
+                    "compute": state.compute.name,
+                    "steps": steps,
+                    "max_steps": max_steps,
+                    "latency_before_s": start_lat,
+                    "latency_after_s": current_lat,
+                },
+                dur=time.perf_counter() - t0,
+            )
         return current
 
     def seed_states(self, compute: ComputeDef) -> list[ETIR]:

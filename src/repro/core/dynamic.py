@@ -28,6 +28,7 @@ from repro.core.cache import ScheduleCache
 from repro.core.constructor import Gensor, GensorConfig, GensorResult
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.costmodel import CostModel
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 
@@ -107,14 +108,19 @@ class DynamicGensor:
         self._model = CostModel(hardware)
 
     def compile(
-        self, compute: ComputeDef, measurer: Measurer | None = None
+        self,
+        compute: ComputeDef,
+        measurer: Measurer | None = None,
+        tracer: Tracer | None = None,
     ) -> DynamicCompileResult:
         """Serve one shape: cache hit, warm start, or cold construction."""
+        tracer = tracer if tracer is not None else NULL_TRACER
         measurer = measurer or Measurer(
             self.hw,
             seed=self.config.seed,
             noise_sigma=0.0,
             seconds_per_measurement=MICROBENCH_SECONDS,
+            tracer=tracer,
         )
         t0 = time.perf_counter()
 
@@ -125,6 +131,7 @@ class DynamicGensor:
                 self.stats.count("hit")
                 metrics = self._model.evaluate(state)
                 wall = time.perf_counter() - t0
+                self._trace(tracer, compute, "hit", wall)
                 return DynamicCompileResult(
                     GensorResult(
                         best=state,
@@ -152,7 +159,7 @@ class DynamicGensor:
                 refined = min(
                     (
                         self.gensor.polish(
-                            s, self.warm_polish_steps, frozenset()
+                            s, self.warm_polish_steps, frozenset(), tracer=tracer
                         )
                         for s in pool[: self.warm_pool]
                     ),
@@ -171,9 +178,22 @@ class DynamicGensor:
                     - measured_before,
                 )
                 self.cache.put(refined, metrics.latency_s)
+                self._trace(tracer, compute, "warm", wall)
                 return DynamicCompileResult(result, source="warm")
 
         self.stats.count("cold")
-        result = self.gensor.compile(compute, measurer)
+        result = self.gensor.compile(compute, measurer, tracer=tracer)
         self.cache.put(result.best, result.best_metrics.latency_s)
+        self._trace(tracer, compute, "cold", time.perf_counter() - t0)
         return DynamicCompileResult(result, source="cold")
+
+    @staticmethod
+    def _trace(
+        tracer: Tracer, compute: ComputeDef, source: str, wall: float
+    ) -> None:
+        if tracer.enabled:
+            tracer.emit(
+                "dynamic_serve",
+                {"compute": compute.name, "source": source},
+                dur=wall,
+            )

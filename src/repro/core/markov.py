@@ -44,7 +44,24 @@ class TransitionMatrix:
         return self.keys.index(key)
 
     def validate(self) -> None:
+        if np.isnan(self.matrix).any():
+            raise ValueError(
+                "transition matrix contains NaN probabilities "
+                "(a degenerate row was normalized by a zero total)"
+            )
         rows = self.matrix.sum(axis=1)
+        dead = np.flatnonzero(rows == 0.0)
+        if dead.size:
+            # An all-zero row is a state the chain can enter but never
+            # leave nor stay in: downstream normalization turns it into
+            # NaN probabilities.  Name the states instead of failing late.
+            shown = ", ".join(str(self.keys[i]) for i in dead[:3])
+            more = f" (+{dead.size - 3} more)" if dead.size > 3 else ""
+            raise ValueError(
+                f"transition matrix has {dead.size} all-zero row(s) — "
+                f"degenerate states with no outgoing probability: "
+                f"{shown}{more}; enable self_loop_sinks or prune them"
+            )
         if not np.allclose(rows, 1.0, atol=1e-9):
             raise ValueError("transition matrix rows must sum to 1")
         if (self.matrix < 0).any():

@@ -1,0 +1,55 @@
+"""Observability: tracing and metrics for the construction walk.
+
+The paper's convergence claims are about the *trajectory* of the Markov
+walk — which actions fire, with what normalized probabilities, and where
+the annealing converges — yet results alone only show the endpoint.  This
+package records the trajectory:
+
+* :mod:`repro.obs.tracer` — the :class:`Tracer` backends threaded through
+  ``Gensor.compile`` / ``polish``, ``Measurer.measure``, and the serving
+  layer (``NullTracer`` keeps the default path allocation-free);
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  labeled counters/gauges/histograms;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON export;
+* :mod:`repro.obs.report` — the ``repro trace-report`` summarizer
+  (action mix, acceptance rate, convergence step).
+"""
+
+from repro.obs.export import to_chrome_trace, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.report import render_report, summarize_walk, trace_report
+from repro.obs.tracer import (
+    JsonlTracer,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    load_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
+    "Tracer",
+    "get_registry",
+    "load_events",
+    "render_report",
+    "summarize_walk",
+    "to_chrome_trace",
+    "trace_report",
+    "write_chrome_trace",
+]

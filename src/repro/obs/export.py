@@ -1,0 +1,62 @@
+"""Trace exporters: Chrome ``trace_event`` JSON for timeline viewing.
+
+``chrome://tracing`` / Perfetto consume a JSON object with a
+``traceEvents`` array whose timestamps are microseconds.  Span events
+(``dur > 0``) map to complete events (``ph: "X"``); instants (one walk
+step) map to thread-scoped instant events (``ph: "i"``), and each Markov
+chain gets its own timeline row via ``tid``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.tracer import TraceEvent, load_events
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent], process_name: str = "repro"
+) -> dict:
+    """Convert events to the Chrome ``trace_event`` JSON object format."""
+    trace: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for event in events:
+        record = {
+            "name": event.name,
+            "pid": 0,
+            "tid": event.tid,
+            "ts": event.ts * 1e6,
+            "args": event.args,
+        }
+        if event.dur > 0:
+            record["ph"] = "X"
+            record["dur"] = event.dur * 1e6
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace.append(record)
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events_or_path: Iterable[TraceEvent] | str, out_path: str
+) -> int:
+    """Write a Chrome trace for ``events_or_path`` (a JSONL file path or an
+    event iterable); returns the number of exported events."""
+    if isinstance(events_or_path, str):
+        events = load_events(events_or_path)
+    else:
+        events = list(events_or_path)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(events), fh)
+    return len(events)

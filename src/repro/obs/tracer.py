@@ -1,0 +1,196 @@
+"""Tracer backends: structured events from the construction walk.
+
+A tracer receives :class:`TraceEvent` records from the instrumented hot
+paths (``Gensor.compile`` / ``polish``, ``Measurer.measure``, the serving
+layer).  Three backends cover the use cases:
+
+* :class:`NullTracer` — the zero-overhead default.  Instrumented code
+  guards every emission with ``if tracer.enabled:``, so the disabled path
+  never allocates an event payload, and the Markov walk consumes the
+  *identical* RNG stream whether tracing is on or off (the golden-trace
+  tests depend on that).
+* :class:`RecordingTracer` — in-memory event list for tests and the
+  ``walk_diagnostics`` experiment.
+* :class:`JsonlTracer` — one JSON object per line, the on-disk format of
+  ``repro compile --trace`` consumed by ``repro trace-report``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, IO, Iterable
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "JsonlTracer",
+    "load_events",
+]
+
+
+@dataclass
+class TraceEvent:
+    """One structured observation.
+
+    ``ts`` is a ``time.perf_counter`` stamp (seconds); ``dur`` is nonzero
+    for span events (a whole compile, a polish pass, one measurement) and
+    zero for instants (one walk step).  ``tid`` is the logical lane the
+    event belongs to — the Markov chain index inside one compile, or a
+    worker id in the serving layer — which becomes the timeline row in the
+    Chrome trace export.
+    """
+
+    name: str
+    ts: float
+    args: dict[str, Any] = field(default_factory=dict)
+    dur: float = 0.0
+    tid: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "ts": self.ts,
+            "dur": self.dur,
+            "tid": self.tid,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict[str, Any]) -> "TraceEvent":
+        return cls(
+            name=obj["name"],
+            ts=float(obj.get("ts", 0.0)),
+            args=dict(obj.get("args", {})),
+            dur=float(obj.get("dur", 0.0)),
+            tid=int(obj.get("tid", 0)),
+        )
+
+
+class Tracer:
+    """Base tracer: emission plus context-manager lifecycle.
+
+    ``enabled`` is the hot-path guard: instrumented code checks it before
+    building an event payload, so a disabled tracer costs one attribute
+    read per potential event and nothing else.
+    """
+
+    enabled: bool = True
+
+    def emit(
+        self,
+        name: str,
+        args: dict[str, Any] | None = None,
+        dur: float = 0.0,
+        tid: int = 0,
+    ) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any backing resources (idempotent)."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The default no-op tracer; ``enabled`` is False so instrumented code
+    skips payload construction entirely."""
+
+    enabled = False
+
+    def emit(
+        self,
+        name: str,
+        args: dict[str, Any] | None = None,
+        dur: float = 0.0,
+        tid: int = 0,
+    ) -> None:  # pragma: no cover - guarded out by ``enabled``
+        pass
+
+
+#: process-wide shared instance — NullTracer carries no state.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Keeps every event in memory (thread-safe append)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    def emit(
+        self,
+        name: str,
+        args: dict[str, Any] | None = None,
+        dur: float = 0.0,
+        tid: int = 0,
+    ) -> None:
+        event = TraceEvent(name, time.perf_counter(), args or {}, dur, tid)
+        with self._lock:
+            self.events.append(event)
+
+    def by_name(self, name: str) -> list[TraceEvent]:
+        with self._lock:
+            return [e for e in self.events if e.name == name]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.events)
+
+
+class JsonlTracer(Tracer):
+    """Streams events as JSON lines to ``path`` (thread-safe writes)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._file: IO[str] | None = open(self.path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.num_events = 0
+
+    def emit(
+        self,
+        name: str,
+        args: dict[str, Any] | None = None,
+        dur: float = 0.0,
+        tid: int = 0,
+    ) -> None:
+        event = TraceEvent(name, time.perf_counter(), args or {}, dur, tid)
+        line = json.dumps(event.to_json(), separators=(",", ":"))
+        with self._lock:
+            if self._file is None:
+                raise ValueError(f"tracer for {self.path!r} is closed")
+            self._file.write(line + "\n")
+            self.num_events += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+def load_events(path: str) -> list[TraceEvent]:
+    """Parse a JSONL trace file back into :class:`TraceEvent` records."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_json(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line ({exc})"
+                ) from exc
+    return events

@@ -32,6 +32,8 @@ from repro.core.constructor import GensorConfig, GensorResult
 from repro.core.dynamic import DynamicGensor
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.serve.pool import WorkerPool
 from repro.serve.request import CompileRequest, CompileResponse, ServeTicket
 from repro.serve.singleflight import SingleFlight
@@ -59,6 +61,10 @@ class CompileService:
         cold_cost_estimate_s: initial guess of a cold construction's wall
             cost, refined by an EMA of observed colds; deadline degradation
             triggers when the remaining budget falls below the estimate.
+        registry: metrics sink (queue-wait histogram, tier counters, cold
+            cost gauge); the process-wide registry by default.
+        tracer: optional event sink for per-request serve events (tier
+            decision, queue wait, coalesced follower count).
     """
 
     def __init__(
@@ -74,6 +80,8 @@ class CompileService:
         degraded_polish_steps: int = 8,
         measurer_factory=None,
         cold_cost_estimate_s: float = 1.0,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.hw = hardware
         self.dynamic = DynamicGensor(
@@ -84,7 +92,9 @@ class CompileService:
             warm_pool=warm_pool,
         )
         self.degraded_polish_steps = degraded_polish_steps
-        self.stats = ServiceStats()
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = ServiceStats(registry=self.registry)
         self._measurer_factory = measurer_factory or (
             lambda: Measurer(
                 hardware,
@@ -188,6 +198,8 @@ class CompileService:
     def _serve(self, key: str, ticket: ServeTicket) -> None:
         """Worker entry: compile, then resolve the leader and followers."""
         request = ticket.request
+        queue_wait = time.perf_counter() - request.submitted_at
+        self.registry.histogram("serve_queue_wait_seconds").observe(queue_wait)
         try:
             response = self._compile(request)
         except Exception as exc:  # never kill a worker thread
@@ -202,6 +214,18 @@ class CompileService:
         followers = self._flight.complete(key)
         ticket.fulfill(response)
         self.stats.record(response)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "serve",
+                {
+                    "request_id": request.request_id,
+                    "compute": request.compute.name,
+                    "tier": response.tier,
+                    "queue_wait_s": queue_wait,
+                    "coalesced_followers": len(followers),
+                },
+                dur=response.service_latency_s,
+            )
         now = time.perf_counter()
         for f in followers:
             shared = replace(
@@ -358,3 +382,6 @@ class CompileService:
     def _observe_cold(self, wall_s: float) -> None:
         with self._cold_lock:
             self._cold_estimate_s = 0.7 * self._cold_estimate_s + 0.3 * wall_s
+            estimate = self._cold_estimate_s
+        self.registry.gauge("serve_cold_cost_estimate_s").set(estimate)
+        self.registry.histogram("serve_cold_wall_seconds").observe(wall_s)

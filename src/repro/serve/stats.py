@@ -12,6 +12,7 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.serve.request import CompileResponse, TIERS
 from repro.utils.tables import Table
 
@@ -30,10 +31,18 @@ def percentile(values: list[float], pct: float) -> float:
 
 
 class ServiceStats:
-    """Thread-safe counters and latency sample of one compile service."""
+    """Thread-safe counters and latency sample of one compile service.
 
-    def __init__(self) -> None:
+    Every recording also feeds ``registry`` (the process-wide
+    :class:`~repro.obs.metrics.MetricsRegistry` by default) with labeled
+    counters (``serve_responses_total{tier=...}``) and the latency
+    histogram, so registry totals always agree with the snapshot — the
+    serving stress tests assert that consistency.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
+        self.registry = registry if registry is not None else get_registry()
         self._tiers = {tier: 0 for tier in TIERS}
         self._coalesced = 0
         self._deadline_missed = 0
@@ -47,12 +56,14 @@ class ServiceStats:
         """A background compile-ahead completed after a degraded response."""
         with self._lock:
             self._backfills += 1
+        self.registry.counter("serve_backfills_total").inc()
 
     def record_submitted(self) -> None:
         with self._lock:
             self._submitted += 1
             if self._first_submit is None:
                 self._first_submit = time.perf_counter()
+        self.registry.counter("serve_submitted_total").inc()
 
     def record(self, response: CompileResponse) -> None:
         with self._lock:
@@ -64,6 +75,15 @@ class ServiceStats:
             if not response.deadline_met and response.deadline_s is not None:
                 self._deadline_missed += 1
             self._last_done = time.perf_counter()
+        self.registry.counter(
+            "serve_responses_total", tier=response.tier
+        ).inc()
+        if response.coalesced:
+            self.registry.counter("serve_coalesced_total").inc()
+        if response.ok:
+            self.registry.histogram("serve_latency_seconds").observe(
+                response.service_latency_s
+            )
 
     def snapshot(self, wall_s: float | None = None) -> dict:
         """Aggregate view as a plain dict.
@@ -94,6 +114,14 @@ class ServiceStats:
                 "p95_ms": percentile(latencies, 95) * 1e3,
                 "p99_ms": percentile(latencies, 99) * 1e3,
             }
+
+    def metrics_snapshot(self) -> dict:
+        """The backing registry's flat ``series -> value`` dump (JSON-able)."""
+        return self.registry.snapshot()
+
+    def render_metrics(self, title: str = "service metrics") -> str:
+        """The backing registry rendered as an aligned table."""
+        return self.registry.render(title=title)
 
     def render(self, wall_s: float | None = None, title: str = "") -> str:
         """The stats as an aligned two-column table."""

@@ -15,6 +15,7 @@ import time
 
 from repro.hardware.spec import HardwareSpec
 from repro.ir.etir import ETIR
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.costmodel import CostModel
 from repro.sim.metrics import KernelMetrics
 from repro.utils.rng import spawn_rng
@@ -44,6 +45,8 @@ class Measurer:
             :data:`MICROBENCH_SECONDS`.
         time_scale: fraction of the simulated measurement cost actually
             slept (0 disables sleeping; experiments use a small value).
+        tracer: optional event sink; every measurement emits a ``measure``
+            event with the resulting :class:`KernelMetrics` fields.
     """
 
     def __init__(
@@ -53,6 +56,7 @@ class Measurer:
         noise_sigma: float = 0.015,
         seconds_per_measurement: float = 0.35,
         time_scale: float = 0.0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.hw = hardware
         self.model = CostModel(hardware)
@@ -60,6 +64,7 @@ class Measurer:
         self.noise_sigma = noise_sigma
         self.seconds_per_measurement = seconds_per_measurement
         self.time_scale = time_scale
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.num_measurements = 0
 
     @property
@@ -74,11 +79,13 @@ class Measurer:
             time.sleep(self.seconds_per_measurement * self.time_scale)
         truth = self.model.evaluate(state)
         if not truth.feasible:
+            if self.tracer.enabled:
+                self._trace(state, truth)
             return truth
         rng = spawn_rng(self.seed, "measure", *map(str, state.key()))
         jitter = math.exp(rng.normal(0.0, self.noise_sigma))
         latency = truth.latency_s * jitter
-        return KernelMetrics(
+        metrics = KernelMetrics(
             latency_s=latency,
             achieved_flops=state.compute.total_flops / latency,
             compute_throughput=min(
@@ -92,6 +99,25 @@ class Measurer:
             bank_conflict_factor=truth.bank_conflict_factor,
             blocks_per_sm=truth.blocks_per_sm,
             waves=truth.waves,
+        )
+        if self.tracer.enabled:
+            self._trace(state, metrics)
+        return metrics
+
+    def _trace(self, state: ETIR, metrics: KernelMetrics) -> None:
+        self.tracer.emit(
+            "measure",
+            {
+                "compute": state.compute.name,
+                "schedule": state.describe(),
+                "feasible": metrics.feasible,
+                "latency_s": metrics.latency_s,
+                "achieved_flops": metrics.achieved_flops,
+                "l2_hit_rate": metrics.l2_hit_rate,
+                "sm_occupancy": metrics.sm_occupancy,
+                "simulated_cost_s": self.seconds_per_measurement,
+                "num_measurements": self.num_measurements,
+            },
         )
 
     def latency(self, state: ETIR) -> float:

@@ -76,6 +76,19 @@ class TestParser:
         assert args.deadline_ms is None
         assert args.window == 64
 
+    def test_compile_trace_defaults_off(self):
+        args = build_parser().parse_args(
+            ["compile", "--op", "gemm", "--shape", "64x64x64"]
+        )
+        assert args.trace is None
+
+    def test_trace_report_args(self):
+        args = build_parser().parse_args(
+            ["trace-report", "walk.jsonl", "--chrome", "timeline.json"]
+        )
+        assert args.trace == "walk.jsonl"
+        assert args.chrome == "timeline.json"
+
 
 class TestMain:
     def test_devices_command(self, capsys):
@@ -127,3 +140,40 @@ class TestMain:
     def test_experiment_runs(self, capsys):
         assert main(["experiment", "convergence"]) == 0
         assert "Markov" in capsys.readouterr().out
+
+
+class TestTracingCommands:
+    def test_compile_trace_then_report(self, capsys, tmp_path):
+        trace = str(tmp_path / "walk.jsonl")
+        chrome = str(tmp_path / "timeline.json")
+        code = main(
+            ["compile", "--op", "gemm", "--shape", "64x32x64",
+             "--trace", trace]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and trace in out
+
+        code = main(["trace-report", trace, "--chrome", chrome])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "walk steps" in out
+        assert "chrome trace:" in out
+
+        import json
+
+        doc = json.load(open(chrome))
+        assert doc["traceEvents"]
+
+    def test_trace_requires_construction_method(self, capsys, tmp_path):
+        code = main(
+            ["compile", "--op", "gemm", "--shape", "64x64x64",
+             "--method", "roller", "--trace", str(tmp_path / "t.jsonl")]
+        )
+        assert code == 2
+        assert "--method gensor or dynamic" in capsys.readouterr().err
+
+    def test_trace_report_missing_file(self, capsys, tmp_path):
+        code = main(["trace-report", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "trace-report:" in capsys.readouterr().err

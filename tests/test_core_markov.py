@@ -57,6 +57,43 @@ class TestBuildTransitionMatrix:
         with pytest.raises(ValueError, match="sum to 1"):
             bad.validate()
 
+    def test_validate_rejects_all_zero_rows(self):
+        # An all-zero row is a state the chain can enter but never leave;
+        # it must be named explicitly, not reported as a generic row-sum
+        # failure (and never slip through as NaN after normalization).
+        bad = TransitionMatrix(
+            keys=[("live",), ("dead",)],
+            matrix=np.array([[0.5, 0.5], [0.0, 0.0]]),
+        )
+        with pytest.raises(ValueError, match=r"all-zero.*\('dead',\)"):
+            bad.validate()
+
+    def test_validate_names_only_first_few_zero_rows(self):
+        n = 6
+        matrix = np.zeros((n, n))
+        matrix[0] = 1.0 / n
+        bad = TransitionMatrix(
+            keys=[(f"s{i}",) for i in range(n)], matrix=matrix
+        )
+        with pytest.raises(ValueError, match=r"5 all-zero.*\+2 more"):
+            bad.validate()
+
+    def test_validate_rejects_nan(self):
+        bad = TransitionMatrix(
+            keys=[("a",), ("b",)],
+            matrix=np.array([[np.nan, np.nan], [0.0, 1.0]]),
+        )
+        with pytest.raises(ValueError, match="NaN"):
+            bad.validate()
+
+    def test_validate_rejects_negative_probability(self):
+        bad = TransitionMatrix(
+            keys=[("a",), ("b",)],
+            matrix=np.array([[1.5, -0.5], [0.0, 1.0]]),
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            bad.validate()
+
 
 class TestStationaryDistribution:
     def test_is_fixed_point(self, tm):

@@ -11,6 +11,7 @@ from repro.experiments import (
     convergence_analysis,
     fig01_tree_vs_graph,
     memory_overhead,
+    walk_diagnostics,
 )
 from repro.experiments.fig06_ops_rtx4090 import run as run_fig06
 from repro.experiments.op_benchmark import run_op_benchmark
@@ -65,6 +66,17 @@ class TestMemoryOverhead:
         assert result.rows["roller_mb"] > 0
         # Tens of MB at most, as the paper reports.
         assert result.rows["overhead_mb"] < 100
+
+
+class TestWalkDiagnostics:
+    def test_quick_run_summaries(self):
+        result = walk_diagnostics.run(quick=True)
+        assert set(result.rows) == {"walk_gemm", "walk_conv"}
+        for summary in result.rows.values():
+            assert summary["steps"] > 0
+            assert summary["chains"] == 3
+            assert summary["prob_sum_err_max"] < 1e-9
+        assert "walk_gemm" in result.render()
 
 
 class TestOpBenchmarkSubset:

@@ -1,0 +1,115 @@
+"""Golden-trace determinism regression.
+
+A fixed seed plus a fixed :class:`GensorConfig` must reproduce the exact
+same Markov walk — the same chosen action at every step and the same
+final ETIR tile configuration. The expected traces live as JSON fixtures
+under ``tests/fixtures/``; any drift in RNG spawning, action enumeration
+order, benefit scoring, or probability normalization shows up here as a
+loud unified diff.
+
+To regenerate the fixtures after an *intentional* behavior change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+"""
+
+import difflib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import Gensor, GensorConfig
+from repro.ir import operators as ops
+from repro.obs import RecordingTracer
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+GOLDEN_CFG = GensorConfig(
+    seed=7, num_chains=2, top_k=4, polish_steps=10, max_iterations_per_chain=60
+)
+
+WORKLOADS = {
+    "golden_trace_matmul.json": lambda: ops.matmul(128, 64, 96, "golden_mm"),
+    "golden_trace_conv.json": lambda: ops.conv2d(
+        1, 8, 14, 14, 16, 3, 3, 1, "golden_conv"
+    ),
+}
+
+
+def walk_signature(hw, compute):
+    """Deterministic summary of one traced construction walk."""
+    tracer = RecordingTracer()
+    result = Gensor(hw, GOLDEN_CFG).compile(compute, tracer=tracer)
+    steps = []
+    for event in tracer.by_name("walk_step"):
+        chosen = event.args["actions"][event.args["chosen"]]
+        steps.append(
+            {
+                "chain": event.args["chain"],
+                "kind": chosen["kind"],
+                "axis": chosen["axis"],
+                "appended": event.args["appended"],
+            }
+        )
+    best = result.best
+    return {
+        "workload": compute.name,
+        "config": {
+            "seed": GOLDEN_CFG.seed,
+            "num_chains": GOLDEN_CFG.num_chains,
+            "top_k": GOLDEN_CFG.top_k,
+            "polish_steps": GOLDEN_CFG.polish_steps,
+            "max_iterations_per_chain": GOLDEN_CFG.max_iterations_per_chain,
+        },
+        "iterations": result.iterations,
+        "steps": steps,
+        "best": {
+            "cur_level": best.cur_level,
+            "tiles": [list(t) for t in best.config.tiles],
+            "vthreads": list(best.config.vthreads),
+        },
+    }
+
+
+def _dump(sig) -> str:
+    return json.dumps(sig, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("fixture_name", sorted(WORKLOADS))
+def test_golden_trace(hw, fixture_name):
+    actual = walk_signature(hw, WORKLOADS[fixture_name]())
+    path = FIXTURES / fixture_name
+
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        FIXTURES.mkdir(exist_ok=True)
+        path.write_text(_dump(actual))
+        pytest.skip(f"regenerated {path}")
+
+    assert path.exists(), (
+        f"missing golden fixture {path} — run with REPRO_REGEN_GOLDEN=1 to"
+        " create it"
+    )
+    expected = json.loads(path.read_text())
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                _dump(expected).splitlines(),
+                _dump(actual).splitlines(),
+                fromfile=f"expected ({fixture_name})",
+                tofile="actual",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            "golden trace drifted — the seeded Markov walk no longer "
+            "reproduces the recorded action sequence / final tile config.\n"
+            "If the change is intentional, regenerate with "
+            f"REPRO_REGEN_GOLDEN=1.\n{diff}"
+        )
+
+
+def test_signature_is_stable_across_runs(hw):
+    """Two in-process runs agree — rules out hidden global state."""
+    compute = WORKLOADS["golden_trace_matmul.json"]
+    assert walk_signature(hw, compute()) == walk_signature(hw, compute())

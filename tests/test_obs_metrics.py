@@ -1,0 +1,129 @@
+"""MetricsRegistry: instruments, labels, snapshots, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["p50"] == 2.0
+
+    def test_empty_summary(self):
+        s = Histogram().summary()
+        assert s["count"] == 0 and s["mean"] == 0.0 and s["p50"] == 0.0
+
+    def test_bounded_reservoir_keeps_exact_count(self):
+        h = Histogram(max_samples=16)
+        for i in range(100):
+            h.observe(float(i))
+        assert h.summary()["count"] == 100
+        assert h.summary()["max"] == 99.0  # exact extrema survive eviction
+
+    def test_percentile(self):
+        h = Histogram()
+        for i in range(1, 101):
+            h.observe(float(i))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(99) == 99.0
+
+
+class TestMetricsRegistry:
+    def test_same_series_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.counter("x", a="1") is r.counter("x", a="1")
+        assert r.counter("x", a="1") is not r.counter("x", a="2")
+
+    def test_type_collision_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            r.gauge("x")
+
+    def test_labeled_children_and_total(self):
+        r = MetricsRegistry()
+        r.counter("req", tier="hit").inc(3)
+        r.counter("req", tier="cold").inc(2)
+        assert r.total("req") == 5.0
+        assert len(r.series("req")) == 2
+
+    def test_total_rejects_non_counter(self):
+        r = MetricsRegistry()
+        r.gauge("g").set(1)
+        with pytest.raises(TypeError, match="not a counter"):
+            r.total("g")
+
+    def test_snapshot_renders_label_sets(self):
+        r = MetricsRegistry()
+        r.counter("req", tier="hit").inc()
+        r.gauge("estimate").set(1.5)
+        r.histogram("lat").observe(0.25)
+        snap = r.snapshot()
+        assert snap["req{tier=hit}"] == 1.0
+        assert snap["estimate"] == 1.5
+        assert snap["lat"]["count"] == 1
+
+    def test_render_mentions_every_series(self):
+        r = MetricsRegistry()
+        r.counter("req", tier="hit").inc()
+        r.histogram("lat").observe(0.5)
+        text = r.render()
+        assert "req{tier=hit}" in text
+        assert "lat" in text
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        r.reset()
+        assert r.snapshot() == {}
+
+    def test_process_wide_default_is_shared(self):
+        assert get_registry() is get_registry()
+
+    def test_concurrent_increments_lose_nothing(self):
+        r = MetricsRegistry()
+
+        def worker():
+            for _ in range(500):
+                r.counter("hits", worker="w").inc()
+                r.histogram("lat").observe(0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert r.counter("hits", worker="w").value == 4000
+        assert r.histogram("lat").summary()["count"] == 4000

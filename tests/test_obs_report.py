@@ -1,0 +1,181 @@
+"""Traced construction walks: event semantics, report, Chrome export.
+
+These are the acceptance checks of the observability layer: the trace's
+per-step probabilities are a distribution, its step count equals the
+walk's reported iteration count, and tracing does not perturb the walk.
+"""
+
+import json
+
+import pytest
+
+from repro.core import DynamicGensor, Gensor, GensorConfig
+from repro.ir import operators as ops
+from repro.obs import (
+    JsonlTracer,
+    RecordingTracer,
+    load_events,
+    render_report,
+    summarize_walk,
+    to_chrome_trace,
+    trace_report,
+    write_chrome_trace,
+)
+from repro.sim.measure import Measurer
+
+CFG = GensorConfig(
+    seed=3, num_chains=2, top_k=4, polish_steps=8, max_iterations_per_chain=50
+)
+
+
+@pytest.fixture(scope="module")
+def traced(hw):
+    tracer = RecordingTracer()
+    compute = ops.matmul(128, 64, 96, "obs_gemm")
+    result = Gensor(hw, CFG).compile(compute, tracer=tracer)
+    return tracer, result
+
+
+class TestWalkEvents:
+    def test_step_count_matches_reported_iterations(self, traced):
+        tracer, result = traced
+        assert len(tracer.by_name("walk_step")) == result.iterations
+
+    def test_per_step_probabilities_sum_to_one(self, traced):
+        tracer, _ = traced
+        for event in tracer.by_name("walk_step"):
+            probs = [a["prob"] for a in event.args["actions"]]
+            assert all(p >= 0.0 for p in probs)
+            assert sum(probs) == pytest.approx(1.0, abs=1e-9)
+
+    def test_chosen_action_is_among_candidates(self, traced):
+        tracer, _ = traced
+        for event in tracer.by_name("walk_step"):
+            assert 0 <= event.args["chosen"] < len(event.args["actions"])
+
+    def test_temperature_anneals_within_chain(self, traced):
+        tracer, _ = traced
+        by_chain = {}
+        for event in tracer.by_name("walk_step"):
+            by_chain.setdefault(event.args["chain"], []).append(
+                event.args["temperature"]
+            )
+        for temps in by_chain.values():
+            assert temps == sorted(temps, reverse=True)
+
+    def test_chain_end_and_compile_events(self, traced):
+        tracer, result = traced
+        ends = tracer.by_name("chain_end")
+        assert len(ends) == CFG.num_chains
+        compiles = tracer.by_name("compile")
+        assert len(compiles) == 1
+        assert compiles[0].args["iterations"] == result.iterations
+        assert compiles[0].dur > 0
+
+    def test_measure_events_cover_shortlist(self, traced):
+        tracer, result = traced
+        measures = tracer.by_name("measure")
+        assert len(measures) == len(result.top_results)
+        for event in measures:
+            assert event.args["latency_s"] > 0
+            assert 0.0 <= event.args["l2_hit_rate"] <= 1.0
+
+    def test_polish_events_report_improvement(self, traced):
+        tracer, _ = traced
+        polishes = tracer.by_name("polish")
+        assert polishes
+        for event in polishes:
+            assert event.args["steps"] <= event.args["max_steps"]
+            assert (
+                event.args["latency_after_s"] <= event.args["latency_before_s"]
+            )
+
+
+class TestTraceInvariance:
+    def test_tracing_does_not_perturb_the_walk(self, hw, traced):
+        _, result = traced
+        untraced = Gensor(hw, CFG).compile(ops.matmul(128, 64, 96, "obs_gemm"))
+        assert untraced.best.key() == result.best.key()
+        assert untraced.iterations == result.iterations
+        assert [s.key() for s in untraced.top_results] == [
+            s.key() for s in result.top_results
+        ]
+
+
+class TestDynamicTracing:
+    def test_sources_traced(self, hw):
+        tracer = RecordingTracer()
+        dyn = DynamicGensor(hw, CFG)
+        compute = ops.matmul(96, 64, 96, "obs_dyn")
+        dyn.compile(compute, tracer=tracer)  # cold
+        dyn.compile(compute, tracer=tracer)  # exact hit
+        dyn.compile(ops.matmul(112, 64, 96, "obs_dyn_b"), tracer=tracer)  # warm
+        sources = [e.args["source"] for e in tracer.by_name("dynamic_serve")]
+        assert sources == ["cold", "hit", "warm"]
+
+
+class TestMeasurerTracing:
+    def test_measure_event_per_call(self, hw, gemm_state):
+        tracer = RecordingTracer()
+        measurer = Measurer(hw, noise_sigma=0.0, tracer=tracer)
+        measurer.measure(gemm_state)
+        measurer.measure(gemm_state)
+        assert len(tracer.by_name("measure")) == 2
+        assert measurer.num_measurements == 2
+
+
+class TestReport:
+    def test_summary_fields(self, traced):
+        tracer, result = traced
+        summary = summarize_walk(tracer.events)
+        assert summary["steps"] == result.iterations
+        assert summary["chains"] == CFG.num_chains
+        assert 0.0 <= summary["acceptance_rate"] <= 1.0
+        assert summary["prob_sum_err_max"] < 1e-9
+        assert sum(summary["action_mix"].values()) == result.iterations
+        assert summary["measurements"] == len(result.top_results)
+        # Both chains crossed to the innermost level.
+        assert summary["convergence_step_mean"] is not None
+
+    def test_render_report(self, traced):
+        tracer, _ = traced
+        text = render_report(summarize_walk(tracer.events))
+        assert "walk steps" in text
+        assert "acceptance rate" in text
+        assert "convergence step (mean)" in text
+
+    def test_trace_report_from_jsonl(self, hw, tmp_path):
+        path = str(tmp_path / "walk.jsonl")
+        with JsonlTracer(path) as tracer:
+            Gensor(hw, CFG).compile(
+                ops.matmul(64, 64, 64, "obs_jsonl"), tracer=tracer
+            )
+        text = trace_report(path)
+        assert "walk steps" in text
+        assert path in text
+
+
+class TestChromeExport:
+    def test_export_shape(self, traced):
+        tracer, _ = traced
+        doc = to_chrome_trace(tracer.events)
+        events = doc["traceEvents"]
+        # metadata record + one record per event
+        assert len(events) == len(tracer.events) + 1
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "i", "X"}
+        for record in events:
+            if record["ph"] == "X":
+                assert record["dur"] > 0
+
+    def test_write_from_jsonl_path(self, hw, tmp_path):
+        src = str(tmp_path / "walk.jsonl")
+        out = str(tmp_path / "chrome.json")
+        with JsonlTracer(src) as tracer:
+            Gensor(hw, CFG).compile(
+                ops.matmul(64, 64, 64, "obs_chrome"), tracer=tracer
+            )
+        n = write_chrome_trace(src, out)
+        assert n == len(load_events(src))
+        doc = json.load(open(out))
+        assert len(doc["traceEvents"]) == n + 1

@@ -1,0 +1,119 @@
+"""Tracer backends: event capture, JSONL round-trip, null-path contract."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    JsonlTracer,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    load_events,
+)
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_emit_is_noop(self):
+        NULL_TRACER.emit("anything", {"k": 1})
+
+    def test_close_idempotent(self):
+        NULL_TRACER.close()
+        NULL_TRACER.close()
+
+
+class TestRecordingTracer:
+    def test_records_in_order(self):
+        t = RecordingTracer()
+        t.emit("a", {"x": 1})
+        t.emit("b", {"x": 2}, dur=0.5, tid=3)
+        assert [e.name for e in t.events] == ["a", "b"]
+        assert t.events[1].dur == 0.5
+        assert t.events[1].tid == 3
+        assert len(t) == 2
+
+    def test_by_name(self):
+        t = RecordingTracer()
+        t.emit("walk_step", {"i": 0})
+        t.emit("measure", {})
+        t.emit("walk_step", {"i": 1})
+        assert [e.args["i"] for e in t.by_name("walk_step")] == [0, 1]
+
+    def test_empty_tracer_is_not_discarded_by_is_none_checks(self):
+        # Regression: ``len() == 0`` makes the tracer falsy; instrumented
+        # code must resolve defaults with ``is None``, not truthiness.
+        t = RecordingTracer()
+        assert not t.events
+        resolved = t if t is not None else NULL_TRACER
+        assert resolved is t
+
+    def test_thread_safe_append(self):
+        t = RecordingTracer()
+
+        def worker(n):
+            for i in range(200):
+                t.emit("e", {"n": n, "i": i})
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(t) == 8 * 200
+
+
+class TestJsonlTracer:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTracer(path) as t:
+            t.emit("walk_step", {"chain": 0, "prob": 0.25}, tid=1)
+            t.emit("compile", {"iterations": 7}, dur=1.5)
+        assert t.num_events == 2
+        events = load_events(path)
+        assert [e.name for e in events] == ["walk_step", "compile"]
+        assert events[0].args == {"chain": 0, "prob": 0.25}
+        assert events[0].tid == 1
+        assert events[1].dur == 1.5
+
+    def test_emit_after_close_raises(self, tmp_path):
+        t = JsonlTracer(str(tmp_path / "t.jsonl"))
+        t.close()
+        with pytest.raises(ValueError, match="closed"):
+            t.emit("x")
+
+    def test_close_idempotent(self, tmp_path):
+        t = JsonlTracer(str(tmp_path / "t.jsonl"))
+        t.close()
+        t.close()
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTracer(path) as t:
+            for i in range(5):
+                t.emit("e", {"i": i})
+        lines = [l for l in open(path).read().splitlines() if l]
+        assert len(lines) == 5
+        assert all(json.loads(l)["name"] == "e" for l in lines)
+
+
+class TestLoadEvents:
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok", "ts": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_events(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "ts": 0}\n\n{"name": "b", "ts": 1}\n')
+        assert [e.name for e in load_events(str(path))] == ["a", "b"]
+
+    def test_event_defaults(self):
+        e = TraceEvent.from_json({"name": "x"})
+        assert e.ts == 0.0 and e.dur == 0.0 and e.tid == 0 and e.args == {}

@@ -1,0 +1,142 @@
+"""Concurrency stress: hammer CompileService with duplicate shapes.
+
+Sixteen threads release simultaneously (a barrier) against the same
+shape; single-flight dedup must coalesce all but one, no response may be
+lost, and the MetricsRegistry totals must agree with ServiceStats.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import GensorConfig
+from repro.ir import operators as ops
+from repro.obs import MetricsRegistry, RecordingTracer
+from repro.serve import CompileService
+from repro.serve.request import TIERS
+from repro.sim.measure import Measurer
+
+CHEAP = GensorConfig(
+    seed=11, num_chains=1, top_k=2, polish_steps=4, max_iterations_per_chain=20
+)
+
+THREADS = 16
+
+
+def make_service(hw, registry, tracer=None, **kwargs):
+    return CompileService(
+        hw,
+        CHEAP,
+        workers=4,
+        registry=registry,
+        tracer=tracer,
+        # Slow enough that followers pile onto the in-flight leader.
+        measurer_factory=lambda: Measurer(
+            hw, noise_sigma=0.0, seconds_per_measurement=0.02, time_scale=1.0
+        ),
+        **kwargs,
+    )
+
+
+class TestSingleFlightStampede:
+    def test_duplicate_shape_coalesces_and_loses_nothing(self, hw):
+        registry = MetricsRegistry()
+        tracer = RecordingTracer()
+        service = make_service(hw, registry, tracer=tracer)
+        barrier = threading.Barrier(THREADS)
+        responses = [None] * THREADS
+
+        def client(i):
+            barrier.wait()
+            compute = ops.matmul(128, 64, 96, "stampede")
+            responses[i] = service.serve(compute, timeout=60.0)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.close()
+
+        # Every client got an answer, and they all agree.
+        assert all(r is not None and r.ok for r in responses)
+        keys = {r.result.best.key() for r in responses}
+        assert len(keys) == 1
+        coalesced = [r for r in responses if r.coalesced]
+        assert len(coalesced) == THREADS - 1
+
+        snap = service.stats.snapshot()
+        assert snap["submitted"] == THREADS
+        assert snap["coalesced"] == THREADS - 1
+        assert sum(snap[t] for t in TIERS) == THREADS
+
+        # Registry totals match ServiceStats.
+        assert registry.counter("serve_submitted_total").value == THREADS
+        assert registry.total("serve_responses_total") == THREADS
+        assert registry.counter("serve_coalesced_total").value == THREADS - 1
+        lat = registry.histogram("serve_latency_seconds").summary()
+        assert lat["count"] == len([r for r in responses if r.ok])
+
+        # Exactly one walk actually ran; the serve events record the
+        # coalesced followers on the leader.
+        serve_events = tracer.by_name("serve")
+        assert len(serve_events) == 1
+        assert serve_events[0].args["coalesced_followers"] == THREADS - 1
+        assert serve_events[0].args["queue_wait_s"] >= 0.0
+
+    def test_mixed_shapes_under_load(self, hw):
+        registry = MetricsRegistry()
+        service = make_service(hw, registry)
+        shapes = [
+            ops.matmul(64 + 32 * (i % 3), 64, 96, f"mix_{i % 3}")
+            for i in range(2 * THREADS)
+        ]
+        barrier = threading.Barrier(len(shapes))
+        responses = [None] * len(shapes)
+
+        def client(i):
+            barrier.wait()
+            responses[i] = service.serve(shapes[i], timeout=120.0)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(shapes))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.close()
+
+        assert all(r is not None for r in responses), "lost a response"
+        assert all(r.ok for r in responses)
+
+        snap = service.stats.snapshot()
+        assert snap["submitted"] == len(shapes)
+        assert sum(snap[t] for t in TIERS) == len(shapes)
+        assert registry.counter("serve_submitted_total").value == len(shapes)
+        assert registry.total("serve_responses_total") == len(shapes)
+        assert (
+            registry.counter("serve_coalesced_total").value
+            == snap["coalesced"]
+        )
+        ok = [r for r in responses if r.ok]
+        assert (
+            registry.histogram("serve_latency_seconds").summary()["count"]
+            == len(ok)
+        )
+        # Queue-wait histogram saw every request that reached a worker
+        # (leaders only; followers never enter the queue).
+        waits = registry.histogram("serve_queue_wait_seconds").summary()
+        assert waits["count"] == len(shapes) - snap["coalesced"]
+
+    def test_submissions_after_close_are_refused_not_lost(self, hw):
+        registry = MetricsRegistry()
+        service = make_service(hw, registry)
+        service.close()
+        response = service.serve(ops.matmul(64, 64, 64, "late"))
+        assert not response.ok
+        assert response.tier == "rejected"
+        assert registry.total("serve_responses_total") == 1

@@ -49,6 +49,7 @@ _EXPERIMENTS = {
     "memory": "repro.experiments.memory_overhead",
     "convergence": "repro.experiments.convergence_analysis",
     "serving": "repro.experiments.serving_throughput",
+    "resilience": "repro.experiments.serving_resilience",
     "walk": "repro.experiments.walk_diagnostics",
 }
 
@@ -187,15 +188,30 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             window=args.window,
             time_scale=args.time_scale,
+            fault_plan=args.faults,
+            fail_fast=args.fail_fast,
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         print(f"serve-bench: {exc}", file=sys.stderr)
         return 2
+    except RuntimeError as exc:  # --fail-fast tripped
+        print(f"serve-bench: aborted: {exc}", file=sys.stderr)
+        return 1
     print(report.table)
     print()
     print(f"replayed {report.requests} requests "
           f"({report.unique_shapes} unique shapes) in {report.wall_s:.2f}s "
           f"-> {report.requests_per_s:.1f} req/s, {report.failed} failed")
+    if args.faults is not None:
+        res = report.resilience
+        print()
+        print(f"chaos: {res['faults_injected']} faults injected, "
+              f"{res['retries']} retries, "
+              f"{res['breaker_opens']} breaker opens, "
+              f"{sum(res['worker_respawns'].values())} worker respawns, "
+              f"{len(res['quarantined'])} cache quarantines")
+        print(f"availability: {report.availability:.1%} "
+              f"(degraded tiers count as available)")
     return 0 if report.failed == 0 else 1
 
 
@@ -276,6 +292,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--time-scale", type=float, default=1.0,
                          help="fraction of simulated profiling cost slept "
                               "in real time (0 = CPU-only)")
+    p_serve.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="chaos mode: inject faults from a FaultPlan "
+                              "JSON file (see DESIGN.md 'Resilience')")
+    p_serve.add_argument("--fail-fast", action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="abort the replay on the first error response "
+                              "instead of completing the trace")
     p_serve.set_defaults(fn=_cmd_serve_bench)
 
     p_trace = sub.add_parser(
@@ -294,7 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (ValueError, OSError) as exc:
+        # Operator errors (bad shapes, missing files) get one line on
+        # stderr and a non-zero exit, never a traceback.
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,10 +11,12 @@ re-optimization.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
 import threading
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
@@ -22,10 +24,12 @@ from typing import Iterable
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.ir.etir import ETIR
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 __all__ = [
     "CachedSchedule",
     "ScheduleCache",
+    "entry_checksum",
     "shape_fingerprint",
     "family_fingerprint",
 ]
@@ -124,6 +128,8 @@ class ScheduleCache:
         self.hw = hardware
         self._entries: dict[str, CachedSchedule] = {}
         self._lock = threading.RLock()
+        #: reasons for every record quarantined by the last :meth:`load`.
+        self.quarantined: list[str] = []
 
     def __len__(self) -> int:
         with self._lock:
@@ -167,60 +173,167 @@ class ScheduleCache:
         with self._lock:
             return list(self._entries.values())
 
+    # -- chaos hook --------------------------------------------------------------
+
+    def corrupt(self, compute_or_key: ComputeDef | str) -> bool:
+        """Mangle one entry in place (fault injection's ``corrupt-cache``).
+
+        The corrupted record keeps the shape key but carries axis names
+        matching no operator and an infinite latency, so readers see
+        ``instantiate() -> None`` (and fall through to a recompile, whose
+        winner then overwrites this record via :meth:`put`).  Returns
+        whether an entry existed to corrupt.
+        """
+        key = (
+            compute_or_key
+            if isinstance(compute_or_key, str)
+            else shape_fingerprint(compute_or_key)
+        )
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            self._entries[key] = CachedSchedule(
+                kind=entry.kind,
+                extents={"__corrupt__": 1},
+                block_tiles={"__corrupt__": 1},
+                thread_tiles={"__corrupt__": 1},
+                vthreads={},
+                latency_s=math.inf,
+            )
+            return True
+
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist atomically: a crash mid-save never corrupts the file.
+        """Persist crash-safely: journal write, fsync, then atomic rename.
 
-        The payload is written to a temporary sibling and moved into place
-        with :func:`os.replace`, so readers only ever observe either the old
-        or the new complete database.
+        The checksummed payload is written to a journal sibling, flushed
+        to disk, and moved into place with :func:`os.replace`, so readers
+        only ever observe either the old or the new complete database —
+        a crash mid-save never corrupts the live file.
         """
         path = Path(path)
         with self._lock:
             payload = {
                 "device": self.hw.name,
                 "entries": {
-                    key: entry.to_json() for key, entry in self._entries.items()
+                    key: {**entry.to_json(), "crc": entry_checksum(entry.to_json())}
+                    for key, entry in self._entries.items()
                 },
             }
-        tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+        journal = path.parent / f".{path.name}.journal.{os.getpid()}"
         try:
-            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-            os.replace(tmp, path)
+            with open(journal, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload, indent=2, sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(journal, path)
         finally:
-            tmp.unlink(missing_ok=True)
+            journal.unlink(missing_ok=True)
 
     @classmethod
-    def load(cls, path: str | Path, hardware: HardwareSpec) -> "ScheduleCache":
-        """Load a persisted cache, validating it was tuned for ``hardware``.
+    def load(
+        cls,
+        path: str | Path,
+        hardware: HardwareSpec,
+        *,
+        strict: bool = False,
+        registry: MetricsRegistry | None = None,
+    ) -> "ScheduleCache":
+        """Load a persisted cache, quarantining whatever is corrupt.
 
-        Raises :class:`ValueError` on corrupt or ill-formed files instead of
-        leaking ``JSONDecodeError``/``KeyError`` — the serving layer treats
-        that as "start with an empty tuning database", not a crash.
+        A truncated file, a flipped bit in one record (checksum mismatch),
+        or a missing field never crashes the serving layer and never
+        poisons the healthy entries: bad records are moved to a
+        ``.quarantine/`` directory next to the cache file (with the reason
+        attached), the rest load normally, and every quarantined record
+        increments ``cache_quarantined_total``.  ``strict=True`` restores
+        the all-or-nothing behavior (raise :class:`ValueError` on the
+        first corruption) for tools that prefer loud failure.  A device
+        mismatch always raises — that is a configuration error, not
+        corruption.
         """
+        path = Path(path)
+        registry = registry if registry is not None else get_registry()
+        cache = cls(hardware)
         try:
-            payload = json.loads(Path(path).read_text())
+            payload = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
-            raise ValueError(f"corrupt schedule cache {path}: {exc}") from exc
+            if strict:
+                raise ValueError(f"corrupt schedule cache {path}: {exc}") from exc
+            cache._quarantine_file(path, f"corrupt JSON: {exc}", registry)
+            return cache
         if not isinstance(payload, dict) or not isinstance(
             payload.get("entries"), dict
         ):
-            raise ValueError(
-                f"ill-formed schedule cache {path}: expected an object with "
-                "an 'entries' mapping"
-            )
+            reason = "expected an object with an 'entries' mapping"
+            if strict:
+                raise ValueError(f"ill-formed schedule cache {path}: {reason}")
+            cache._quarantine_file(path, reason, registry)
+            return cache
         if payload.get("device") != hardware.name:
             raise ValueError(
                 f"cache was tuned for {payload.get('device')!r}, "
                 f"not {hardware.name!r}"
             )
-        cache = cls(hardware)
         for key, data in payload["entries"].items():
             try:
+                if isinstance(data, dict) and "crc" in data:
+                    body = {k: v for k, v in data.items() if k != "crc"}
+                    if entry_checksum(body) != data["crc"]:
+                        raise ValueError(
+                            f"checksum mismatch (stored {data['crc']}, "
+                            f"computed {entry_checksum(body)})"
+                        )
+                    data = body
                 cache._entries[key] = CachedSchedule.from_json(data)
             except (KeyError, TypeError, ValueError, AttributeError) as exc:
-                raise ValueError(
-                    f"ill-formed schedule cache entry {key!r} in {path}: {exc}"
-                ) from exc
+                if strict:
+                    raise ValueError(
+                        f"ill-formed schedule cache entry {key!r} in {path}: "
+                        f"{exc}"
+                    ) from exc
+                cache._quarantine_entry(path, key, data, str(exc), registry)
         return cache
+
+    def _quarantine_file(
+        self, path: Path, reason: str, registry: MetricsRegistry
+    ) -> None:
+        """Move an unreadable cache file aside and start empty."""
+        qdir = path.parent / ".quarantine"
+        qdir.mkdir(exist_ok=True)
+        try:
+            os.replace(path, qdir / path.name)
+        except OSError:  # cross-device or permission trouble: leave in place
+            pass
+        self.quarantined.append(f"{path.name}: {reason}")
+        registry.counter("cache_quarantined_total").inc()
+
+    def _quarantine_entry(
+        self,
+        path: Path,
+        key: str,
+        data: object,
+        reason: str,
+        registry: MetricsRegistry,
+    ) -> None:
+        """Park one bad record in ``.quarantine/`` and keep loading."""
+        qdir = path.parent / ".quarantine"
+        qdir.mkdir(exist_ok=True)
+        digest = hashlib.sha256(key.encode()).hexdigest()[:8]
+        record = {"cache": path.name, "key": key, "reason": reason, "entry": data}
+        try:
+            (qdir / f"{path.name}.{digest}.json").write_text(
+                json.dumps(record, indent=2, default=str)
+            )
+        except OSError:
+            pass
+        self.quarantined.append(f"{key}: {reason}")
+        registry.counter("cache_quarantined_total").inc()
+
+
+def entry_checksum(entry_json: dict) -> int:
+    """CRC-32 of an entry's canonical JSON (flipped-bit detection)."""
+    canonical = json.dumps(entry_json, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode())

@@ -29,6 +29,7 @@ from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.ir.etir import ETIR
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.deadline import CancelToken
 from repro.sim.costmodel import CostModel
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 from repro.sim.metrics import KernelMetrics
@@ -139,6 +140,7 @@ class Gensor:
         compute: ComputeDef,
         measurer: Measurer | None = None,
         tracer: Tracer | None = None,
+        cancel: CancelToken | None = None,
     ) -> GensorResult:
         """Construct an optimized schedule for ``compute``.
 
@@ -146,6 +148,11 @@ class Gensor:
         fresh noise-free measurer on the constructor's device is used.
         ``tracer`` overrides the constructor-level tracer for this call;
         the walk consumes the identical RNG stream with tracing on or off.
+        ``cancel`` is a cooperative deadline token polled once per walk
+        iteration (and per polish step); an expired token raises
+        :class:`~repro.resilience.deadline.CompileCancelled` — polling
+        never touches the RNG streams, so cancellation preserves the
+        walk's determinism for attempts that do finish.
         """
         t_start = time.perf_counter()
         cfg = self.config
@@ -176,6 +183,8 @@ class Gensor:
                 temperature > cfg.threshold
                 and iteration < cfg.max_iterations_per_chain
             ):
+                if cancel is not None:
+                    cancel.check()
                 progress = math.log2(cfg.initial_temperature / temperature)
                 if tracer.enabled:
                     # Mirror TransitionPolicy.select call-for-call so the
@@ -243,7 +252,9 @@ class Gensor:
         if cfg.polish_steps > 0:
             polished = {s.key(): s for s in shortlist}
             for s in shortlist:
-                p = self.polish(s, cfg.polish_steps, forbid, tracer=tracer)
+                p = self.polish(
+                    s, cfg.polish_steps, forbid, tracer=tracer, cancel=cancel
+                )
                 polished[p.key()] = p
             shortlist = self._rank(polished.values())[: cfg.top_k]
         best, best_metrics = self._measure_shortlist(shortlist, measurer)
@@ -279,6 +290,7 @@ class Gensor:
         max_steps: int,
         forbid: frozenset[str] = frozenset(),
         tracer: Tracer | None = None,
+        cancel: CancelToken | None = None,
     ) -> ETIR:
         """Deterministic greedy refinement under the analytical value.
 
@@ -297,6 +309,8 @@ class Gensor:
         vthread_allowed = ActionKind.VTHREAD_UP not in forbid
         steps = 0
         for _ in range(max_steps):
+            if cancel is not None:
+                cancel.check()
             best_next: ETIR | None = None
             best_lat = current_lat
             for nxt in self._all_level_neighbors(current, vthread_allowed):

@@ -29,6 +29,7 @@ from repro.core.constructor import Gensor, GensorConfig, GensorResult
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.deadline import CancelToken
 from repro.sim.costmodel import CostModel
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 
@@ -112,8 +113,13 @@ class DynamicGensor:
         compute: ComputeDef,
         measurer: Measurer | None = None,
         tracer: Tracer | None = None,
+        cancel: CancelToken | None = None,
     ) -> DynamicCompileResult:
-        """Serve one shape: cache hit, warm start, or cold construction."""
+        """Serve one shape: cache hit, warm start, or cold construction.
+
+        ``cancel`` is forwarded into the polish/construction loops so the
+        serving layer's per-attempt timeouts can reclaim a hung compile.
+        """
         tracer = tracer if tracer is not None else NULL_TRACER
         measurer = measurer or Measurer(
             self.hw,
@@ -159,7 +165,11 @@ class DynamicGensor:
                 refined = min(
                     (
                         self.gensor.polish(
-                            s, self.warm_polish_steps, frozenset(), tracer=tracer
+                            s,
+                            self.warm_polish_steps,
+                            frozenset(),
+                            tracer=tracer,
+                            cancel=cancel,
                         )
                         for s in pool[: self.warm_pool]
                     ),
@@ -182,7 +192,7 @@ class DynamicGensor:
                 return DynamicCompileResult(result, source="warm")
 
         self.stats.count("cold")
-        result = self.gensor.compile(compute, measurer, tracer=tracer)
+        result = self.gensor.compile(compute, measurer, tracer=tracer, cancel=cancel)
         self.cache.put(result.best, result.best_metrics.latency_s)
         self._trace(tracer, compute, "cold", time.perf_counter() - t0)
         return DynamicCompileResult(result, source="cold")

@@ -1,0 +1,118 @@
+"""Serving resilience: chaos replay vs the fault-free baseline.
+
+Beyond the paper: a production compile service is judged not just on
+throughput but on behavior under failure.  The same dynamic BERT shape
+trace is replayed twice through :class:`repro.serve.CompileService` —
+once clean, once under the standard chaos plan (worker crashes on ~10%
+of first attempts plus one poisoned operator family whose compiles always
+raise) — and the availability, tail latency, and degraded-tier share are
+compared.  The poisoned family trips its circuit breaker and sheds to
+the analytical degraded tiers, so the rest of the trace keeps its service
+level; crashed workers are respawned by the supervisor with their tickets
+requeued.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import family_fingerprint
+from repro.experiments.common import ExperimentResult, SEED, resolve_quick
+from repro.ir import operators as ops
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.retry import RetryPolicy
+from repro.serve.bench import run_serve_bench
+from repro.utils.tables import Table
+
+#: the family poisoned by the standard chaos plan: BERT's attention
+#: score/context batched matmuls.
+POISONED_FAMILY = family_fingerprint(ops.batched_matmul(12, 128, 64, 128))
+
+#: retry spacing scaled down so the chaos run's wall clock stays
+#: experiment-sized; attempt structure (3 tries, jitter, timeout) is the
+#: serving default.
+CHAOS_RETRY = RetryPolicy(
+    max_attempts=3, base_backoff_s=0.002, max_backoff_s=0.01,
+    jitter=0.5, attempt_timeout_s=30.0,
+)
+
+
+def standard_chaos_plan(seed: int = SEED) -> FaultPlan:
+    """~10% of first attempts crash their worker; one family always fails."""
+    return FaultPlan(
+        faults=(
+            FaultSpec(kind="raise", family=POISONED_FAMILY, rate=1.0),
+            FaultSpec(kind="crash", rate=0.1, attempts=(0,)),
+        ),
+        seed=seed,
+    )
+
+
+def run(device_name: str = "rtx4090", quick: bool | None = None) -> ExperimentResult:
+    quick = resolve_quick(quick)
+    requests = 60 if quick else 200
+    workers = 4 if quick else 8
+    runs = {}
+    for label, plan in (
+        ("fault-free", None),
+        ("chaos", standard_chaos_plan()),
+    ):
+        runs[label] = run_serve_bench(
+            model="bert",
+            num_requests=requests,
+            workers=workers,
+            device_name=device_name,
+            seed=SEED,
+            time_scale=0.0 if quick else 1.0,
+            fault_plan=plan,
+            retry=CHAOS_RETRY,
+        )
+    table = Table(
+        "Run", "availability", "p99 (ms)", "degraded share", "retries",
+        "respawns", "breaker opens",
+        title=f"Serving resilience — dynamic BERT trace "
+              f"({requests} requests, {workers} workers, {device_name})",
+    )
+    rows: dict[str, dict] = {}
+    for label, report in runs.items():
+        stats = report.stats
+        completed = stats["completed"] or 1
+        degraded_share = stats["degraded"] / completed
+        respawns = sum(report.resilience["worker_respawns"].values())
+        rows[label] = {
+            "availability": report.availability,
+            "p99_ms": stats["p99_ms"],
+            "degraded_share": degraded_share,
+            "retries": stats["retries"],
+            "worker_respawns": respawns,
+            "breaker_opens": stats["breaker_opens"],
+            "faults_injected": report.resilience["faults_injected"],
+        }
+        table.add_row(
+            label,
+            f"{report.availability:.1%}",
+            f"{stats['p99_ms']:.0f}",
+            f"{degraded_share:.1%}",
+            stats["retries"],
+            respawns,
+            stats["breaker_opens"],
+        )
+    chaos = rows["chaos"]
+    notes = [
+        f"chaos injected {chaos['faults_injected']} faults "
+        f"({chaos['worker_respawns']} worker respawns) yet availability "
+        f"held at {chaos['availability']:.1%} — degraded answers count as "
+        f"available because a worse schedule still runs",
+        f"the poisoned attention-matmul family tripped its breaker "
+        f"({chaos['breaker_opens']} open transitions) and was shed to "
+        f"analytical degraded tiers ({chaos['degraded_share']:.1%} of "
+        f"responses) instead of burning retries",
+    ]
+    return ExperimentResult(
+        name="serving_resilience",
+        table=table,
+        rows=rows,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -33,6 +33,12 @@ def summarize_walk(events: Iterable[TraceEvent]) -> dict:
     polish_steps = 0
     compiles: list[TraceEvent] = []
     serves: TallyCounter[str] = TallyCounter()
+    faults: TallyCounter[str] = TallyCounter()
+    retries = 0
+    breaker_transitions: TallyCounter[str] = TallyCounter()
+    respawns: TallyCounter[str] = TallyCounter()
+    crashes = 0
+    quarantines = 0
     for event in events:
         if event.name == "walk_step":
             steps += 1
@@ -62,6 +68,20 @@ def summarize_walk(events: Iterable[TraceEvent]) -> dict:
             compiles.append(event)
         elif event.name in ("serve", "dynamic_serve"):
             serves[event.args.get("tier") or event.args.get("source")] += 1
+        elif event.name == "fault_injected":
+            faults[event.args.get("kind", "?")] += 1
+        elif event.name == "retry":
+            retries += 1
+        elif event.name == "breaker":
+            breaker_transitions[
+                f"{event.args.get('from', '?')}->{event.args.get('to', '?')}"
+            ] += 1
+        elif event.name == "worker_respawn":
+            respawns[event.args.get("reason", "?")] += 1
+        elif event.name == "worker_crash":
+            crashes += 1
+        elif event.name == "quarantine":
+            quarantines += 1
     convergence = sorted(last_cache_step.values())
     return {
         "steps": steps,
@@ -82,6 +102,14 @@ def summarize_walk(events: Iterable[TraceEvent]) -> dict:
         "compiles": len(compiles),
         "compile_wall_s": sum(e.dur for e in compiles),
         "serve_mix": dict(sorted(serves.items())),
+        "resilience": {
+            "faults_injected": dict(sorted(faults.items())),
+            "retries": retries,
+            "breaker_transitions": dict(sorted(breaker_transitions.items())),
+            "worker_respawns": dict(sorted(respawns.items())),
+            "worker_crashes": crashes,
+            "quarantines": quarantines,
+        },
     }
 
 
@@ -117,6 +145,22 @@ def render_report(summary: dict, title: str = "trace report") -> str:
         table.add_row("compile wall", f"{summary['compile_wall_s']:.3f} s")
     for tier, count in summary["serve_mix"].items():
         table.add_row(f"served:{tier}", count)
+    res = summary.get("resilience", {})
+    if any(
+        v for v in res.values() if v
+    ):  # only when the trace saw failure events
+        for kind, count in res.get("faults_injected", {}).items():
+            table.add_row(f"fault:{kind}", count)
+        if res.get("retries"):
+            table.add_row("retries", res["retries"])
+        for move, count in res.get("breaker_transitions", {}).items():
+            table.add_row(f"breaker:{move}", count)
+        for reason, count in res.get("worker_respawns", {}).items():
+            table.add_row(f"respawn:{reason}", count)
+        if res.get("worker_crashes"):
+            table.add_row("worker crashes", res["worker_crashes"])
+        if res.get("quarantines"):
+            table.add_row("cache quarantines", res["quarantines"])
     return table.render()
 
 

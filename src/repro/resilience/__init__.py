@@ -1,0 +1,56 @@
+"""Resilience: fault injection, retries, breakers, supervised workers.
+
+The ROADMAP's production north star means the compile service must
+survive the failures a real fleet sees — hung compiles, crashed worker
+threads, corrupt tuning-database entries, poisoned operator families —
+and the paper's construction method is unusually well suited to a
+retry/degrade-first design: the Markov walk is deterministic in its
+seed and cheap to re-run, and the serving layer already has graceful
+degraded tiers to shed into.
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault injection
+  (:class:`FaultPlan` / :class:`FaultInjector`), the chaos half of the
+  story, driven by ``serve-bench --faults plan.json``;
+* :mod:`repro.resilience.deadline` — cooperative :class:`CancelToken`
+  polled inside the construction walk, so hung attempts are reclaimed;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` with capped
+  exponential backoff and deterministic jitter;
+* :mod:`repro.resilience.breaker` — per-family circuit breakers
+  (closed → open → half-open) shedding poisoned families to the
+  degraded tiers;
+* :mod:`repro.resilience.supervisor` — :class:`SupervisedWorkerPool`
+  with heartbeats, crash detection, and respawn.
+"""
+
+from repro.resilience.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+from repro.resilience.deadline import CancelToken, CompileCancelled
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyMeasurer,
+    InjectedFault,
+    InjectedWorkerCrash,
+    apply_fault,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import SupervisedWorkerPool
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "CancelToken",
+    "CircuitBreaker",
+    "CompileCancelled",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyMeasurer",
+    "InjectedFault",
+    "InjectedWorkerCrash",
+    "RetryPolicy",
+    "SupervisedWorkerPool",
+    "apply_fault",
+]

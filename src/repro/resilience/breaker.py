@@ -1,0 +1,162 @@
+"""Per-family circuit breakers: shed a poisoned operator family fast.
+
+One operator family whose compilations always fail (a codegen bug, a
+poisoned cache neighborhood, an injected chaos rule) must not burn the
+worker pool on doomed retries.  Each family gets the classic three-state
+breaker:
+
+* **closed** — requests flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the family
+  sheds immediately to the degraded tiers, no compile attempted, until
+  ``cooldown_s`` elapses.
+* **half-open** — after the cooldown, up to ``probe_budget`` trial
+  requests may attempt a real compile; one success closes the breaker,
+  one failure re-opens it (and restarts the cooldown).
+
+Transitions are reported through a callback so the serving layer can
+emit ``resilience_breaker_transitions_total`` and tracer events without
+this module depending on the metrics stack.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "BreakerBoard"]
+
+#: transition callback: (family, old_state, new_state)
+TransitionHook = Callable[[str, str, str], None]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    failure_threshold: int = 5
+    cooldown_s: float = 5.0
+    probe_budget: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.probe_budget < 1:
+            raise ValueError(f"probe_budget must be >= 1, got {self.probe_budget}")
+
+
+class CircuitBreaker:
+    """One family's breaker (thread-safe; time injectable for tests)."""
+
+    def __init__(
+        self,
+        family: str,
+        config: BreakerConfig | None = None,
+        on_transition: TransitionHook | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.family = family
+        self.config = config or BreakerConfig()
+        self._on_transition = on_transition
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_state()
+
+    def _probe_state(self) -> str:
+        # Lazily promote open -> half_open once the cooldown elapses.
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.config.cooldown_s
+        ):
+            self._transition("half_open")
+            self._probes_in_flight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May this request attempt a real compile right now?"""
+        with self._lock:
+            state = self._probe_state()
+            if state == "closed":
+                return True
+            if state == "half_open":
+                if self._probes_in_flight < self.config.probe_budget:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != "closed":
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._probe_state()
+            if state == "half_open":
+                # The probe failed: straight back to open, fresh cooldown.
+                self._open()
+                return
+            self._consecutive_failures += 1
+            if (
+                state == "closed"
+                and self._consecutive_failures >= self.config.failure_threshold
+            ):
+                self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        if self._state != "open":
+            self._transition("open")
+
+    def _transition(self, new: str) -> None:
+        old, self._state = self._state, new
+        if self._on_transition is not None:
+            self._on_transition(self.family, old, new)
+
+
+class BreakerBoard:
+    """Get-or-create registry of per-family breakers."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        on_transition: TransitionHook | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._on_transition = on_transition
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def for_family(self, family: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(family)
+            if breaker is None:
+                breaker = self._breakers[family] = CircuitBreaker(
+                    family, self.config, self._on_transition, self._clock
+                )
+            return breaker
+
+    def states(self) -> dict[str, str]:
+        """Current state of every family seen so far."""
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return {b.family: b.state for b in breakers}
+
+    def open_families(self) -> list[str]:
+        return [f for f, s in self.states().items() if s != "closed"]

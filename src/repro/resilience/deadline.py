@@ -1,0 +1,87 @@
+"""Cooperative cancellation: deadline tokens for the construction walk.
+
+Python threads cannot be killed, so a hung or over-budget compilation is
+cancelled *cooperatively*: the serving layer hands each attempt a
+:class:`CancelToken`, and the hot loops (the Markov walk in
+``Gensor.compile``, the greedy ``polish`` refinement, fault-injected
+hangs) poll it at iteration boundaries.  An expired token raises
+:class:`CompileCancelled`, which the retry layer treats as a per-attempt
+timeout — the worker thread survives and moves on to the next attempt or
+the degraded tiers.
+
+Polling is branch-cheap by design: ``expired()`` is one event check plus
+one clock read, and instrumented loops only call it when a token was
+actually passed, so the single-request CLI path pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CancelToken", "CompileCancelled"]
+
+
+class CompileCancelled(Exception):
+    """Raised cooperatively when a compilation overruns its token."""
+
+
+class CancelToken:
+    """A deadline plus an external kill switch, polled by compile loops.
+
+    Args:
+        deadline_s: absolute ``time.monotonic`` stamp after which the
+            token expires; ``None`` means no time limit (cancellable only
+            via :meth:`cancel`).
+    """
+
+    __slots__ = ("deadline_s", "_cancelled")
+
+    def __init__(self, deadline_s: float | None = None) -> None:
+        self.deadline_s = deadline_s
+        self._cancelled = threading.Event()
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "CancelToken":
+        """A token expiring ``seconds`` from now (``None`` = never)."""
+        if seconds is None:
+            return cls(None)
+        return cls(time.monotonic() + seconds)
+
+    def cancel(self) -> None:
+        """Trip the token immediately (idempotent, thread-safe)."""
+        self._cancelled.set()
+
+    def expired(self) -> bool:
+        if self._cancelled.is_set():
+            return True
+        return self.deadline_s is not None and time.monotonic() >= self.deadline_s
+
+    def remaining_s(self) -> float | None:
+        """Seconds until expiry, 0 when expired, ``None`` when unlimited."""
+        if self._cancelled.is_set():
+            return 0.0
+        if self.deadline_s is None:
+            return None
+        return max(0.0, self.deadline_s - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`CompileCancelled` when expired (the poll point)."""
+        if self.expired():
+            raise CompileCancelled("compile attempt exceeded its deadline token")
+
+    def sleep(self, seconds: float, slice_s: float = 0.01) -> None:
+        """Sleep up to ``seconds``, waking early (and raising) on expiry.
+
+        Fault-injected hangs block *here* instead of in a raw
+        ``time.sleep`` so a per-attempt timeout can reclaim the worker.
+        """
+        end = time.monotonic() + seconds
+        while True:
+            self.check()
+            left = end - time.monotonic()
+            if left <= 0:
+                return
+            # wait() returns early when cancel() fires; the deadline half
+            # of expiry is covered by slicing the sleep.
+            self._cancelled.wait(min(slice_s, left))

@@ -1,0 +1,275 @@
+"""Deterministic fault injection for the compile path.
+
+Chaos testing a compile service needs *reproducible* chaos: a
+:class:`FaultPlan` (loadable from JSON, ``serve-bench --faults plan.json``)
+describes which operator families fail, how, on which attempts, and at
+what rate; a seeded :class:`FaultInjector` turns the plan into concrete
+per-attempt decisions using its own :func:`~repro.utils.rng.spawn_rng`
+streams — completely disjoint from the Markov-walk streams, so injecting
+faults never perturbs the schedules of requests that don't hit one
+(RNG-stream parity, asserted by ``tests/test_serve_resilience.py``).
+
+Fault kinds:
+
+* ``raise`` — the compile attempt raises :class:`InjectedFault`.
+* ``hang`` — the attempt blocks (cooperatively, up to ``seconds``) and
+  then raises; with a per-attempt deadline token the hang is cancelled
+  the moment the token expires, without one it exercises the stuck-worker
+  supervisor.
+* ``slow`` — the attempt sleeps ``seconds`` and then proceeds normally.
+* ``corrupt-cache`` — the request's :class:`~repro.core.cache.ScheduleCache`
+  entry is mangled in place before the attempt (the service must recover
+  by recompiling, never by crashing).
+* ``crash`` — the attempt raises :class:`InjectedWorkerCrash`, a
+  ``BaseException`` that sails through the service's exception handling
+  and kills the worker thread mid-request, exercising supervision and
+  ticket requeueing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.deadline import CancelToken
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedWorkerCrash",
+]
+
+FAULT_KINDS = ("raise", "hang", "slow", "corrupt-cache", "crash")
+
+
+class InjectedFault(Exception):
+    """A deliberately injected, retryable compile failure."""
+
+
+class InjectedWorkerCrash(BaseException):
+    """A deliberately injected worker-thread death.
+
+    Derives from ``BaseException`` so the service's ``except Exception``
+    safety nets do *not* absorb it — exactly like a real worker crash,
+    the thread dies and the supervisor must respawn it.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: what fires, on whom, how often.
+
+    Args:
+        kind: one of :data:`FAULT_KINDS`.
+        family: operator-family fingerprint this rule targets
+            (:func:`~repro.core.cache.family_fingerprint`), or ``"*"`` for
+            every family.
+        rate: firing probability per eligible attempt.
+        attempts: attempt numbers (0-based) the rule applies to; ``None``
+            means every attempt.
+        seconds: sleep duration for ``slow`` and hang cap for ``hang``.
+    """
+
+    kind: str
+    family: str = "*"
+    rate: float = 1.0
+    attempts: tuple[int, ...] | None = None
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choices: {FAULT_KINDS}"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, family: str, attempt: int) -> bool:
+        if self.family != "*" and self.family != family:
+            return False
+        return self.attempts is None or attempt in self.attempts
+
+    def to_json(self) -> dict:
+        out: dict = {"kind": self.kind, "family": self.family, "rate": self.rate}
+        if self.attempts is not None:
+            out["attempts"] = list(self.attempts)
+        if self.kind in ("hang", "slow"):
+            out["seconds"] = self.seconds
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpec":
+        if not isinstance(data, dict) or "kind" not in data:
+            raise ValueError(f"fault spec must be an object with 'kind', got {data!r}")
+        attempts = data.get("attempts")
+        return cls(
+            kind=str(data["kind"]),
+            family=str(data.get("family", "*")),
+            rate=float(data.get("rate", 1.0)),
+            attempts=None if attempts is None else tuple(int(a) for a in attempts),
+            seconds=float(data.get("seconds", 0.05)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault rules (the ``--faults plan.json`` payload)."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def to_json(self) -> dict:
+        return {"seed": self.seed, "faults": [f.to_json() for f in self.faults]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict) or not isinstance(data.get("faults"), list):
+            raise ValueError(
+                "fault plan must be an object with a 'faults' list, "
+                f"got {type(data).__name__}"
+            )
+        return cls(
+            faults=tuple(FaultSpec.from_json(f) for f in data["faults"]),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt fault plan {path}: {exc}") from exc
+        return cls.from_json(payload)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault (the injector's audit log for parity checks)."""
+
+    kind: str
+    family: str
+    attempt: int
+    key: str | None = None
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic per-attempt decisions.
+
+    The decision stream for the *n*-th eligible attempt of
+    ``(family, attempt)`` is ``spawn_rng(plan.seed, "fault", family,
+    attempt, n)`` — disjoint from every construction-walk stream, stable
+    under re-runs with the same arrival order, and steerable per CI seed.
+    Every fired fault is counted in ``resilience_faults_injected_total``
+    and appended to :attr:`log`.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.plan = plan
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.log: list[FaultEvent] = []
+        self._lock = threading.Lock()
+        self._draws: dict[tuple[str, int], int] = {}
+
+    def draw(self, family: str, attempt: int, key: str | None = None) -> FaultSpec | None:
+        """Decide whether this attempt faults; first matching rule wins."""
+        for spec in self.plan.faults:
+            if not spec.matches(family, attempt):
+                continue
+            with self._lock:
+                n = self._draws.get((family, attempt), 0)
+                self._draws[(family, attempt)] = n + 1
+            rng = spawn_rng(self.plan.seed, "fault", family, attempt, n)
+            if spec.rate >= 1.0 or rng.random() < spec.rate:
+                with self._lock:
+                    self.log.append(FaultEvent(spec.kind, family, attempt, key))
+                self.registry.counter(
+                    "resilience_faults_injected_total", kind=spec.kind
+                ).inc()
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "fault_injected",
+                        {"kind": spec.kind, "family": family,
+                         "attempt": attempt, "key": key},
+                    )
+                return spec
+        return None
+
+    def faulted_keys(self) -> set[str]:
+        """Shape fingerprints that ever hit a fault (for parity checks)."""
+        with self._lock:
+            return {e.key for e in self.log if e.key is not None}
+
+
+def apply_fault(spec: FaultSpec, token: CancelToken | None = None) -> None:
+    """Execute a drawn fault inside the compile attempt.
+
+    ``slow`` returns after sleeping; ``raise``/``hang`` raise
+    :class:`InjectedFault`; ``crash`` raises :class:`InjectedWorkerCrash`.
+    ``corrupt-cache`` is a service-level fault and is a no-op here.
+    """
+    if spec.kind == "slow":
+        (token or CancelToken()).sleep(spec.seconds)
+        return
+    if spec.kind == "hang":
+        # Block cooperatively: a per-attempt token cancels the hang (and
+        # CompileCancelled propagates); without one, the hang runs its
+        # full course and still fails the attempt.
+        (token or CancelToken()).sleep(spec.seconds)
+        raise InjectedFault(f"injected hang elapsed after {spec.seconds}s")
+    if spec.kind == "raise":
+        raise InjectedFault("injected compile failure")
+    if spec.kind == "crash":
+        raise InjectedWorkerCrash("injected worker crash")
+
+
+class FaultyMeasurer:
+    """Measurer proxy that fires one drawn fault on first use.
+
+    Wrapping the measurer places the fault *inside* the construction
+    (measurements happen mid-compile), so cancellation, retries, and
+    crash handling are exercised where real failures occur.  All other
+    attributes delegate to the wrapped measurer, and the measurement
+    noise streams are untouched — parity again.
+    """
+
+    def __init__(
+        self,
+        inner,
+        spec: FaultSpec,
+        token: CancelToken | None = None,
+    ) -> None:
+        self._inner = inner
+        self._spec = spec
+        self._token = token
+        self._fired = False
+
+    def measure(self, state):
+        if not self._fired:
+            self._fired = True
+            apply_fault(self._spec, self._token)
+        return self._inner.measure(state)
+
+    def latency(self, state) -> float:
+        return self.measure(state).latency_s
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)

@@ -1,0 +1,70 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+The paper's construction method is cheap and fully deterministic given
+its seed, which makes retry the natural first response to a transient
+compile failure: re-running an attempt costs milliseconds of CPU and
+reproduces the identical walk.  The policy here bounds attempts, spaces
+them with capped exponential backoff, and jitters the spacing from a
+seeded stream (``spawn_rng(seed, "retry", family, attempt)``) so chaos
+runs are reproducible while concurrent retries of one poisoned family
+still decorrelate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import spawn_rng
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, jittered exponential backoff plus a per-attempt timeout.
+
+    Args:
+        max_attempts: total tries (1 = no retry).
+        base_backoff_s: sleep before the second attempt.
+        multiplier: backoff growth per attempt.
+        max_backoff_s: backoff cap.
+        jitter: fraction of the backoff drawn uniformly at random
+            (0 = fully deterministic spacing, 1 = full-jitter).
+        attempt_timeout_s: per-attempt cooperative deadline; an attempt
+            running past it is cancelled via its
+            :class:`~repro.resilience.deadline.CancelToken` and counts as
+            a failure.  ``None`` disables attempt timeouts.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.02
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.5
+    jitter: float = 0.5
+    attempt_timeout_s: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive or None")
+
+    def backoff_s(self, attempt: int, seed: int = 0, family: str = "") -> float:
+        """Sleep before retrying after failed attempt number ``attempt``.
+
+        Deterministic in ``(seed, family, attempt)``: the jittered
+        fraction comes from its own spawned stream, never the walk's.
+        """
+        raw = min(
+            self.base_backoff_s * self.multiplier**attempt, self.max_backoff_s
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = spawn_rng(seed, "retry", family, attempt)
+        return raw * (1.0 - self.jitter + self.jitter * float(rng.random()))

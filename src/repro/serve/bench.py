@@ -6,17 +6,26 @@ synthetic BERT/GPT-2 shape stream (:mod:`repro.models.trace`): up to
 next.  Simulated on-device profiling cost elapses in real time
 (``time_scale=1.0``), so the cold-construction-bound workload genuinely
 overlaps across workers — the worker-scaling numbers are wall-clock real.
+
+``--faults plan.json`` replays the same trace under a seeded
+:class:`~repro.resilience.faults.FaultPlan` (chaos mode): the report then
+carries availability (non-error response share) and the resilience
+counters (retries, breaker transitions, worker respawns, quarantines).
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.core.cache import shape_fingerprint
 from repro.core.constructor import GensorConfig
 from repro.hardware import orin_nano, rtx4090
 from repro.models.trace import shape_stream, trace_summary
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.serve.service import CompileService
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 
@@ -58,10 +67,34 @@ class BenchReport:
     stats: dict
     table: str
     failed: int
+    #: share of responses that carried a usable schedule (``ok=True``;
+    #: degraded tiers count as available).
+    availability: float = 1.0
+    #: resilience counters of the run (faults injected, retries, breaker
+    #: transitions, worker respawns/crashes, cache quarantines).
+    resilience: dict = field(default_factory=dict)
+    #: ``(shape_fingerprint, schedule_key)`` per request in submission
+    #: order, for fault-free vs chaos parity checks; ``schedule_key`` is
+    #: ``None`` for responses without a result, else a canonical tile tuple.
+    schedules: list = field(default_factory=list)
+    #: shape fingerprints that had at least one fault injected (their
+    #: schedules are exempt from parity comparisons).
+    faulted_keys: frozenset = frozenset()
 
     @property
     def requests_per_s(self) -> float:
         return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _schedule_key(response) -> tuple | None:
+    """Canonical, comparable summary of a response's served schedule."""
+    if response.result is None:
+        return None
+    best = response.result.best
+    return (
+        tuple(sorted(best.block_tiles().items())),
+        tuple(sorted(best.thread_tiles().items())),
+    )
 
 
 def run_serve_bench(
@@ -75,8 +108,16 @@ def run_serve_bench(
     queue_capacity: int | None = None,
     time_scale: float = 1.0,
     config: GensorConfig | None = None,
+    fault_plan: FaultPlan | str | None = None,
+    fail_fast: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> BenchReport:
-    """Replay ``num_requests`` dynamic-shape requests through the service."""
+    """Replay ``num_requests`` dynamic-shape requests through the service.
+
+    ``fault_plan`` (a :class:`FaultPlan` or a path to one saved as JSON)
+    switches on chaos mode.  ``fail_fast`` aborts the replay on the first
+    error response instead of completing the trace.
+    """
     if device_name not in _DEVICES:
         raise ValueError(
             f"unknown device {device_name!r}; choices: {sorted(_DEVICES)}"
@@ -87,6 +128,17 @@ def run_serve_bench(
     trace = shape_stream(model, num_requests=num_requests, seed=seed)
     summary = trace_summary(trace)
     deadline_s = None if deadline_ms is None else deadline_ms / 1e3
+    # Each bench run gets its own registry so chaos counters and tier
+    # totals describe exactly this replay, not the whole process.
+    registry = MetricsRegistry()
+    injector = None
+    if fault_plan is not None:
+        plan = (
+            fault_plan
+            if isinstance(fault_plan, FaultPlan)
+            else FaultPlan.load(fault_plan)
+        )
+        injector = FaultInjector(plan, registry=registry)
     service = CompileService(
         hw,
         config or bench_config(seed),
@@ -94,6 +146,9 @@ def run_serve_bench(
         queue_capacity=queue_capacity or max(2 * window, 64),
         warm_polish_steps=4,
         warm_pool=2,
+        registry=registry,
+        fault_injector=injector,
+        retry=retry,
         measurer_factory=lambda: Measurer(
             hw,
             seed=seed,
@@ -103,25 +158,51 @@ def run_serve_bench(
         ),
     )
     responses = []
+
+    def drain_one(outstanding: deque) -> bool:
+        response = outstanding.popleft().result(timeout=_RESULT_TIMEOUT_S)
+        responses.append(response)
+        if fail_fast and not response.ok:
+            raise RuntimeError(
+                f"request {response.request_id} failed "
+                f"(tier {response.tier}): {response.reason}"
+            )
+        return response.ok
+
     outstanding: deque = deque()
     t0 = time.perf_counter()
     with service:
         for compute in trace:
             if len(outstanding) >= window:
-                responses.append(
-                    outstanding.popleft().result(timeout=_RESULT_TIMEOUT_S)
-                )
+                drain_one(outstanding)
             outstanding.append(service.submit(compute, deadline_s=deadline_s))
         while outstanding:
-            responses.append(
-                outstanding.popleft().result(timeout=_RESULT_TIMEOUT_S)
-            )
+            drain_one(outstanding)
         wall = time.perf_counter() - t0
+        respawns = dict(service.pool.respawns)
+        abandoned = service.pool.abandoned_count()
+        breaker_states = service.breakers.states()
+        quarantined = list(service.cache.quarantined)
     failed = sum(1 for r in responses if not r.ok)
+    availability = (
+        (len(responses) - failed) / len(responses) if responses else 1.0
+    )
+    snap = service.stats.snapshot(wall_s=wall)
+    resilience = {
+        "faults_injected": len(injector.log) if injector is not None else 0,
+        "retries": snap["retries"],
+        "breaker_opens": snap["breaker_opens"],
+        "breaker_states": breaker_states,
+        "worker_respawns": respawns,
+        "workers_abandoned": abandoned,
+        "quarantined": quarantined,
+        "availability": availability,
+    }
     title = (
         f"serve-bench — {model} x{num_requests} "
         f"({summary.unique_shapes} unique shapes), {workers} workers "
         f"on {hw.name}"
+        + (" [chaos]" if injector is not None else "")
     )
     return BenchReport(
         model=model,
@@ -130,7 +211,18 @@ def run_serve_bench(
         requests=num_requests,
         unique_shapes=summary.unique_shapes,
         wall_s=wall,
-        stats=service.stats.snapshot(wall_s=wall),
+        stats=snap,
         table=service.stats.render(wall_s=wall, title=title),
         failed=failed,
+        availability=availability,
+        resilience=resilience,
+        schedules=[
+            (shape_fingerprint(c), _schedule_key(r))
+            for c, r in zip(
+                trace, sorted(responses, key=lambda r: r.request_id)
+            )
+        ],
+        faulted_keys=frozenset(
+            injector.faulted_keys() if injector is not None else ()
+        ),
     )

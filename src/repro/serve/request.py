@@ -53,6 +53,9 @@ class CompileRequest:
     priority: int = 0
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: times this request's worker died mid-serve and the ticket was
+    #: requeued (bounded by the service's crash-requeue cap).
+    crashes: int = 0
 
     def remaining_s(self, now: float | None = None) -> float | None:
         """Deadline budget still available, or ``None`` when unconstrained."""

@@ -13,7 +13,15 @@ Request lifecycle (documented in README/DESIGN "Serving"):
    remaining deadline cannot fit the (EMA-estimated) cost of a cold
    construction, it degrades to a cache-nearest warm start with a reduced
    polish budget, then to the best canonical seed state.
-4. **stats** — every outcome is recorded in :class:`ServiceStats`.
+4. **resilience** (DESIGN "Resilience") — each compile attempt runs under
+   a cooperative per-attempt deadline token and a per-family circuit
+   breaker; failed attempts are retried with jittered exponential backoff,
+   exhausted or breaker-shed requests fall back to the degraded tiers,
+   worker threads killed mid-request are respawned by the supervised pool
+   and the in-flight ticket is requeued, and every failure event (retry,
+   breaker transition, crash, respawn) is emitted through the metrics
+   registry and tracer.
+5. **stats** — every outcome is recorded in :class:`ServiceStats`.
 """
 
 from __future__ import annotations
@@ -34,7 +42,15 @@ from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.serve.pool import WorkerPool
+from repro.resilience.breaker import BreakerBoard, BreakerConfig
+from repro.resilience.deadline import CancelToken, CompileCancelled
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultyMeasurer,
+    InjectedWorkerCrash,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import SupervisedWorkerPool
 from repro.serve.request import CompileRequest, CompileResponse, ServeTicket
 from repro.serve.singleflight import SingleFlight
 from repro.serve.stats import ServiceStats
@@ -42,6 +58,9 @@ from repro.sim.costmodel import CostModel
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 
 __all__ = ["CompileService"]
+
+#: a crashing request is requeued at most this many times before failing.
+MAX_CRASH_REQUEUES = 3
 
 
 class CompileService:
@@ -62,9 +81,20 @@ class CompileService:
             cost, refined by an EMA of observed colds; deadline degradation
             triggers when the remaining budget falls below the estimate.
         registry: metrics sink (queue-wait histogram, tier counters, cold
-            cost gauge); the process-wide registry by default.
+            cost gauge, resilience counters); the process-wide registry by
+            default.
         tracer: optional event sink for per-request serve events (tier
-            decision, queue wait, coalesced follower count).
+            decision, queue wait, coalesced follower count, retries,
+            breaker transitions, respawns).
+        retry: per-attempt retry policy (backoff, jitter, attempt
+            timeout); the defaults retry twice with a 30 s cooperative
+            per-attempt deadline.
+        breaker: per-operator-family circuit-breaker thresholds.
+        fault_injector: optional chaos hook — a seeded
+            :class:`~repro.resilience.faults.FaultInjector` consulted once
+            per compile attempt (``serve-bench --faults``).
+        stall_timeout_s: supervised-pool heartbeat staleness after which a
+            busy worker is declared stuck, abandoned, and replaced.
     """
 
     def __init__(
@@ -82,6 +112,10 @@ class CompileService:
         cold_cost_estimate_s: float = 1.0,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerConfig | None = None,
+        fault_injector: FaultInjector | None = None,
+        stall_timeout_s: float = 30.0,
     ) -> None:
         self.hw = hardware
         self.dynamic = DynamicGensor(
@@ -105,7 +139,17 @@ class CompileService:
         )
         self._model = CostModel(hardware)
         self._flight = SingleFlight()
-        self._pool = WorkerPool(workers=workers, capacity=queue_capacity)
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._breakers = BreakerBoard(
+            breaker, on_transition=self._on_breaker_transition
+        )
+        self._injector = fault_injector
+        self._pool = SupervisedWorkerPool(
+            workers=workers,
+            capacity=queue_capacity,
+            stall_timeout_s=stall_timeout_s,
+            on_respawn=self._on_worker_respawn,
+        )
         self._cold_lock = threading.Lock()
         self._cold_estimate_s = cold_cost_estimate_s
         #: cold-stampede protection: one cold construction per operator
@@ -123,6 +167,16 @@ class CompileService:
     @property
     def cache(self) -> ScheduleCache:
         return self.dynamic.cache
+
+    @property
+    def breakers(self) -> BreakerBoard:
+        """Per-family circuit breakers (read-mostly; tests and reports)."""
+        return self._breakers
+
+    @property
+    def pool(self) -> SupervisedWorkerPool:
+        """The supervised worker pool (respawn counters live here)."""
+        return self._pool
 
     @property
     def cold_cost_estimate_s(self) -> float:
@@ -167,10 +221,21 @@ class CompileService:
         return self.submit(compute, deadline_s, priority).result(timeout)
 
     def close(self) -> None:
-        """Drain admitted work, then stop the workers.  Idempotent."""
+        """Drain admitted work (including backfills), stop the workers and
+        the supervisor.  Idempotent.
+
+        Backfills scheduled just before ``close()`` either land inside the
+        drain or were refused admission atomically by the pool — no thread
+        outlives the shutdown except workers abandoned mid-hang, whose
+        count is reported via ``serve_leaked_workers``.
+        """
         if not self._closed:
             self._closed = True
-            self._pool.shutdown(wait=True)
+            leaked = self._pool.shutdown(wait=True)
+            if leaked:
+                self.registry.gauge("serve_leaked_workers").set(leaked)
+            with self._backfill_guard:
+                self._backfills.clear()
 
     def __enter__(self) -> "CompileService":
         return self
@@ -178,15 +243,38 @@ class CompileService:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    # -- failure-event sinks -----------------------------------------------------
+
+    def _on_worker_respawn(self, reason: str) -> None:
+        self.stats.record_respawn()
+        self.registry.counter(
+            "resilience_worker_respawns_total", reason=reason
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.emit("worker_respawn", {"reason": reason})
+
+    def _on_breaker_transition(self, family: str, old: str, new: str) -> None:
+        if new == "open":
+            self.stats.record_breaker_open()
+        self.registry.counter(
+            "resilience_breaker_transitions_total", family=family, to=new
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "breaker", {"family": family, "from": old, "to": new}
+            )
+
     # -- worker path -------------------------------------------------------------
 
-    def _refuse(self, key: str, ticket: ServeTicket, reason: str) -> None:
+    def _refuse(
+        self, key: str, ticket: ServeTicket, reason: str, tier: str = "rejected"
+    ) -> None:
         """Reject the would-be leader and anyone who attached meanwhile."""
         followers = self._flight.complete(key)
         for t in (ticket, *followers):
             response = CompileResponse(
                 request_id=t.request.request_id,
-                tier="rejected",
+                tier=tier,
                 ok=False,
                 reason=reason,
                 coalesced=t is not ticket,
@@ -202,6 +290,12 @@ class CompileService:
         self.registry.histogram("serve_queue_wait_seconds").observe(queue_wait)
         try:
             response = self._compile(request)
+        except InjectedWorkerCrash:
+            # The worker thread is about to die (the supervisor will
+            # respawn it); hand the ticket back to the queue first so the
+            # request survives the crash.
+            self._requeue_after_crash(key, ticket)
+            raise
         except Exception as exc:  # never kill a worker thread
             response = CompileResponse(
                 request_id=request.request_id,
@@ -238,9 +332,120 @@ class CompileService:
             f.fulfill(shared)
             self.stats.record(shared)
 
+    def _requeue_after_crash(self, key: str, ticket: ServeTicket) -> None:
+        request = ticket.request
+        request.crashes += 1
+        self.registry.counter("resilience_worker_crashes_total").inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "worker_crash",
+                {"request_id": request.request_id, "crashes": request.crashes},
+            )
+        if request.crashes <= MAX_CRASH_REQUEUES:
+            try:
+                self._pool.submit_nowait(
+                    lambda: self._serve(key, ticket),
+                    priority=request.priority,
+                )
+                return
+            except (queue.Full, RuntimeError):
+                pass
+        self._refuse(key, ticket, "worker_crash", tier="failed")
+
+    # -- resilience orchestration ------------------------------------------------
+
     def _compile(self, request: CompileRequest) -> CompileResponse:
-        measurer = self._measurer_factory()
+        """Retry/breaker wrapper: attempts, then degraded-tier shedding."""
         compute = request.compute
+        family = family_fingerprint(compute)
+        breaker = self._breakers.for_family(family)
+        last_reason: str | None = None
+        shed_by_breaker = False
+        for attempt in range(self._retry.max_attempts):
+            if not breaker.allow():
+                last_reason = "circuit_open"
+                shed_by_breaker = True
+                self.registry.counter("resilience_breaker_shed_total").inc()
+                break
+            token = CancelToken.after(self._retry.attempt_timeout_s)
+            try:
+                response = self._attempt(request, attempt, token)
+            except InjectedWorkerCrash:
+                breaker.record_failure()
+                raise
+            except (CompileCancelled, Exception) as exc:
+                breaker.record_failure()
+                last_reason = f"{type(exc).__name__}: {exc}"
+                self.stats.record_retry()
+                self.registry.counter(
+                    "resilience_retries_total", family=family
+                ).inc()
+                backoff = 0.0
+                if attempt + 1 < self._retry.max_attempts:
+                    backoff = self._retry.backoff_s(
+                        attempt, seed=self.dynamic.config.seed, family=family
+                    )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "retry",
+                        {
+                            "request_id": request.request_id,
+                            "family": family,
+                            "attempt": attempt,
+                            "reason": last_reason,
+                            "backoff_s": backoff,
+                        },
+                    )
+                if backoff > 0.0:
+                    time.sleep(backoff)
+                continue
+            breaker.record_success()
+            return response
+        # Attempts exhausted or family breaker open: shed to the degraded
+        # tiers — a worse schedule beats no schedule, and degraded answers
+        # are analytically cheap so a poisoned family stops burning workers.
+        served = self._degraded(compute, self._measurer_factory())
+        if served is not None:
+            result, tier = served
+            if not shed_by_breaker:
+                # Transient failure: schedule the full construction in the
+                # background so repeats of this shape heal to a cache hit.
+                # Breaker-shed families skip backfill — it would burn the
+                # workers the breaker just protected.
+                self._schedule_backfill(compute)
+            return CompileResponse(
+                request_id=request.request_id,
+                tier=tier,
+                ok=True,
+                result=result,
+                reason=last_reason,
+                deadline_s=request.deadline_s,
+            )
+        return CompileResponse(
+            request_id=request.request_id,
+            tier="failed",
+            ok=False,
+            reason=last_reason or "compile attempts exhausted",
+            deadline_s=request.deadline_s,
+        )
+
+    def _attempt(
+        self, request: CompileRequest, attempt: int, token: CancelToken
+    ) -> CompileResponse:
+        """One compile attempt (the pre-resilience serve-tier logic)."""
+        compute = request.compute
+        measurer = self._measurer_factory()
+        if self._injector is not None:
+            spec = self._injector.draw(
+                family_fingerprint(compute),
+                attempt,
+                key=shape_fingerprint(compute),
+            )
+            if spec is not None:
+                if spec.kind == "corrupt-cache":
+                    self.cache.corrupt(compute)
+                else:
+                    measurer = FaultyMeasurer(measurer, spec, token)
         remaining = request.remaining_s()
         degrade = (
             remaining is not None
@@ -271,9 +476,9 @@ class CompileService:
             # DynamicGensor re-checks the cache once the lock is held, so
             # waiters land on the warm path.
             with self._family_lock(family_fingerprint(compute)):
-                dyn = self.dynamic.compile(compute, measurer)
+                dyn = self.dynamic.compile(compute, measurer, cancel=token)
         else:
-            dyn = self.dynamic.compile(compute, measurer)
+            dyn = self.dynamic.compile(compute, measurer, cancel=token)
         if dyn.source == "cold":
             self._observe_cold(time.perf_counter() - t0)
         return CompileResponse(
@@ -285,9 +490,9 @@ class CompileService:
         )
 
     def _degraded(
-        self, compute: ComputeDef, measurer: Measurer
+        self, compute: ComputeDef, measurer
     ) -> tuple[GensorResult, str] | None:
-        """Deadline fallbacks, best first: reduced-polish warm, then seed."""
+        """Deadline/failure fallbacks, best first: reduced-polish warm, seed."""
         t0 = time.perf_counter()
         gensor = self.dynamic.gensor
         neighbor = self.cache.nearest(compute)
@@ -343,7 +548,9 @@ class CompileService:
 
         Deduplicated per fingerprint and shed outright when the pool is
         saturated or shutting down — backfill must never displace tenant
-        traffic.
+        traffic, and admission is atomic against :meth:`close` so a
+        backfill scheduled during shutdown is refused instead of leaking
+        into a stopped pool.
         """
         key = shape_fingerprint(compute)
         with self._backfill_guard:

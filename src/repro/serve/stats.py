@@ -48,6 +48,9 @@ class ServiceStats:
         self._deadline_missed = 0
         self._submitted = 0
         self._backfills = 0
+        self._retries = 0
+        self._respawns = 0
+        self._breaker_opens = 0
         self._latencies: list[float] = []
         self._first_submit: float | None = None
         self._last_done: float | None = None
@@ -57,6 +60,21 @@ class ServiceStats:
         with self._lock:
             self._backfills += 1
         self.registry.counter("serve_backfills_total").inc()
+
+    def record_retry(self) -> None:
+        """One compile attempt failed and will be retried (or shed)."""
+        with self._lock:
+            self._retries += 1
+
+    def record_respawn(self) -> None:
+        """The supervisor replaced a dead or stuck worker thread."""
+        with self._lock:
+            self._respawns += 1
+
+    def record_breaker_open(self) -> None:
+        """A family circuit breaker tripped open."""
+        with self._lock:
+            self._breaker_opens += 1
 
     def record_submitted(self) -> None:
         with self._lock:
@@ -108,6 +126,9 @@ class ServiceStats:
                 "degraded": tiers["degraded_warm"] + tiers["degraded_seed"],
                 "deadline_missed": self._deadline_missed,
                 "backfilled": self._backfills,
+                "retries": self._retries,
+                "worker_respawns": self._respawns,
+                "breaker_opens": self._breaker_opens,
                 "wall_s": wall_s,
                 "throughput_rps": completed / wall_s if wall_s > 0 else 0.0,
                 "p50_ms": percentile(latencies, 50) * 1e3,
@@ -137,6 +158,9 @@ class ServiceStats:
         table.add_row("degraded", snap["degraded"])
         table.add_row("deadline_missed", snap["deadline_missed"])
         table.add_row("backfilled", snap["backfilled"])
+        table.add_row("retries", snap["retries"])
+        table.add_row("worker_respawns", snap["worker_respawns"])
+        table.add_row("breaker_opens", snap["breaker_opens"])
         table.add_row("throughput", f"{snap['throughput_rps']:.2f} req/s")
         table.add_row("p50 latency", f"{snap['p50_ms']:.1f} ms")
         table.add_row("p95 latency", f"{snap['p95_ms']:.1f} ms")

@@ -1,0 +1,186 @@
+"""Crash-safe schedule cache: checksums, atomic saves, quarantine.
+
+The satellite contract: a truncated file, a flipped bit in one record,
+or a crash mid-save each load with quarantine — never a crash, never
+silently poisoned entries.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cache import (
+    CachedSchedule,
+    ScheduleCache,
+    entry_checksum,
+    shape_fingerprint,
+)
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_state(m=512, k=256, n=512, name="g"):
+    g = ops.matmul(m, k, n, name)
+    return ETIR.from_tiles(g, {"i": 64, "j": 64, "k": 32}, {"i": 4, "j": 4}, {"i": 2})
+
+
+def saved_cache(hw, tmp_path, states=None):
+    cache = ScheduleCache(hw)
+    for state in states or [make_state(), make_state(1024, 256, 512, "h")]:
+        cache.put(state, 1e-3)
+    path = tmp_path / "cache.json"
+    cache.save(path)
+    return path
+
+
+class TestChecksums:
+    def test_saved_entries_carry_crcs(self, hw, tmp_path):
+        path = saved_cache(hw, tmp_path)
+        payload = json.loads(path.read_text())
+        for data in payload["entries"].values():
+            body = {k: v for k, v in data.items() if k != "crc"}
+            assert data["crc"] == entry_checksum(body)
+
+    def test_checksum_detects_any_field_change(self):
+        entry = CachedSchedule.from_state(make_state(), 1e-3).to_json()
+        crc = entry_checksum(entry)
+        tampered = {**entry, "latency_s": entry["latency_s"] * 2}
+        assert entry_checksum(tampered) != crc
+
+
+class TestTruncatedFile:
+    def test_loads_empty_with_quarantine(self, hw, tmp_path):
+        path = saved_cache(hw, tmp_path)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # crash mid-write
+        registry = MetricsRegistry()
+        loaded = ScheduleCache.load(path, hw, registry=registry)
+        assert len(loaded) == 0
+        assert len(loaded.quarantined) == 1
+        assert "corrupt JSON" in loaded.quarantined[0]
+        # the bad file moved aside so the next save starts clean
+        assert not path.exists()
+        assert (tmp_path / ".quarantine" / "cache.json").exists()
+        assert registry.counter("cache_quarantined_total").value == 1
+
+    def test_save_after_quarantine_round_trips(self, hw, tmp_path):
+        path = saved_cache(hw, tmp_path)
+        path.write_text(path.read_text()[:40])
+        loaded = ScheduleCache.load(path, hw)
+        loaded.put(make_state(), 2e-3)
+        loaded.save(path)
+        again = ScheduleCache.load(path, hw)
+        assert len(again) == 1 and not again.quarantined
+
+
+class TestFlippedBit:
+    def corrupt_one_entry(self, path):
+        payload = json.loads(path.read_text())
+        key = sorted(payload["entries"])[0]
+        payload["entries"][key]["latency_s"] *= 2  # bit-rot, stale crc
+        path.write_text(json.dumps(payload))
+        return key
+
+    def test_bad_record_quarantined_rest_load(self, hw, tmp_path):
+        path = saved_cache(hw, tmp_path)
+        bad_key = self.corrupt_one_entry(path)
+        registry = MetricsRegistry()
+        loaded = ScheduleCache.load(path, hw, registry=registry)
+        assert len(loaded) == 1  # the healthy sibling survived
+        assert len(loaded.quarantined) == 1
+        assert "checksum mismatch" in loaded.quarantined[0]
+        assert registry.counter("cache_quarantined_total").value == 1
+        # the quarantine record names the key and preserves the payload
+        records = list((tmp_path / ".quarantine").iterdir())
+        assert len(records) == 1
+        record = json.loads(records[0].read_text())
+        assert record["key"] == bad_key
+        assert "checksum mismatch" in record["reason"]
+
+    def test_strict_mode_still_raises(self, hw, tmp_path):
+        path = saved_cache(hw, tmp_path)
+        self.corrupt_one_entry(path)
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            ScheduleCache.load(path, hw, strict=True)
+
+    def test_missing_field_quarantined(self, hw, tmp_path):
+        path = saved_cache(hw, tmp_path)
+        payload = json.loads(path.read_text())
+        key = sorted(payload["entries"])[0]
+        entry = payload["entries"][key]
+        del entry["block_tiles"]
+        entry["crc"] = entry_checksum(
+            {k: v for k, v in entry.items() if k != "crc"}
+        )  # crc valid, shape wrong
+        path.write_text(json.dumps(payload))
+        loaded = ScheduleCache.load(path, hw)
+        assert len(loaded) == 1 and len(loaded.quarantined) == 1
+
+    def test_legacy_entry_without_crc_still_loads(self, hw, tmp_path):
+        path = saved_cache(hw, tmp_path)
+        payload = json.loads(path.read_text())
+        for entry in payload["entries"].values():
+            entry.pop("crc")
+        path.write_text(json.dumps(payload))
+        loaded = ScheduleCache.load(path, hw)
+        assert len(loaded) == 2 and not loaded.quarantined
+
+
+class TestPartialWrite:
+    def test_injected_replace_failure_leaves_old_file_intact(
+        self, hw, tmp_path, monkeypatch
+    ):
+        """A crash at the journal->live rename never corrupts the live file."""
+        path = saved_cache(hw, tmp_path, states=[make_state()])
+        before = path.read_text()
+        cache = ScheduleCache.load(path, hw)
+        cache.put(make_state(2048, 256, 512, "new"), 1e-3)
+
+        real_replace = os.replace
+
+        def failing_replace(src, dst):
+            if str(dst) == str(path):
+                raise OSError("injected crash at rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="injected crash"):
+            cache.save(path)
+        monkeypatch.undo()
+        # old file byte-identical, journal cleaned up, and it still loads
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+        loaded = ScheduleCache.load(path, hw)
+        assert len(loaded) == 1 and not loaded.quarantined
+
+    def test_orphaned_journal_is_ignored_by_load(self, hw, tmp_path):
+        path = saved_cache(hw, tmp_path)
+        (tmp_path / f".cache.json.journal.{os.getpid()}").write_text("{trunc")
+        loaded = ScheduleCache.load(path, hw)
+        assert len(loaded) == 2 and not loaded.quarantined
+
+
+class TestCorruptChaosHook:
+    def test_corrupt_then_recompile_path(self, hw):
+        cache = ScheduleCache(hw)
+        state = make_state()
+        cache.put(state, 1e-3)
+        assert cache.corrupt(state.compute)
+        entry = cache.get(state.compute)
+        # readers see a dud: instantiate fails, nearest skips it
+        assert entry.instantiate(state.compute) is None
+        assert cache.nearest(state.compute) is None
+        # a recompile's put overwrites the dud (inf latency always loses)
+        cache.put(state, 5e-3)
+        assert cache.get(state.compute).latency_s == 5e-3
+
+    def test_corrupt_missing_key_is_false(self, hw):
+        assert not ScheduleCache(hw).corrupt("ghost[key]")
+
+    def test_corrupt_by_fingerprint_string(self, hw):
+        cache = ScheduleCache(hw)
+        state = make_state()
+        cache.put(state, 1e-3)
+        assert cache.corrupt(shape_fingerprint(state.compute))

@@ -75,12 +75,29 @@ class TestParser:
         assert args.workers == 8
         assert args.deadline_ms is None
         assert args.window == 64
+        assert args.faults is None
+        assert args.fail_fast is False
+
+    def test_serve_bench_fault_flags(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--faults", "plan.json", "--fail-fast"]
+        )
+        assert args.faults == "plan.json" and args.fail_fast
+        args = build_parser().parse_args(["serve-bench", "--no-fail-fast"])
+        assert args.fail_fast is False
 
     def test_compile_trace_defaults_off(self):
         args = build_parser().parse_args(
             ["compile", "--op", "gemm", "--shape", "64x64x64"]
         )
         assert args.trace is None
+
+    def test_resilience_experiment_registered(self):
+        from repro.cli import _EXPERIMENTS
+
+        assert _EXPERIMENTS["resilience"] == (
+            "repro.experiments.serving_resilience"
+        )
 
     def test_trace_report_args(self):
         args = build_parser().parse_args(
@@ -132,6 +149,37 @@ class TestMain:
         out = capsys.readouterr().out
         assert "serve-bench" in out and "tier:cold" in out
         assert "0 failed" in out
+
+    def test_serve_bench_with_fault_plan(self, capsys, tmp_path):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "seed": 0,
+            "faults": [{"kind": "raise", "rate": 0.5, "attempts": [0]}],
+        }))
+        code = main(
+            ["serve-bench", "--model", "bert", "--requests", "8",
+             "--workers", "2", "--time-scale", "0",
+             "--faults", str(plan_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos:" in out and "availability:" in out
+
+    def test_serve_bench_missing_fault_plan_one_line_error(self, capsys):
+        code = main(["serve-bench", "--faults", "/nope/plan.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "serve-bench:" in err
+        assert "Traceback" not in err
+
+    def test_bad_shape_one_line_error(self, capsys):
+        code = main(["compile", "--op", "gemm", "--shape", "64x32"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro compile: gemm expects MxKxN" in err
+        assert "Traceback" not in err
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "fig99"]) == 2

@@ -148,19 +148,19 @@ class TestScheduleCache:
         cache.save(path)
         assert len(ScheduleCache.load(path, hw)) == 1
 
-    def test_load_rejects_corrupt_json(self, hw, tmp_path):
+    def test_strict_load_rejects_corrupt_json(self, hw, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text('{"device": "NVIDIA GeF')  # truncated mid-write
         with pytest.raises(ValueError, match="corrupt schedule cache"):
-            ScheduleCache.load(path, hw)
+            ScheduleCache.load(path, hw, strict=True)
 
-    def test_load_rejects_wrong_payload_shape(self, hw, tmp_path):
+    def test_strict_load_rejects_wrong_payload_shape(self, hw, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text('["not", "a", "cache"]')
         with pytest.raises(ValueError, match="ill-formed schedule cache"):
-            ScheduleCache.load(path, hw)
+            ScheduleCache.load(path, hw, strict=True)
 
-    def test_load_rejects_ill_formed_entry(self, hw, tmp_path):
+    def test_strict_load_rejects_ill_formed_entry(self, hw, tmp_path):
         cache = ScheduleCache(hw)
         cache.put(make_state(), 1e-3)
         path = tmp_path / "cache.json"
@@ -172,7 +172,17 @@ class TestScheduleCache:
         del payload["entries"][key]["block_tiles"]
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="ill-formed schedule cache entry"):
-            ScheduleCache.load(path, hw)
+            ScheduleCache.load(path, hw, strict=True)
+
+    def test_default_load_quarantines_corrupt_json(self, hw, tmp_path):
+        """Crash-safe default: a truncated file loads as empty + quarantine
+        (full corruption-recovery coverage in test_cache_crashsafe.py)."""
+        path = tmp_path / "cache.json"
+        path.write_text('{"device": "NVIDIA GeF')
+        loaded = ScheduleCache.load(path, hw)
+        assert len(loaded) == 0
+        assert loaded.quarantined
+        assert (tmp_path / ".quarantine" / "cache.json").exists()
 
 
 class TestCacheThreadSafety:

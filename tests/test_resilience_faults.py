@@ -1,0 +1,170 @@
+"""Fault plans and the deterministic injector."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.deadline import CancelToken, CompileCancelled
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyMeasurer,
+    InjectedFault,
+    InjectedWorkerCrash,
+    apply_fault,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(kind="raise", rate=1.5)
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(ValueError, match="seconds"):
+            FaultSpec(kind="slow", seconds=-1.0)
+
+    def test_matches_family_and_attempt(self):
+        spec = FaultSpec(kind="raise", family="gemm[i:s,j:s,k:r]", attempts=(0, 1))
+        assert spec.matches("gemm[i:s,j:s,k:r]", 0)
+        assert spec.matches("gemm[i:s,j:s,k:r]", 1)
+        assert not spec.matches("gemm[i:s,j:s,k:r]", 2)
+        assert not spec.matches("gemv[i:s,k:r]", 0)
+
+    def test_wildcard_family_matches_all(self):
+        spec = FaultSpec(kind="hang")
+        assert spec.matches("anything", 0) and spec.matches("else", 7)
+
+    def test_json_round_trip(self):
+        for kind in FAULT_KINDS:
+            spec = FaultSpec(kind=kind, family="f", rate=0.5,
+                             attempts=(0, 2), seconds=0.1)
+            again = FaultSpec.from_json(spec.to_json())
+            assert again.kind == kind and again.rate == 0.5
+            assert again.attempts == (0, 2)
+
+
+class TestFaultPlan:
+    def test_save_load_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="raise", rate=0.25),
+                    FaultSpec(kind="crash", family="gemm[i:s]")),
+            seed=7,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_load_rejects_corrupt_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"faults": [')
+        with pytest.raises(ValueError, match="corrupt fault plan"):
+            FaultPlan.load(path)
+
+    def test_load_rejects_wrong_shape(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"seed": 3}')
+        with pytest.raises(ValueError, match="'faults' list"):
+            FaultPlan.load(path)
+
+
+class TestFaultInjector:
+    def plan(self, rate=0.5, seed=0):
+        return FaultPlan(faults=(FaultSpec(kind="raise", rate=rate),), seed=seed)
+
+    def test_deterministic_across_injectors(self):
+        a = FaultInjector(self.plan(), registry=MetricsRegistry())
+        b = FaultInjector(self.plan(), registry=MetricsRegistry())
+        decisions_a = [a.draw("fam", 0) is not None for _ in range(50)]
+        decisions_b = [b.draw("fam", 0) is not None for _ in range(50)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)  # rate is real
+
+    def test_seed_changes_decisions(self):
+        a = FaultInjector(self.plan(seed=0), registry=MetricsRegistry())
+        b = FaultInjector(self.plan(seed=1), registry=MetricsRegistry())
+        assert [a.draw("fam", 0) is not None for _ in range(60)] != [
+            b.draw("fam", 0) is not None for _ in range(60)
+        ]
+
+    def test_rate_one_always_fires_rate_zero_never(self):
+        always = FaultInjector(self.plan(rate=1.0), registry=MetricsRegistry())
+        never = FaultInjector(self.plan(rate=0.0), registry=MetricsRegistry())
+        assert all(always.draw("f", 0) for _ in range(10))
+        assert not any(never.draw("f", 0) for _ in range(10))
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="crash", family="gemm", rate=1.0),
+            FaultSpec(kind="raise", rate=1.0),
+        ))
+        inj = FaultInjector(plan, registry=MetricsRegistry())
+        assert inj.draw("gemm", 0).kind == "crash"
+        assert inj.draw("other", 0).kind == "raise"
+
+    def test_log_and_metrics_and_keys(self):
+        registry = MetricsRegistry()
+        inj = FaultInjector(self.plan(rate=1.0), registry=registry)
+        inj.draw("fam", 0, key="gemm[64]")
+        inj.draw("fam", 1, key="gemm[128]")
+        assert len(inj.log) == 2
+        assert inj.faulted_keys() == {"gemm[64]", "gemm[128]"}
+        assert registry.counter(
+            "resilience_faults_injected_total", kind="raise"
+        ).value == 2
+
+
+class TestApplyFault:
+    def test_raise(self):
+        with pytest.raises(InjectedFault):
+            apply_fault(FaultSpec(kind="raise"))
+
+    def test_crash_is_base_exception(self):
+        with pytest.raises(InjectedWorkerCrash):
+            apply_fault(FaultSpec(kind="crash"))
+        assert not issubclass(InjectedWorkerCrash, Exception)
+
+    def test_slow_returns(self):
+        apply_fault(FaultSpec(kind="slow", seconds=0.0))  # no raise
+
+    def test_hang_raises_after_elapsing(self):
+        with pytest.raises(InjectedFault, match="hang"):
+            apply_fault(FaultSpec(kind="hang", seconds=0.0))
+
+    def test_hang_cancelled_by_token(self):
+        token = CancelToken.after(0.01)
+        with pytest.raises(CompileCancelled):
+            apply_fault(FaultSpec(kind="hang", seconds=30.0), token)
+
+    def test_corrupt_cache_is_noop_here(self):
+        apply_fault(FaultSpec(kind="corrupt-cache"))  # service-level fault
+
+
+class FakeMeasurer:
+    simulated_seconds = 0.0
+
+    def __init__(self):
+        self.calls = 0
+
+    def measure(self, state):
+        self.calls += 1
+        return state
+
+
+class TestFaultyMeasurer:
+    def test_fires_once_then_delegates(self):
+        inner = FakeMeasurer()
+        faulty = FaultyMeasurer(inner, FaultSpec(kind="raise"))
+        with pytest.raises(InjectedFault):
+            faulty.measure("s1")
+        assert faulty.measure("s2") == "s2"  # second call passes through
+        assert inner.calls == 1
+
+    def test_delegates_attributes(self):
+        faulty = FaultyMeasurer(FakeMeasurer(), FaultSpec(kind="slow", seconds=0.0))
+        assert faulty.simulated_seconds == 0.0

@@ -1,0 +1,165 @@
+"""Retry policy, cancel tokens, and circuit breakers."""
+
+import pytest
+
+from repro.resilience.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+from repro.resilience.deadline import CancelToken, CompileCancelled
+from repro.resilience.retry import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError, match="attempt_timeout_s"):
+            RetryPolicy(attempt_timeout_s=0.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.1, multiplier=2.0, max_backoff_s=0.3, jitter=0.0
+        )
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.3)  # capped
+        assert policy.backoff_s(9) == pytest.approx(0.3)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.5)
+        values = {policy.backoff_s(0, seed=s, family="f") for s in range(20)}
+        assert len(values) > 1  # jitter actually varies by seed
+        for v in values:
+            assert 0.05 <= v <= 0.1  # within [raw*(1-jitter), raw]
+        assert policy.backoff_s(0, seed=3, family="f") == policy.backoff_s(
+            0, seed=3, family="f"
+        )
+
+
+class TestCancelToken:
+    def test_unbounded_token_never_expires(self):
+        token = CancelToken()
+        assert not token.expired()
+        assert token.remaining_s() is None
+        token.check()  # no raise
+
+    def test_after_deadline_expires(self):
+        token = CancelToken.after(0.0)
+        assert token.expired()
+        with pytest.raises(CompileCancelled):
+            token.check()
+
+    def test_after_none_is_unbounded(self):
+        assert not CancelToken.after(None).expired()
+
+    def test_manual_cancel(self):
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(CompileCancelled):
+            token.check()
+
+    def test_sleep_is_cancelled_mid_way(self):
+        token = CancelToken.after(0.02)
+        with pytest.raises(CompileCancelled):
+            token.sleep(30.0, slice_s=0.005)
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def tripped(breaker, times):
+    for _ in range(times):
+        breaker.record_failure()
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0, probes=1):
+        clock = ManualClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            "fam",
+            BreakerConfig(
+                failure_threshold=threshold,
+                cooldown_s=cooldown,
+                probe_budget=probes,
+            ),
+            on_transition=lambda f, old, new: transitions.append((old, new)),
+            clock=clock,
+        )
+        return breaker, clock, transitions
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError, match="probe_budget"):
+            BreakerConfig(probe_budget=0)
+
+    def test_opens_after_threshold(self):
+        breaker, _, transitions = self.make(threshold=3)
+        tripped(breaker, 2)
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert transitions == [("closed", "open")]
+
+    def test_success_resets_failure_count(self):
+        breaker, _, _ = self.make(threshold=3)
+        tripped(breaker, 2)
+        breaker.record_success()
+        tripped(breaker, 2)
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown_and_probe_budget(self):
+        breaker, clock, _ = self.make(threshold=1, cooldown=5.0, probes=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 5.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # budget exhausted
+
+    def test_probe_success_closes(self):
+        breaker, clock, transitions = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock, _ = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now = 9.0  # cooldown restarted at t=5
+        assert breaker.state == "open"
+        clock.now = 10.0
+        assert breaker.state == "half_open"
+
+
+class TestBreakerBoard:
+    def test_get_or_create_per_family(self):
+        board = BreakerBoard()
+        assert board.for_family("a") is board.for_family("a")
+        assert board.for_family("a") is not board.for_family("b")
+
+    def test_states_and_open_families(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1))
+        tripped(board.for_family("bad"), 1)
+        board.for_family("good").record_success()
+        assert board.states() == {"bad": "open", "good": "closed"}
+        assert board.open_families() == ["bad"]

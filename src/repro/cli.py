@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro compile --op gemm --shape 4096x4096x4096 --method gensor
     python -m repro experiment fig06 [--full]
     python -m repro serve-bench --model bert --requests 200 --workers 8
+    python -m repro bench walk [--quick] [--out BENCH_walk.json]
     python -m repro trace-report walk.jsonl [--chrome timeline.json]
     python -m repro devices
 
@@ -15,6 +16,9 @@ and compile cost; ``--trace out.jsonl`` records the full Markov walk
 ``experiment`` regenerates one of the paper's tables/figures by name.
 ``serve-bench`` replays a synthetic dynamic-shape request trace through
 the concurrent compile service and prints its stats table.
+``bench walk`` measures construction-walk throughput (batched vs scalar
+pricing, memo hit rate, multi-walker scaling) and writes
+``BENCH_walk.json`` — the perf trajectory every PR is compared against.
 ``trace-report`` summarizes a recorded trace (action mix, acceptance
 rate, convergence step) and can export a Chrome ``trace_event`` timeline.
 ``devices`` lists the simulated GPUs.
@@ -215,6 +219,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_walk_bench, write_bench
+
+    hw = _DEVICES[args.device]()
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 1)
+    payload = run_walk_bench(hw, seed=args.seed, quick=args.quick, repeats=repeats)
+    out = write_bench(payload, args.out)
+    speedup = payload["speedup_states_per_sec"]
+    scaling = payload["walker_scaling"]["scaling"]
+    memo = payload["memo"]
+    print(f"walk bench on {payload['device']} "
+          f"({'quick, ' if args.quick else ''}{len(payload['suite'])} ops)")
+    print(f"states/sec: scalar {payload['scalar']['states_per_sec']:.0f}, "
+          f"batched {payload['batched']['states_per_sec']:.0f} "
+          f"({speedup:.2f}x)")
+    print(f"walker scaling ({'v'.join(map(str, payload['walker_scaling']['counts'][::-1]))}): "
+          f"{scaling:.2f}x")
+    print(f"memo: {memo['hits']} hits / {memo['misses']} misses "
+          f"({memo['hit_rate']:.1%} hit rate), size {memo['size']}")
+    micro = payload["micro"]
+    print(f"evaluate: {micro['evaluate_scalar_us']:.1f}us scalar, "
+          f"{micro['evaluate_batch_us_per_state']:.1f}us/state batched "
+          f"over {micro['sampled_states']} states")
+    print(f"wrote {out}")
+    failed = []
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        failed.append(
+            f"batched speedup {speedup:.2f}x < required {args.min_speedup}x"
+        )
+    if args.min_walker_scaling is not None and scaling < args.min_walker_scaling:
+        failed.append(
+            f"walker scaling {scaling:.2f}x < required {args.min_walker_scaling}x"
+        )
+    for msg in failed:
+        print(f"bench: FAIL: {msg}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.obs import trace_report, write_chrome_trace
 
@@ -300,6 +342,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="abort the replay on the first error response "
                               "instead of completing the trace")
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure construction-walk throughput -> BENCH_walk.json",
+    )
+    p_bench.add_argument("target", choices=["walk"],
+                         help="benchmark to run (only 'walk' so far)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="one op per family with a reduced walk "
+                              "(the CI smoke mode)")
+    p_bench.add_argument("--device", default="rtx4090", choices=list(_DEVICES))
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--out", default="BENCH_walk.json",
+                         metavar="OUT.json")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="best-of-N wall per measurement "
+                              "(default: 3 for --quick, 1 otherwise)")
+    p_bench.add_argument("--min-speedup", type=float, default=None,
+                         help="exit 1 if batched/scalar states-per-sec "
+                              "falls below this")
+    p_bench.add_argument("--min-walker-scaling", type=float, default=None,
+                         help="exit 1 if 4-vs-1 walker throughput scaling "
+                              "falls below this")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_trace = sub.add_parser(
         "trace-report",

@@ -21,6 +21,8 @@ import math
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.actions import ActionKind
 from repro.core.graph import ConstructionGraph
 from repro.core.policy import TransitionPolicy, append_probability
@@ -29,11 +31,11 @@ from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.ir.etir import ETIR
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.perf.memo import MetricsMemo, get_memo
 from repro.resilience.deadline import CancelToken
-from repro.sim.costmodel import CostModel
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 from repro.sim.metrics import KernelMetrics
-from repro.utils.rng import spawn_rng
+from repro.utils.rng import spawn_rng, spawn_substreams
 
 __all__ = ["GensorConfig", "GensorResult", "Gensor"]
 
@@ -64,6 +66,16 @@ class GensorConfig:
     #: False drops the roofline term from transition benefits, leaving the
     #: bare Formula 1-3 ratios (the single-objective guidance ablation).
     multi_objective: bool = True
+    #: independent annealed walks run per compile; each walker runs
+    #: ``num_chains`` chains on its own deterministic RNG substream and the
+    #: candidate pools are merged.  ``walkers=1`` consumes exactly the
+    #: single-walker RNG stream (golden-trace parity).
+    walkers: int = 1
+    #: False prices expansion frontiers, polish sweeps, and ranking through
+    #: the per-edge scalar calls instead of the vectorized batch path.  The
+    #: two produce bit-identical values; this knob exists so the walk bench
+    #: can measure the batched path against the historical scalar one.
+    batch_scoring: bool = True
 
     def __post_init__(self) -> None:
         if not (0.0 < self.cooling < 1.0):
@@ -72,6 +84,8 @@ class GensorConfig:
             raise ValueError("initial temperature must exceed threshold")
         if self.num_chains < 1 or self.top_k < 1:
             raise ValueError("num_chains and top_k must be >= 1")
+        if self.walkers < 1:
+            raise ValueError(f"walkers must be >= 1, got {self.walkers}")
 
 
 @dataclass
@@ -110,6 +124,7 @@ class Gensor:
         hardware: HardwareSpec,
         config: GensorConfig | None = None,
         tracer: Tracer | None = None,
+        memo: MetricsMemo | None = None,
     ) -> None:
         self.hw = hardware
         self.config = config or GensorConfig()
@@ -117,23 +132,18 @@ class Gensor:
         #: NullTracer default keeps the walk allocation-free: every emission
         #: below is guarded on ``tracer.enabled``.
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        # Gensor's full analytical hardware model (noise-free — this is
-        # analysis, not profiling).  The cheap roofline guides the walk;
-        # this model ranks and refines the final candidates.
-        self._model = CostModel(hardware)
-        self._latency_cache: dict[tuple, float] = {}
+        #: shared bounded memo over the full analytical model (noise-free —
+        #: this is analysis, not profiling).  The cheap roofline guides the
+        #: walk; this model ranks and refines the final candidates.  The
+        #: process-wide default memo is shared with DynamicGensor, the
+        #: Measurer, and CompileService, so nothing is priced twice.
+        self.memo = memo if memo is not None else get_memo()
 
     def _model_latency(self, state: ETIR) -> float:
-        key = state.key()
-        cached = self._latency_cache.get(key)
-        if cached is None:
-            cached = (
-                self._model.latency(state)
-                if state.memory_ok(self.hw)
-                else math.inf
-            )
-            self._latency_cache[key] = cached
-        return cached
+        return self.memo.latency(self.hw, state)
+
+    def _model_latency_batch(self, states: list[ETIR]) -> np.ndarray:
+        return self.memo.latency_batch(self.hw, states)
 
     def compile(
         self,
@@ -141,6 +151,7 @@ class Gensor:
         measurer: Measurer | None = None,
         tracer: Tracer | None = None,
         cancel: CancelToken | None = None,
+        walkers: int | None = None,
     ) -> GensorResult:
         """Construct an optimized schedule for ``compute``.
 
@@ -153,9 +164,17 @@ class Gensor:
         :class:`~repro.resilience.deadline.CompileCancelled` — polling
         never touches the RNG streams, so cancellation preserves the
         walk's determinism for attempts that do finish.
+        ``walkers`` overrides ``config.walkers`` for this call: ``k > 1``
+        runs k independent annealed walks over the shared construction
+        graph on the worker pool and merges their candidate pools in
+        walker order (deterministic regardless of thread scheduling);
+        ``1`` consumes exactly the historical single-walker RNG stream.
         """
         t_start = time.perf_counter()
         cfg = self.config
+        n_walkers = cfg.walkers if walkers is None else int(walkers)
+        if n_walkers < 1:
+            raise ValueError(f"walkers must be >= 1, got {n_walkers}")
         tracer = tracer if tracer is not None else self.tracer
         measurer = measurer or Measurer(
             self.hw,
@@ -163,6 +182,7 @@ class Gensor:
             noise_sigma=0.0,
             seconds_per_measurement=MICROBENCH_SECONDS,
             tracer=tracer,
+            memo=self.memo,
         )
         measured_before = measurer.simulated_seconds
         forbid = (
@@ -170,78 +190,19 @@ class Gensor:
             if cfg.enable_vthread
             else frozenset({ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN})
         )
-        graph = ConstructionGraph(self.hw, multi_objective=cfg.multi_objective)
-        candidates: dict[tuple, ETIR] = {}
-        total_iterations = 0
-        for chain in range(cfg.num_chains):
-            rng = spawn_rng(cfg.seed, "gensor", compute.name, chain)
-            policy = TransitionPolicy(graph, rng)
-            state = ETIR.initial(compute, num_levels=self.hw.num_cache_levels)
-            temperature = cfg.initial_temperature
-            iteration = 0
-            while (
-                temperature > cfg.threshold
-                and iteration < cfg.max_iterations_per_chain
-            ):
-                if cancel is not None:
-                    cancel.check()
-                progress = math.log2(cfg.initial_temperature / temperature)
-                if tracer.enabled:
-                    # Mirror TransitionPolicy.select call-for-call so the
-                    # RNG stream (and thus the walk) is trace-invariant.
-                    edges, probs = policy.probabilities(state, progress, forbid)
-                    edge = None
-                    if edges:
-                        idx = int(rng.choice(len(edges), p=probs))
-                        edge = edges[idx]
-                else:
-                    edge = policy.select(state, progress, forbid)
-                if edge is None:
-                    break
-                src_level = state.cur_level
-                state = graph.nodes[edge.dst_key]
-                appended = rng.random() < append_probability(temperature)
-                if appended:
-                    candidates[state.key()] = state
-                if tracer.enabled:
-                    tracer.emit(
-                        "walk_step",
-                        {
-                            "compute": compute.name,
-                            "chain": chain,
-                            "iteration": iteration,
-                            "temperature": temperature,
-                            "level": src_level,
-                            "actions": [
-                                {
-                                    "kind": e.action.kind,
-                                    "axis": e.action.axis_idx,
-                                    "benefit": e.benefit,
-                                    "prob": float(p),
-                                }
-                                for e, p in zip(edges, probs)
-                            ],
-                            "chosen": idx,
-                            "appended": appended,
-                        },
-                        tid=chain,
-                    )
-                temperature *= cfg.cooling
-                iteration += 1
-            candidates[state.key()] = state
-            total_iterations += iteration
-            if tracer.enabled:
-                tracer.emit(
-                    "chain_end",
-                    {
-                        "compute": compute.name,
-                        "chain": chain,
-                        "iterations": iteration,
-                        "final_level": state.cur_level,
-                        "final_temperature": temperature,
-                    },
-                    tid=chain,
-                )
+        graph = ConstructionGraph(
+            self.hw,
+            multi_objective=cfg.multi_objective,
+            batch_scoring=cfg.batch_scoring,
+        )
+        if n_walkers == 1:
+            candidates, total_iterations = self._run_walker(
+                graph, compute, forbid, tracer, cancel, walker=0
+            )
+        else:
+            candidates, total_iterations = self._run_walkers(
+                graph, compute, forbid, tracer, cancel, n_walkers
+            )
 
         # Algorithm 1 receives dim_configs as input: canonical dimension
         # configurations seed the pool alongside the walked states, so the
@@ -282,6 +243,167 @@ class Gensor:
             simulated_measure_s=measurer.simulated_seconds - measured_before,
         )
 
+    # -- the annealed walk -------------------------------------------------------
+
+    def _run_walker(
+        self,
+        graph: ConstructionGraph,
+        compute: ComputeDef,
+        forbid: frozenset[str],
+        tracer: Tracer,
+        cancel: CancelToken | None,
+        walker: int,
+    ) -> tuple[dict[tuple, ETIR], int]:
+        """Run one walker's ``num_chains`` annealed chains; return its
+        candidate pool (insertion-ordered) and iteration count.
+
+        Walker 0 derives each chain's generator exactly as the historical
+        single-walker path did (``spawn_rng(seed, "gensor", name, chain)``),
+        so ``walkers=1`` is byte-identical to the pre-walker RNG stream.
+        Walkers ``w > 0`` draw their chains from ``SeedSequence.spawn``
+        substreams of a walker-labeled seed — independent of walker 0 and
+        of each other by construction.
+        """
+        cfg = self.config
+        substreams = (
+            spawn_substreams(
+                cfg.seed, "gensor", compute.name, "walker", walker,
+                n=cfg.num_chains,
+            )
+            if walker > 0
+            else None
+        )
+        candidates: dict[tuple, ETIR] = {}
+        total_iterations = 0
+        for chain in range(cfg.num_chains):
+            if substreams is None:
+                rng = spawn_rng(cfg.seed, "gensor", compute.name, chain)
+            else:
+                rng = substreams[chain]
+            tid = walker * cfg.num_chains + chain
+            policy = TransitionPolicy(graph, rng)
+            state = ETIR.initial(compute, num_levels=self.hw.num_cache_levels)
+            temperature = cfg.initial_temperature
+            iteration = 0
+            while (
+                temperature > cfg.threshold
+                and iteration < cfg.max_iterations_per_chain
+            ):
+                if cancel is not None:
+                    cancel.check()
+                progress = math.log2(cfg.initial_temperature / temperature)
+                if tracer.enabled:
+                    # Mirror TransitionPolicy.select call-for-call so the
+                    # RNG stream (and thus the walk) is trace-invariant.
+                    edges, probs = policy.probabilities(state, progress, forbid)
+                    edge = None
+                    if edges:
+                        idx = int(rng.choice(len(edges), p=probs))
+                        edge = edges[idx]
+                else:
+                    edge = policy.select(state, progress, forbid)
+                if edge is None:
+                    break
+                src_level = state.cur_level
+                state = edge.dst
+                appended = rng.random() < append_probability(temperature)
+                if appended:
+                    candidates[state.key()] = state
+                if tracer.enabled:
+                    tracer.emit(
+                        "walk_step",
+                        {
+                            "compute": compute.name,
+                            "chain": tid,
+                            "iteration": iteration,
+                            "temperature": temperature,
+                            "level": src_level,
+                            "actions": [
+                                {
+                                    "kind": e.action.kind,
+                                    "axis": e.action.axis_idx,
+                                    "benefit": e.benefit,
+                                    "prob": float(p),
+                                }
+                                for e, p in zip(edges, probs)
+                            ],
+                            "chosen": idx,
+                            "appended": appended,
+                        },
+                        tid=tid,
+                    )
+                temperature *= cfg.cooling
+                iteration += 1
+            candidates[state.key()] = state
+            total_iterations += iteration
+            if tracer.enabled:
+                tracer.emit(
+                    "chain_end",
+                    {
+                        "compute": compute.name,
+                        "chain": tid,
+                        "iterations": iteration,
+                        "final_level": state.cur_level,
+                        "final_temperature": temperature,
+                    },
+                    tid=tid,
+                )
+        return candidates, total_iterations
+
+    def _run_walkers(
+        self,
+        graph: ConstructionGraph,
+        compute: ComputeDef,
+        forbid: frozenset[str],
+        tracer: Tracer,
+        cancel: CancelToken | None,
+        n_walkers: int,
+    ) -> tuple[dict[tuple, ETIR], int]:
+        """Run ``n_walkers`` independent walkers concurrently and merge.
+
+        Each walker owns its RNG substreams and candidate dict; they share
+        the construction graph and the metrics memo (both value-identical
+        under recomputation, so races only affect cache hit rates).  The
+        merge happens in walker order, so the pooled candidate ordering —
+        and therefore ranking tie-breaks — is deterministic regardless of
+        thread scheduling.
+        """
+        from repro.serve.pool import WorkerPool
+
+        results: list[tuple[dict[tuple, ETIR], int] | None] = [None] * n_walkers
+        errors: list[BaseException] = []
+
+        def make_task(w: int):
+            def task() -> None:
+                try:
+                    results[w] = self._run_walker(
+                        graph, compute, forbid, tracer, cancel, walker=w
+                    )
+                except BaseException as exc:  # re-raised on the caller thread
+                    errors.append(exc)
+
+            return task
+
+        pool = WorkerPool(
+            workers=n_walkers, capacity=n_walkers, name="gensor-walker"
+        )
+        try:
+            for w in range(n_walkers):
+                pool.submit_nowait(make_task(w))
+        finally:
+            pool.shutdown(wait=True)
+        if errors:
+            raise errors[0]
+        candidates: dict[tuple, ETIR] = {}
+        total_iterations = 0
+        for res in results:
+            assert res is not None
+            walker_candidates, iterations = res
+            for key, state in walker_candidates.items():
+                candidates.setdefault(key, state)
+            total_iterations += iterations
+        return candidates, total_iterations
+
     # -- warm-start hooks (public: used by DynamicGensor and repro.serve) --------
 
     def polish(
@@ -308,17 +430,33 @@ class Gensor:
         start_lat = current_lat = self._model_latency(current)
         vthread_allowed = ActionKind.VTHREAD_UP not in forbid
         steps = 0
+        batch = self.config.batch_scoring
         for _ in range(max_steps):
             if cancel is not None:
                 cancel.check()
-            best_next: ETIR | None = None
-            best_lat = current_lat
-            for nxt in self._all_level_neighbors(current, vthread_allowed):
-                lat = self._model_latency(nxt)
-                if lat < best_lat:
-                    best_next, best_lat = nxt, lat
-            if best_next is None:
-                break
+            if batch:
+                # One vectorized sweep prices the whole neighborhood;
+                # argmin's first-occurrence rule matches the scalar loop's
+                # "first strict improvement over all previous" bookkeeping.
+                neighbors = list(
+                    self._all_level_neighbors(current, vthread_allowed)
+                )
+                if not neighbors:
+                    break
+                lats = self._model_latency_batch(neighbors)
+                j = int(np.argmin(lats))
+                if not lats[j] < current_lat:
+                    break
+                best_next, best_lat = neighbors[j], float(lats[j])
+            else:
+                best_next = None
+                best_lat = current_lat
+                for nxt in self._all_level_neighbors(current, vthread_allowed):
+                    lat = self._model_latency(nxt)
+                    if lat < best_lat:
+                        best_next, best_lat = nxt, lat
+                if best_next is None:
+                    break
             current, current_lat = best_next, best_lat
             steps += 1
         if tracer.enabled:
@@ -382,12 +520,21 @@ class Gensor:
                             yield nxt
 
     def _rank(self, states) -> list[ETIR]:
-        """Order candidates by the internal analytical model (best first)."""
-        scored = [
-            (self._model_latency(s), i, s)
-            for i, s in enumerate(states)
-            if s.memory_ok(self.hw)
+        """Order candidates by the internal analytical model (best first).
+
+        One batched evaluation prices the feasible pool; the insertion
+        index stays the tie-break, as in the scalar path.
+        """
+        feasible = [
+            (i, s) for i, s in enumerate(states) if s.memory_ok(self.hw)
         ]
+        if self.config.batch_scoring:
+            lats = self._model_latency_batch([s for _i, s in feasible])
+            scored = [
+                (float(lat), i, s) for (i, s), lat in zip(feasible, lats)
+            ]
+        else:
+            scored = [(self._model_latency(s), i, s) for i, s in feasible]
         scored.sort(key=lambda item: (item[0], item[1]))
         return [s for _lat, _i, s in scored if math.isfinite(_lat)]
 

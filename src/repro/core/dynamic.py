@@ -24,13 +24,14 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.cache import ScheduleCache
 from repro.core.constructor import Gensor, GensorConfig, GensorResult
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.resilience.deadline import CancelToken
-from repro.sim.costmodel import CostModel
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 
 __all__ = ["DynamicGensor", "DynamicCompileResult"]
@@ -106,7 +107,11 @@ class DynamicGensor:
         #: the underlying constructor — public so the serving layer can use
         #: its warm-start hooks (``seed_states`` / ``polish``) directly.
         self.gensor = Gensor(hardware, self.config)
-        self._model = CostModel(hardware)
+
+    @property
+    def memo(self):
+        """The shared metrics memo (same instance the constructor prices with)."""
+        return self.gensor.memo
 
     def compile(
         self,
@@ -135,7 +140,7 @@ class DynamicGensor:
             state = exact.instantiate(compute)
             if state is not None and state.memory_ok(self.hw):
                 self.stats.count("hit")
-                metrics = self._model.evaluate(state)
+                metrics = self.memo.evaluate(self.hw, state)
                 wall = time.perf_counter() - t0
                 self._trace(tracer, compute, "hit", wall)
                 return DynamicCompileResult(
@@ -161,20 +166,28 @@ class DynamicGensor:
                 # configs — a few deterministic polish runs instead of the
                 # full annealed walk.
                 pool = [warm] + self.gensor.seed_states(compute)
-                pool.sort(key=self._model.latency)
-                refined = min(
-                    (
-                        self.gensor.polish(
-                            s,
-                            self.warm_polish_steps,
-                            frozenset(),
-                            tracer=tracer,
-                            cancel=cancel,
-                        )
-                        for s in pool[: self.warm_pool]
-                    ),
-                    key=self._model.latency,
-                )
+                # Batched pricing; a stable index sort preserves the tie
+                # order of the old ``pool.sort(key=latency)``.
+                pool_lats = self.memo.latency_batch(self.hw, pool)
+                pool = [
+                    pool[i]
+                    for i in sorted(
+                        range(len(pool)), key=lambda i: pool_lats[i]
+                    )
+                ]
+                polished = [
+                    self.gensor.polish(
+                        s,
+                        self.warm_polish_steps,
+                        frozenset(),
+                        tracer=tracer,
+                        cancel=cancel,
+                    )
+                    for s in pool[: self.warm_pool]
+                ]
+                refined = polished[
+                    int(np.argmin(self.memo.latency_batch(self.hw, polished)))
+                ]
                 metrics = measurer.measure(refined)
                 wall = time.perf_counter() - t0
                 result = GensorResult(

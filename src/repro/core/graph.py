@@ -13,21 +13,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.core.actions import Action, action_benefit, enumerate_actions
+from repro.core.actions import (
+    Action,
+    action_benefit,
+    action_benefits,
+    enumerate_actions,
+)
 from repro.hardware.spec import HardwareSpec
 from repro.ir.etir import ETIR
 
-__all__ = ["Edge", "ConstructionGraph"]
+__all__ = ["Edge", "ConstructionGraph", "DEFAULT_MAX_CACHED_STATES"]
+
+#: Node/edge memo cap: a long-lived service can expand millions of states
+#: across requests, so the graph sheds its oldest cached half past this.
+DEFAULT_MAX_CACHED_STATES = 100_000
 
 
 @dataclass(frozen=True)
 class Edge:
-    """A legal transition: ``action`` maps ``src`` to ``dst`` with ``benefit``."""
+    """A legal transition: ``action`` maps ``src`` to ``dst`` with ``benefit``.
+
+    ``dst`` carries the destination state itself so walking an edge never
+    needs the graph's (bounded, evictable) node memo.
+    """
 
     src_key: tuple
     dst_key: tuple
     action: Action
     benefit: float
+    dst: ETIR = field(repr=False, compare=False)
 
 
 class ConstructionGraph:
@@ -35,6 +49,15 @@ class ConstructionGraph:
 
     ``forbid`` removes whole action families from the space (e.g. vThreads
     for the ablation variant, or for analyses over a bounded state count).
+
+    ``batch_scoring`` prices each expansion frontier through the vectorized
+    benefit path (bit-identical values to the scalar one); ``False`` keeps
+    the per-edge scalar calls — the bench's pre-PR baseline.
+
+    The node/edge/latency memos are bounded by ``max_cached_states``: past
+    the cap the oldest-inserted half is dropped and re-derived on demand
+    (expansion is deterministic, so recomputation is value-identical).
+    ``max_cached_states=0`` disables eviction.
     """
 
     def __init__(
@@ -42,16 +65,26 @@ class ConstructionGraph:
         hardware: HardwareSpec,
         forbid: frozenset[str] = frozenset(),
         multi_objective: bool = True,
+        batch_scoring: bool = True,
+        max_cached_states: int = DEFAULT_MAX_CACHED_STATES,
     ) -> None:
         self.hw = hardware
         self.forbid = forbid
         self.multi_objective = multi_objective
+        self.batch_scoring = batch_scoring
+        self.max_cached_states = max_cached_states
         self.nodes: dict[tuple, ETIR] = {}
         self._edges: dict[tuple, list[Edge]] = {}
+        # Keyed by ETIR instance (cached hash) rather than key() tuple:
+        # nested-tuple keys would be rehashed on every lookup.
+        self._quick_cache: dict[ETIR, float] = {}
+        self._nodes_seen = 0
 
     def add_node(self, state: ETIR) -> tuple:
         key = state.key()
-        self.nodes.setdefault(key, state)
+        if key not in self.nodes:
+            self.nodes[key] = state
+            self._nodes_seen += 1
         return key
 
     def expand(self, state: ETIR) -> list[Edge]:
@@ -65,28 +98,63 @@ class ConstructionGraph:
         cached = self._edges.get(key)
         if cached is not None:
             return cached
-        edges: list[Edge] = []
+        candidates: list[tuple[Action, ETIR]] = []
         for action in enumerate_actions(state):
             if action.kind in self.forbid:
                 continue
             nxt = action.apply(state)
             if nxt is None:
                 continue
-            benefit = action_benefit(
-                action, state, nxt, self.hw, self.multi_objective
+            candidates.append((action, nxt))
+        if self.batch_scoring:
+            benefits = action_benefits(
+                candidates,
+                state,
+                self.hw,
+                self.multi_objective,
+                quick_cache=self._quick_cache,
             )
+        else:
+            benefits = [
+                action_benefit(action, state, nxt, self.hw, self.multi_objective)
+                for action, nxt in candidates
+            ]
+        edges: list[Edge] = []
+        for (action, nxt), benefit in zip(candidates, benefits):
             if benefit <= 0.0:
                 continue
             dst_key = self.add_node(nxt)
-            edges.append(Edge(key, dst_key, action, benefit))
+            edges.append(Edge(key, dst_key, action, benefit, nxt))
         self._edges[key] = edges
+        self._maybe_evict()
         return edges
 
+    def _maybe_evict(self) -> None:
+        cap = self.max_cached_states
+        if cap <= 0:
+            return
+        # Rebind fresh dicts rather than mutating in place, so concurrent
+        # walkers iterating the old reference never see a resize.
+        if len(self.nodes) > cap:
+            items = list(self.nodes.items())
+            self.nodes = dict(items[len(items) // 2 :])
+        if len(self._edges) > cap:
+            items = list(self._edges.items())
+            self._edges = dict(items[len(items) // 2 :])
+        if len(self._quick_cache) > cap:
+            qitems = list(self._quick_cache.items())
+            self._quick_cache = dict(qitems[len(qitems) // 2 :])
+
     def neighbors(self, state: ETIR) -> list[ETIR]:
-        return [self.nodes[e.dst_key] for e in self.expand(state)]
+        return [e.dst for e in self.expand(state)]
 
     @property
     def num_nodes(self) -> int:
+        """Distinct states ever added (monotone — unaffected by eviction)."""
+        return self._nodes_seen
+
+    @property
+    def num_cached_nodes(self) -> int:
         return len(self.nodes)
 
     @property

@@ -36,12 +36,17 @@ class TransitionMatrix:
     keys: list[tuple]
     matrix: np.ndarray  # shape (n, n)
 
+    def __post_init__(self) -> None:
+        # Key→row map built once; `index` used to scan `keys` linearly,
+        # which made every per-state lookup O(n) on large subgraphs.
+        self._index = {k: i for i, k in enumerate(self.keys)}
+
     @property
     def n(self) -> int:
         return len(self.keys)
 
     def index(self, key: tuple) -> int:
-        return self.keys.index(key)
+        return self._index[key]
 
     def validate(self) -> None:
         if np.isnan(self.matrix).any():
@@ -135,7 +140,9 @@ def stationary_distribution(
     # Cesàro averaging converges for periodic chains as well.
     cur = np.full(n, 1.0 / n)
     avg = cur.copy()
-    for it in range(1, max_iter):
+    # Inclusive upper bound: `range(1, max_iter)` ran max_iter - 1 steps,
+    # and max_iter=1 silently did zero averaging.
+    for it in range(1, max_iter + 1):
         cur = cur @ tm.matrix
         new_avg = (avg * it + cur) / (it + 1)
         if np.abs(new_avg - avg).max() < tol:

@@ -14,11 +14,19 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.hardware.memory import smem_transaction_factor
 from repro.hardware.spec import HardwareSpec
 from repro.ir.etir import ETIR
+from repro.utils.caching import HOT_PATH_CACHING
 
-__all__ = ["quick_latency", "quick_score"]
+__all__ = ["quick_latency", "quick_latency_batch", "quick_score"]
+
+#: below this frontier size the numpy array setup costs more than it saves,
+#: so the batch entry points run the scalar loop instead.  Safe at any
+#: value: the two paths are bit-identical element-wise.
+_SCALAR_CUTOVER = 12
 
 
 def quick_latency(state: ETIR, hw: HardwareSpec, strict: bool = True) -> float:
@@ -69,10 +77,105 @@ def quick_latency(state: ETIR, hw: HardwareSpec, strict: bool = True) -> float:
     return max(compute_time, dram_time, smem_time)
 
 
+def quick_latency_batch(
+    states: "list[ETIR]", hw: HardwareSpec, strict: bool = True
+) -> np.ndarray:
+    """Vectorized :func:`quick_latency` over a candidate frontier.
+
+    Feature extraction stays per-state (memoized on the ETIR); the roofline
+    arithmetic runs as float64 array expressions in the scalar operation
+    order, so every element is bit-identical to ``quick_latency(state)`` —
+    infeasible states get ``inf`` exactly as the scalar path does.
+    """
+    if len(states) <= _SCALAR_CUTOVER:
+        return np.array(
+            [quick_latency(s, hw, strict=strict) for s in states],
+            dtype=np.float64,
+        )
+    out = np.full(len(states), math.inf, dtype=np.float64)
+    rows: list[int] = []
+    feats: list[tuple] = []
+    for i, state in enumerate(states):
+        if not state.memory_ok(hw, strict=strict):
+            continue
+        compute = state.compute
+        inner_work = 1.0
+        for idx, _ax in enumerate(compute.axes):
+            inner_work *= state.tile(idx, 1)
+        spatial = [
+            (idx, ax) for idx, ax in enumerate(compute.axes) if not ax.is_reduce
+        ]
+        conflict = 1.0
+        if spatial:
+            idx, _ = spatial[-1]
+            t1 = state.tile(idx, 1)
+            threads_row = max(1, state.tile(idx, state.num_levels) // max(1, t1))
+            span = min(hw.warp_size, threads_row) * t1
+            conflict = smem_transaction_factor(
+                max(1, span), hw.bank_width_elems, state.total_vthreads()
+            )
+        rows.append(i)
+        feats.append(
+            (
+                float(state.threads_per_block()),
+                float(state.num_blocks()),
+                inner_work,
+                _coalescing(state, hw),
+                conflict,
+                float(state.dram_traffic_bytes()),
+                float(state.smem_traffic_bytes()),
+                float(compute.total_flops),
+            )
+        )
+    if not rows:
+        return out
+
+    cols = np.asarray(feats, dtype=np.float64).T
+    threads, blocks, inner_work, coalesce, conflict, dram_q, smem_q, flops = cols
+
+    ilp_eff = inner_work / (inner_work + 6.0)
+    parallel_threads = np.minimum(
+        blocks * threads, hw.num_sms * hw.max_threads_per_sm
+    )
+    util = parallel_threads / (hw.num_sms * hw.max_threads_per_sm)
+    util_eff = util / (util + 0.12)
+    warp_eff = threads / (np.ceil(threads / hw.warp_size) * hw.warp_size)
+    compute_time = flops / np.maximum(
+        1.0, hw.peak_flops * ilp_eff * util_eff * warp_eff
+    )
+    dram_time = dram_q * coalesce / hw.dram.bandwidth_bytes_per_s
+    smem_time = smem_q * conflict / hw.smem.bandwidth_bytes_per_s
+    lat = np.maximum(np.maximum(compute_time, dram_time), smem_time)
+    out[rows] = lat
+    return out
+
+
 def _coalescing(state: ETIR, hw: HardwareSpec) -> float:
     """Footprint-weighted DRAM-transaction inflation (shared with the
     simulator's fuller model; constructive compilers model coalescing too —
-    Roller's rTiles exist to align slabs with memory transactions)."""
+    Roller's rTiles exist to align slabs with memory transactions).
+
+    Depends only on the block tiles (and the warp size), so it is memoized
+    in the compute's tile-keyed cache.
+    """
+    if HOT_PATH_CACHING.enabled:
+        from repro.ir.access import _tile_cache
+
+        cache = _tile_cache(state.compute)
+        lvl = state.num_levels
+        key = (
+            "coal",
+            tuple(t[lvl - 1] for t in state.config.tiles),
+            hw.warp_size,
+        )
+        cached = cache.get(key)
+        if cached is None:
+            cached = cache[key] = _coalescing_uncached(state, hw)
+        return cached
+    return _coalescing_uncached(state, hw)
+
+
+def _coalescing_uncached(state: ETIR, hw: HardwareSpec) -> float:
     from repro.hardware.memory import coalescing_factor
     from repro.ir.access import access_footprint_elems
 

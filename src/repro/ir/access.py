@@ -17,6 +17,7 @@ import math
 from typing import Mapping
 
 from repro.ir.compute import ComputeDef, TensorAccess
+from repro.utils.caching import HOT_PATH_CACHING
 
 __all__ = [
     "access_footprint_elems",
@@ -25,6 +26,48 @@ __all__ = [
     "num_tiles",
     "reuse_ratio",
 ]
+
+#: per-ComputeDef tile-keyed memo cap; the cache lives in the compute's
+#: ``__dict__`` and dies with it, this just bounds pathological streams.
+_TILE_CACHE_CAP = 65_536
+
+
+def _tile_cache(compute: ComputeDef) -> dict:
+    """Per-compute memo for tile-keyed derived values.
+
+    Stored straight in the (frozen) dataclass's ``__dict__`` — frozen only
+    intercepts ``__setattr__``, and the cache is semantically invisible.
+    Results depend only on the per-axis tile sizes, so the canonical key
+    is the tile tuple in axis order; equal states priced as distinct
+    instances (the polish sweep's bread and butter) hit the same slot.
+    """
+    cache = compute.__dict__.get("_tile_cache")
+    if cache is None:
+        cache = compute.__dict__["_tile_cache"] = {}
+    elif len(cache) > _TILE_CACHE_CAP:
+        cache.clear()
+    return cache
+
+
+def _tile_key(compute: ComputeDef, tile_sizes: Mapping[str, int]) -> tuple:
+    return tuple(tile_sizes.get(ax.name, 1) for ax in compute.axes)
+
+
+def _unique_inputs(compute: ComputeDef) -> list[TensorAccess]:
+    """Inputs deduplicated by (tensor, index expressions) — repeated reads
+    of the same slab share storage.  Computed once per compute."""
+    uniq = compute.__dict__.get("_unique_inputs")
+    if uniq is None:
+        seen: set[tuple[str, tuple]] = set()
+        uniq = []
+        for acc in compute.inputs:
+            key = (acc.tensor.name, acc.indices)
+            if key in seen:
+                continue
+            seen.add(key)
+            uniq.append(acc)
+        compute.__dict__["_unique_inputs"] = uniq
+    return uniq
 
 
 def access_footprint_elems(
@@ -55,19 +98,38 @@ def tile_footprint_bytes(
     check compares against the level capacity.  Repeated reads of the same
     tensor with identical index expressions share storage.
     """
-    total = 0
-    seen: set[tuple[str, tuple]] = set()
-    for acc in compute.inputs:
-        key = (acc.tensor.name, acc.indices)
-        if key in seen:
-            continue
-        seen.add(key)
-        total += access_footprint_elems(acc, tile_sizes) * acc.tensor.dtype_bytes
-    if include_output:
-        out_elems = 1
-        for ax in compute.spatial_axes:
-            out_elems *= min(tile_sizes.get(ax.name, 1), ax.extent)
-        total += out_elems * compute.output.dtype_bytes
+    if not HOT_PATH_CACHING.enabled:
+        total = 0
+        seen: set[tuple[str, tuple]] = set()
+        for acc in compute.inputs:
+            key = (acc.tensor.name, acc.indices)
+            if key in seen:
+                continue
+            seen.add(key)
+            total += (
+                access_footprint_elems(acc, tile_sizes) * acc.tensor.dtype_bytes
+            )
+        if include_output:
+            out_elems = 1
+            for ax in compute.spatial_axes:
+                out_elems *= min(tile_sizes.get(ax.name, 1), ax.extent)
+            total += out_elems * compute.output.dtype_bytes
+        return total
+    cache = _tile_cache(compute)
+    key = ("fp", _tile_key(compute, tile_sizes), include_output)
+    total = cache.get(key)
+    if total is None:
+        total = 0
+        for acc in _unique_inputs(compute):
+            total += (
+                access_footprint_elems(acc, tile_sizes) * acc.tensor.dtype_bytes
+            )
+        if include_output:
+            out_elems = 1
+            for ax in compute.spatial_axes:
+                out_elems *= min(tile_sizes.get(ax.name, 1), ax.extent)
+            total += out_elems * compute.output.dtype_bytes
+        cache[key] = total
     return total
 
 
@@ -89,6 +151,19 @@ def tile_traffic_bytes(
     once; every *spatial* tile writes its output slab once (reduce tiles
     accumulate in place and do not multiply output traffic).
     """
+    if HOT_PATH_CACHING.enabled:
+        cache = _tile_cache(compute)
+        key = ("q", _tile_key(compute, tile_sizes))
+        cached = cache.get(key)
+        if cached is None:
+            cached = cache[key] = _tile_traffic_bytes(compute, tile_sizes)
+        return cached
+    return _tile_traffic_bytes(compute, tile_sizes)
+
+
+def _tile_traffic_bytes(
+    compute: ComputeDef, tile_sizes: Mapping[str, int]
+) -> int:
     spatial_tiles = 1
     reduce_tiles = 1
     out_tile_elems = 1

@@ -28,11 +28,15 @@ from typing import Iterator, Mapping
 from repro.hardware.spec import HardwareSpec
 from repro.ir.access import tile_footprint_bytes, tile_traffic_bytes
 from repro.ir.compute import ComputeDef
+from repro.utils.caching import HOT_PATH_CACHING
 
 __all__ = ["ETIR", "TileConfig", "VTHREAD_LEVEL"]
 
 #: Pseudo-level index used by actions that adjust T_0 (the vThread stride).
 VTHREAD_LEVEL = 0
+
+#: cap on the per-compute pool of shared derived-value dicts (see __init__).
+_DERIVED_POOL_CAP = 65_536
 
 
 @dataclass(frozen=True)
@@ -64,7 +68,7 @@ class ETIR:
     memory level*, the per-level tiles, and the vThread configuration.
     """
 
-    __slots__ = ("compute", "num_levels", "cur_level", "config", "_key")
+    __slots__ = ("compute", "num_levels", "cur_level", "config", "_key", "_hash", "_derived")
 
     def __init__(
         self,
@@ -109,6 +113,33 @@ class ETIR:
                 )
             if ax.is_reduce and v != 1:
                 raise ValueError(f"reduce axis {ax.name!r} cannot have vThreads")
+        self._bind(compute, config, cur_level, num_levels)
+
+    @classmethod
+    def _trusted(
+        cls,
+        compute: ComputeDef,
+        config: TileConfig,
+        cur_level: int,
+        num_levels: int,
+    ) -> "ETIR":
+        """Construct without re-validating invariants.
+
+        Used by the functional mutators (``with_tile`` & co.), whose guard
+        logic already established every invariant ``__init__`` would check;
+        action application is the hottest allocation site in the walk.
+        """
+        obj = object.__new__(cls)
+        obj._bind(compute, config, cur_level, num_levels)
+        return obj
+
+    def _bind(
+        self,
+        compute: ComputeDef,
+        config: TileConfig,
+        cur_level: int,
+        num_levels: int,
+    ) -> None:
         self.compute = compute
         self.num_levels = num_levels
         self.cur_level = cur_level
@@ -119,6 +150,33 @@ class ETIR:
             config.vthreads,
             cur_level,
         )
+        self._hash = hash(self._key)
+        #: lazily memoized derived quantities.  ETIR is immutable, but the
+        #: construction hot path re-derives footprints, traffic, and memory
+        #: checks for the same state dozens of times (expansion legality,
+        #: benefit formulas, the cost model, polish sweeps) — caching them
+        #: changes no value, only the cost of asking twice.  Equal states
+        #: are constantly re-instantiated (every action application builds
+        #: a fresh object), so the memo dict itself is shared across equal
+        #: instances through a per-compute pool keyed by the state key; the
+        #: pool lives in the compute's ``__dict__`` and is cleared (not
+        #: trimmed — entries are tiny) past a cap to bound pathological
+        #: shape streams.
+        if HOT_PATH_CACHING.enabled:
+            pool = compute.__dict__.get("_derived_pool")
+            if pool is None:
+                pool = compute.__dict__["_derived_pool"] = {}
+            elif len(pool) > _DERIVED_POOL_CAP:
+                pool.clear()
+            # Keyed by the state itself: the cached _hash makes lookups
+            # O(1), where a raw nested-tuple key would be rehashed from
+            # scratch on every construction.
+            derived = pool.get(self)
+            if derived is None:
+                derived = pool[self] = {}
+            self._derived = derived
+        else:
+            self._derived = {}
 
     # -- construction -----------------------------------------------------------
 
@@ -166,7 +224,7 @@ class ETIR:
         return self._key
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, ETIR) and self._key == other._key
@@ -177,11 +235,23 @@ class ETIR:
         return self.config.tile(axis_idx, level)
 
     def tile_sizes(self, level: int) -> dict[str, int]:
-        """Axis-name → tile-size mapping at ``level`` (1..L)."""
-        return {
-            ax.name: self.config.tile(idx, level)
-            for idx, ax in enumerate(self.compute.axes)
-        }
+        """Axis-name → tile-size mapping at ``level`` (1..L).
+
+        Callers treat the result as read-only; the hot path memoizes it.
+        """
+        cached = (
+            self._derived.get(("ts", level))
+            if HOT_PATH_CACHING.enabled
+            else None
+        )
+        if cached is None:
+            cached = {
+                ax.name: self.config.tile(idx, level)
+                for idx, ax in enumerate(self.compute.axes)
+            }
+            if HOT_PATH_CACHING.enabled:
+                self._derived[("ts", level)] = cached
+        return cached
 
     def block_tiles(self) -> dict[str, int]:
         return self.tile_sizes(self.num_levels)
@@ -203,44 +273,86 @@ class ETIR:
 
     def threads_per_block(self) -> int:
         """Physical threads per block: block tile over thread tile, spatial axes."""
-        threads = 1
-        for idx, ax in enumerate(self.compute.axes):
-            if ax.is_reduce:
-                continue
-            threads *= math.ceil(
-                self.tile(idx, self.num_levels) / self.tile(idx, 1)
-            )
-        return threads
+        cached = (
+            self._derived.get("tpb") if HOT_PATH_CACHING.enabled else None
+        )
+        if cached is None:
+            threads = 1
+            for idx, ax in enumerate(self.compute.axes):
+                if ax.is_reduce:
+                    continue
+                threads *= math.ceil(
+                    self.tile(idx, self.num_levels) / self.tile(idx, 1)
+                )
+            if HOT_PATH_CACHING.enabled:
+                self._derived["tpb"] = threads
+            cached = threads
+        return cached
 
     def num_blocks(self) -> int:
         """Grid size: spatial iteration space over block tiles."""
-        blocks = 1
-        for idx, ax in enumerate(self.compute.axes):
-            if ax.is_reduce:
-                continue
-            blocks *= math.ceil(ax.extent / self.tile(idx, self.num_levels))
-        return blocks
+        cached = (
+            self._derived.get("blocks") if HOT_PATH_CACHING.enabled else None
+        )
+        if cached is None:
+            blocks = 1
+            for idx, ax in enumerate(self.compute.axes):
+                if ax.is_reduce:
+                    continue
+                blocks *= math.ceil(ax.extent / self.tile(idx, self.num_levels))
+            if HOT_PATH_CACHING.enabled:
+                self._derived["blocks"] = blocks
+            cached = blocks
+        return cached
 
     def smem_footprint_bytes(self) -> int:
         """Shared memory one block stages (inputs at the block tile)."""
-        return tile_footprint_bytes(
-            self.compute, self.block_tiles(), include_output=False
+        cached = (
+            self._derived.get("smem_fp") if HOT_PATH_CACHING.enabled else None
         )
+        if cached is None:
+            cached = tile_footprint_bytes(
+                self.compute, self.block_tiles(), include_output=False
+            )
+            if HOT_PATH_CACHING.enabled:
+                self._derived["smem_fp"] = cached
+        return cached
 
     def regs_per_thread(self) -> int:
         """Register (4-byte word) demand of one thread's tile."""
-        nbytes = tile_footprint_bytes(
-            self.compute, self.thread_tiles(), include_output=True
+        cached = (
+            self._derived.get("regs") if HOT_PATH_CACHING.enabled else None
         )
-        return max(1, math.ceil(nbytes / 4))
+        if cached is None:
+            nbytes = tile_footprint_bytes(
+                self.compute, self.thread_tiles(), include_output=True
+            )
+            cached = max(1, math.ceil(nbytes / 4))
+            if HOT_PATH_CACHING.enabled:
+                self._derived["regs"] = cached
+        return cached
 
     def dram_traffic_bytes(self) -> int:
         """Q at the DRAM level: traffic under the block tiling."""
-        return tile_traffic_bytes(self.compute, self.block_tiles())
+        cached = (
+            self._derived.get("dram_q") if HOT_PATH_CACHING.enabled else None
+        )
+        if cached is None:
+            cached = tile_traffic_bytes(self.compute, self.block_tiles())
+            if HOT_PATH_CACHING.enabled:
+                self._derived["dram_q"] = cached
+        return cached
 
     def smem_traffic_bytes(self) -> int:
         """Q between shared memory and registers: traffic under thread tiling."""
-        return tile_traffic_bytes(self.compute, self.thread_tiles())
+        cached = (
+            self._derived.get("smem_q") if HOT_PATH_CACHING.enabled else None
+        )
+        if cached is None:
+            cached = tile_traffic_bytes(self.compute, self.thread_tiles())
+            if HOT_PATH_CACHING.enabled:
+                self._derived["smem_q"] = cached
+        return cached
 
     def memory_ok(self, hw: HardwareSpec, strict: bool = True) -> bool:
         """The paper's per-transition memory check.
@@ -256,6 +368,39 @@ class ETIR:
         register budget — are enforced.  Final candidates are always
         re-checked strictly before ranking and measurement.
         """
+        if not HOT_PATH_CACHING.enabled:
+            return self._memory_ok(hw, strict)
+        # Fast path: this state already answered for this spec/strictness
+        # (the expansion legality check, the quick roofline, and the cost
+        # model all ask).  id(hw) is safe in the key because every id that
+        # reaches the slow path below belongs to a spec retained in the
+        # bucket — a live different spec can never reuse it.
+        fast_key = ("mo", id(hw), strict)
+        cached = self._derived.get(fast_key)
+        if cached is not None:
+            return cached
+        # The check depends only on the tile config (not vThreads or the
+        # current level), so it is memoized per compute, keyed by tiles.
+        # Specs are bucketed by identity — the object is retained in the
+        # bucket so its id cannot be recycled — which avoids hashing the
+        # whole (nested, frozen) HardwareSpec on every call.
+        per_hw = self.compute.__dict__.get("_memok_cache")
+        if per_hw is None:
+            per_hw = self.compute.__dict__["_memok_cache"] = {}
+        bucket = per_hw.get(id(hw))
+        if bucket is None:
+            bucket = per_hw[id(hw)] = (hw, {})
+        cache = bucket[1]
+        if len(cache) > _DERIVED_POOL_CAP:
+            cache.clear()
+        key = (self.config.tiles, strict)
+        cached = cache.get(key)
+        if cached is None:
+            cached = cache[key] = self._memory_ok(hw, strict)
+        self._derived[fast_key] = cached
+        return cached
+
+    def _memory_ok(self, hw: HardwareSpec, strict: bool) -> bool:
         if self.smem_footprint_bytes() > hw.smem.capacity_bytes:
             return False
         # CUDA caps a single thread at 255 registers regardless of block shape.
@@ -277,12 +422,19 @@ class ETIR:
 
         Raises ``ValueError`` if the nesting invariant would break.
         """
+        return ETIR(
+            self.compute,
+            self._tile_replaced(axis_idx, level, new_size),
+            self.cur_level,
+            self.num_levels,
+        )
+
+    def _tile_replaced(self, axis_idx: int, level: int, new_size: int) -> TileConfig:
         tiles = [list(t) for t in self.config.tiles]
         tiles[axis_idx][level - 1] = int(new_size)
-        config = TileConfig(
+        return TileConfig(
             tiles=tuple(tuple(t) for t in tiles), vthreads=self.config.vthreads
         )
-        return ETIR(self.compute, config, self.cur_level, self.num_levels)
 
     def scaled_tile(self, axis_idx: int, up: bool) -> "ETIR | None":
         """Tiling / inverse-tiling action: double or halve the current-level
@@ -319,7 +471,13 @@ class ETIR:
             lower = max(lower, self.vthreads(axis_idx) if lvl == 1 else 1)
             if new < lower:
                 return None
-        return self.with_tile(axis_idx, lvl, new)
+        # The guards above established the nesting invariant.
+        return ETIR._trusted(
+            self.compute,
+            self._tile_replaced(axis_idx, lvl, new),
+            self.cur_level,
+            self.num_levels,
+        )
 
     def with_cache_advance(self) -> "ETIR | None":
         """Caching action: move scheduling to the next (faster) memory level.
@@ -330,7 +488,9 @@ class ETIR:
         """
         if self.cur_level <= 1:
             return None
-        return ETIR(self.compute, self.config, self.cur_level - 1, self.num_levels)
+        return ETIR._trusted(
+            self.compute, self.config, self.cur_level - 1, self.num_levels
+        )
 
     def with_vthread(self, axis_idx: int, count: int) -> "ETIR | None":
         """setVthread primitive: set axis ``axis_idx``'s vThread count.
@@ -345,7 +505,7 @@ class ETIR:
         vts = list(self.config.vthreads)
         vts[axis_idx] = int(count)
         config = TileConfig(tiles=self.config.tiles, vthreads=tuple(vts))
-        return ETIR(self.compute, config, self.cur_level, self.num_levels)
+        return ETIR._trusted(self.compute, config, self.cur_level, self.num_levels)
 
     # -- presentation -----------------------------------------------------------------
 

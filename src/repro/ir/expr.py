@@ -154,8 +154,15 @@ class AffineExpr:
 class _FrozenDict(dict):
     """A hashable dict so AffineExpr stays usable as a dataclass field."""
 
+    _hash: int | None = None
+
     def __hash__(self) -> int:  # type: ignore[override]
-        return hash(tuple(sorted(self.items())))
+        # Index expressions are hashed constantly on the construction hot
+        # path; the dict is immutable after __post_init__, so memoize.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(tuple(sorted(self.items())))
+        return h
 
     def _readonly(self, *args: object, **kwargs: object) -> None:
         raise TypeError("AffineExpr terms are immutable")

@@ -1,0 +1,13 @@
+"""Performance infrastructure for the construction hot path.
+
+``repro.perf`` holds the pieces that make analytical pricing cheap enough
+to match the paper's compile-time claims: the process-wide
+:class:`~repro.perf.memo.MetricsMemo` (one bounded LRU over cost-model
+evaluations shared by every consumer) and the walk benchmark
+(:mod:`repro.perf.bench`) that gives each PR a measured states/sec
+trajectory.
+"""
+
+from repro.perf.memo import MetricsMemo, get_memo, reset_memo
+
+__all__ = ["MetricsMemo", "get_memo", "reset_memo"]

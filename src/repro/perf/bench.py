@@ -1,0 +1,256 @@
+"""The construction-walk benchmark (``python -m repro bench walk``).
+
+Measures the throughput of Gensor's hot path on the Fig. 6 / Table IV
+operator suite and writes ``BENCH_walk.json``, so every PR leaves a
+comparable perf datapoint:
+
+* **states/sec** of the annealed walk, batched pricing vs the historical
+  scalar path (``GensorConfig.batch_scoring=False`` reproduces per-edge
+  scalar scoring, scalar polish sweeps, and scalar ranking — the two paths
+  produce bit-identical schedules, so the ratio is pure pricing overhead);
+* **expand / evaluate micro-latencies** over a sampled frontier;
+* **memo hit rate** of the shared :class:`~repro.perf.memo.MetricsMemo`;
+* **walker scaling** — aggregate walk throughput with ``walkers=4`` vs
+  ``walkers=1`` (shared graph + memo let concurrent walkers reuse each
+  other's pricing even under the GIL).
+
+Every run is fully deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.constructor import Gensor, GensorConfig
+from repro.core.graph import ConstructionGraph
+from repro.hardware.spec import HardwareSpec
+from repro.perf.memo import MetricsMemo
+from repro.sim.costmodel import CostModel
+from repro.utils.caching import hot_path_caching_disabled
+from repro.workloads.table4 import TABLE4_CONFIGS
+
+__all__ = ["run_walk_bench", "write_bench", "QUICK_LABELS", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro.bench.walk/v1"
+
+#: one operator per family — the CI smoke subset.
+QUICK_LABELS = ("C1", "M1", "V1", "P1")
+
+#: reduced walk for --quick so the smoke job stays in seconds.  The point
+#: of the smoke's walker-scaling gate is that extra walkers must only pay
+#: walk time — never re-run the fixed polish/rank/measure pipeline — so
+#: the operating point keeps that fixed pipeline prominent relative to
+#: the (GIL-serialized) walk.
+_QUICK_CONFIG = dict(num_chains=2, max_iterations_per_chain=24, polish_steps=100)
+
+
+def _suite(quick: bool):
+    if quick:
+        return [c for c in TABLE4_CONFIGS if c.label in QUICK_LABELS]
+    return list(TABLE4_CONFIGS)
+
+
+def _compile_suite(
+    hardware: HardwareSpec,
+    configs,
+    cfg: GensorConfig,
+    walkers: int,
+    shared_memo: MetricsMemo,
+) -> dict:
+    """Compile every operator once; return per-op and aggregate throughput."""
+    ops = []
+    total_iterations = 0
+    total_wall = 0.0
+    for op in configs:
+        compute = op.build()
+        gensor = Gensor(hardware, cfg, memo=shared_memo)
+        t0 = time.perf_counter()
+        result = gensor.compile(compute, walkers=walkers)
+        wall = time.perf_counter() - t0
+        total_iterations += result.iterations
+        total_wall += wall
+        ops.append(
+            {
+                "label": op.label,
+                "iterations": result.iterations,
+                "states_visited": result.states_visited,
+                "compile_wall_s": wall,
+                "states_per_sec": result.iterations / wall if wall > 0 else 0.0,
+                "best_latency_s": result.best_metrics.latency_s,
+            }
+        )
+    return {
+        "ops": ops,
+        "total_iterations": total_iterations,
+        "total_wall_s": total_wall,
+        "states_per_sec": (
+            total_iterations / total_wall if total_wall > 0 else 0.0
+        ),
+    }
+
+
+def _micro_latencies(hardware: HardwareSpec, configs, seed: int) -> dict:
+    """Expand/evaluate micro-latencies over a sampled walk frontier."""
+    from repro.core.policy import TransitionPolicy
+    from repro.ir.etir import ETIR
+    from repro.utils.rng import spawn_rng
+
+    # Sample ~200 distinct states by walking each operator a few steps.
+    states = []
+    for op in configs:
+        compute = op.build()
+        graph = ConstructionGraph(hardware)
+        rng = spawn_rng(seed, "bench-micro", compute.name)
+        policy = TransitionPolicy(graph, rng)
+        state = ETIR.initial(compute, num_levels=hardware.num_cache_levels)
+        for step in range(50):
+            states.append(state)
+            edge = policy.select(state, step * 0.1, frozenset())
+            if edge is None:
+                break
+            state = edge.dst
+
+    model = CostModel(hardware)
+    with hot_path_caching_disabled():
+        t0 = time.perf_counter()
+        for s in states:
+            model.evaluate(s)
+        scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    model.evaluate_batch(states)
+    batch_s = time.perf_counter() - t0
+
+    # Expand timings on fresh graphs (memoized edges would measure a dict hit).
+    scalar_graph = ConstructionGraph(hardware, batch_scoring=False)
+    with hot_path_caching_disabled():
+        t0 = time.perf_counter()
+        for s in states:
+            scalar_graph.expand(s)
+        expand_scalar_s = time.perf_counter() - t0
+
+    batch_graph = ConstructionGraph(hardware, batch_scoring=True)
+    t0 = time.perf_counter()
+    for s in states:
+        batch_graph.expand(s)
+    expand_batch_s = time.perf_counter() - t0
+
+    n = max(1, len(states))
+    return {
+        "sampled_states": len(states),
+        "evaluate_scalar_us": scalar_s / n * 1e6,
+        "evaluate_batch_us_per_state": batch_s / n * 1e6,
+        "expand_scalar_us": expand_scalar_s / n * 1e6,
+        "expand_batch_us": expand_batch_s / n * 1e6,
+    }
+
+
+def _best_of(repeats: int, fn) -> dict:
+    """Best-of-``repeats`` wall time for one suite compilation.
+
+    Every repetition starts from a fresh memo and the same seed, so the
+    compiled schedules are identical — only the wall time varies with
+    scheduler noise.  Keeping the fastest run is the standard de-noising
+    for shared runners.
+    """
+    best: dict | None = None
+    for _ in range(max(1, repeats)):
+        run = fn()
+        if best is None or run["total_wall_s"] < best["total_wall_s"]:
+            best = run
+    return best
+
+
+def run_walk_bench(
+    device,
+    seed: int = 0,
+    quick: bool = False,
+    walker_counts: tuple[int, int] = (1, 4),
+    repeats: int = 1,
+) -> dict:
+    """Run the full walk benchmark; returns the ``BENCH_walk.json`` payload.
+
+    ``device`` is a :class:`HardwareSpec`.  ``quick`` restricts the suite
+    to one operator per family with a reduced walk (the CI smoke mode).
+    ``repeats`` reports the best wall of N identical runs per measurement.
+    """
+    configs = _suite(quick)
+    base_kwargs = dict(seed=seed, **(_QUICK_CONFIG if quick else {}))
+    scalar_cfg = GensorConfig(batch_scoring=False, **base_kwargs)
+    batched_cfg = GensorConfig(batch_scoring=True, **base_kwargs)
+
+    # Scalar baseline: per-edge benefit scoring, scalar polish/rank, a
+    # private memo standing in for the old per-constructor latency dict,
+    # and derived-value caching off — the faithful pre-perf-work path.
+    def _scalar_run() -> dict:
+        with hot_path_caching_disabled():
+            return _compile_suite(
+                device, configs, scalar_cfg, walkers=1, shared_memo=MetricsMemo()
+            )
+
+    scalar = _best_of(repeats, _scalar_run)
+
+    # Batched path: vectorized scoring through one shared memo.
+    def _batched_run() -> dict:
+        memo = MetricsMemo()
+        run = _compile_suite(
+            device, configs, batched_cfg, walkers=1, shared_memo=memo
+        )
+        run["memo_stats"] = memo.stats()
+        return run
+
+    batched = _best_of(repeats, _batched_run)
+    memo_stats = batched.pop("memo_stats")
+    speedup = (
+        batched["states_per_sec"] / scalar["states_per_sec"]
+        if scalar["states_per_sec"] > 0
+        else 0.0
+    )
+
+    # Walker scaling: aggregate walk throughput, fresh memo per count so
+    # the second run doesn't free-ride on the first run's pricing.
+    low, high = walker_counts
+    scaling_runs = {}
+    for walkers in (low, high):
+        run = _best_of(
+            repeats,
+            lambda walkers=walkers: _compile_suite(
+                device, configs, batched_cfg, walkers=walkers,
+                shared_memo=MetricsMemo(),
+            ),
+        )
+        scaling_runs[str(walkers)] = {
+            "total_iterations": run["total_iterations"],
+            "total_wall_s": run["total_wall_s"],
+            "states_per_sec": run["states_per_sec"],
+        }
+    low_rate = scaling_runs[str(low)]["states_per_sec"]
+    high_rate = scaling_runs[str(high)]["states_per_sec"]
+    walker_scaling = high_rate / low_rate if low_rate > 0 else 0.0
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "device": device.name,
+        "seed": seed,
+        "quick": quick,
+        "repeats": max(1, repeats),
+        "suite": [op.label for op in configs],
+        "scalar": scalar,
+        "batched": batched,
+        "speedup_states_per_sec": speedup,
+        "memo": memo_stats,
+        "micro": _micro_latencies(device, configs, seed),
+        "walker_scaling": {
+            "counts": [low, high],
+            "runs": scaling_runs,
+            "scaling": walker_scaling,
+        },
+    }
+
+
+def write_bench(payload: dict, path: str | Path) -> Path:
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out

@@ -54,7 +54,6 @@ from repro.resilience.supervisor import SupervisedWorkerPool
 from repro.serve.request import CompileRequest, CompileResponse, ServeTicket
 from repro.serve.singleflight import SingleFlight
 from repro.serve.stats import ServiceStats
-from repro.sim.costmodel import CostModel
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 
 __all__ = ["CompileService"]
@@ -137,7 +136,9 @@ class CompileService:
                 seconds_per_measurement=MICROBENCH_SECONDS,
             )
         )
-        self._model = CostModel(hardware)
+        #: shared metrics memo (the DynamicGensor's constructor owns it), so
+        #: degraded-tier pricing reuses everything the walks already priced.
+        self._memo = self.dynamic.memo
         self._flight = SingleFlight()
         self._retry = retry if retry is not None else RetryPolicy()
         self._breakers = BreakerBoard(
@@ -525,11 +526,12 @@ class CompileService:
         ]
         if not seeds:
             return None
-        best = min(seeds, key=self._model.latency)
+        seed_lats = self._memo.latency_batch(self.hw, seeds)
+        best = seeds[int(seed_lats.argmin())]
         # Purely analytical pick — not even one micro-benchmark round, so
         # the tightest deadlines still get a schedule in milliseconds.  Not
         # cached: seed quality would pollute future warm starts.
-        metrics = self._model.evaluate(best)
+        metrics = self._memo.evaluate(self.hw, best)
         return (
             GensorResult(
                 best=best,

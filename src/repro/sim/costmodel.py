@@ -27,13 +27,20 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.memory import coalescing_factor, smem_transaction_factor
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.ir.etir import ETIR
 from repro.sim.metrics import KernelMetrics
+from repro.utils.caching import HOT_PATH_CACHING
 
 __all__ = ["CostModel", "INFEASIBLE"]
+
+#: frontier size at or below which ``evaluate_batch`` runs the scalar loop
+#: (numpy setup dominates tiny batches; both paths are bit-identical).
+_SCALAR_CUTOVER = 12
 
 #: Metrics object returned for states that violate hardware limits.
 INFEASIBLE = KernelMetrics(
@@ -153,6 +160,166 @@ class CostModel:
     def latency(self, state: ETIR) -> float:
         return self.evaluate(state).latency_s
 
+    def evaluate_batch(self, states: "list[ETIR]") -> "list[KernelMetrics]":
+        """Predict metrics for a frontier of states in one vectorized pass.
+
+        Per-state *features* (residency, footprints, coalescing, conflicts)
+        are extracted in a Python loop — they walk the ETIR structure and are
+        memoized on the state — while the *pipe math* (occupancy, compute /
+        DRAM / L2 / smem times, staging, the latency combine) runs as numpy
+        float64 array expressions written in exactly the scalar
+        :meth:`evaluate` operation order.  Only ``+ - * / min max ceil``
+        appear in that math, so each element of the batch is bit-identical
+        to the scalar result: callers (expansion scoring, polish sweeps) can
+        switch between the two paths without perturbing the annealed walk's
+        RNG stream.
+        """
+        if len(states) <= _SCALAR_CUTOVER:
+            # Below this size the array setup costs more than it saves;
+            # the scalar loop is bit-identical, so callers can't tell.
+            return [self.evaluate(s) for s in states]
+        hw = self.hw
+        results: list[KernelMetrics] = [INFEASIBLE] * len(states)
+        rows: list[int] = []
+        feats: list[tuple] = []
+        for i, state in enumerate(states):
+            if not state.memory_ok(hw):
+                continue
+            tpb = state.threads_per_block()
+            bps = self._blocks_per_sm(state, tpb)
+            if bps == 0:
+                continue
+            compute = state.compute
+            rows.append(i)
+            feats.append(
+                (
+                    float(tpb),
+                    float(bps),
+                    float(state.num_blocks()),
+                    compute.flops_per_point * self._padded_points(state),
+                    self._inner_work(state),
+                    float(state.total_vthreads()),
+                    self._coalescing(state),
+                    float(state.dram_traffic_bytes()),
+                    float(compute.total_io_bytes()),
+                    self._bank_conflicts(state),
+                    float(state.smem_traffic_bytes()),
+                    float(self._reduce_chunks(state)),
+                    float(state.smem_footprint_bytes()),
+                    float(compute.total_flops),
+                )
+            )
+        if not rows:
+            return results
+
+        cols = np.asarray(feats, dtype=np.float64).T
+        (
+            tpb,
+            bps,
+            nblk,
+            padded_flops,
+            inner_work,
+            vthreads,
+            coalesce,
+            dram_q,
+            unique_bytes,
+            conflict,
+            smem_q,
+            reduce_chunks,
+            smem_fp,
+            useful_flops,
+        ) = cols
+
+        # --- residency & occupancy (mirrors evaluate) ---------------------------
+        occupancy = np.minimum(1.0, bps * tpb / hw.max_threads_per_sm)
+        concurrent = np.minimum(nblk, bps * hw.num_sms)
+        waves = nblk / np.maximum(1.0, bps * hw.num_sms)
+        ceil_waves = np.ceil(waves)
+        wave_eff = np.where(
+            waves > 0, waves / np.maximum(ceil_waves, 1.0), 1.0
+        )
+        sm_utilization = np.minimum(1.0, concurrent / hw.num_sms) * wave_eff
+
+        # --- compute pipe -------------------------------------------------------
+        ilp_eff = inner_work / (inner_work + _ILP_HALF)
+        lat_hiding = occupancy / (occupancy + _OCC_HALF)
+        warp_eff = tpb / (np.ceil(tpb / hw.warp_size) * hw.warp_size)
+        vthread_overhead = 1.0 + 0.01 * (vthreads - 1.0)
+        compute_rate = (
+            hw.peak_flops * sm_utilization * ilp_eff * lat_hiding * warp_eff
+        )
+        compute_time = (
+            padded_flops * vthread_overhead / np.maximum(compute_rate, 1.0)
+        )
+
+        # --- DRAM / L2 pipe -----------------------------------------------------
+        l2_requests = dram_q * coalesce
+        safe_l2 = np.where(l2_requests > 0, l2_requests, 1.0)
+        reuse_fraction = np.maximum(0.0, 1.0 - unique_bytes / safe_l2)
+        wave_set = concurrent * smem_fp
+        capture = np.minimum(1.0, hw.l2.capacity_bytes / np.maximum(wave_set, 1.0))
+        hit = _L2_BASE_HIT + (1.0 - _L2_BASE_HIT) * reuse_fraction * capture
+        l2_hit = np.where(
+            l2_requests <= 0,
+            0.0,
+            np.minimum(0.999, hit * np.minimum(1.0, reuse_fraction * 4.0 + 0.2)),
+        )
+        dram_bytes = np.maximum(
+            unique_bytes * np.minimum(1.0, coalesce), l2_requests * (1.0 - l2_hit)
+        )
+        dram_time = dram_bytes / hw.dram.bandwidth_bytes_per_s
+        l2_time = l2_requests / hw.l2.bandwidth_bytes_per_s
+
+        # --- shared-memory pipe -------------------------------------------------
+        compute_time = compute_time * (1.0 + _CONFLICT_STALL * (conflict - 1.0))
+        smem_bytes = smem_q * conflict
+        smem_bw = hw.smem.bandwidth_bytes_per_s * np.minimum(
+            1.0, concurrent / hw.num_sms
+        )
+        smem_time = smem_bytes / np.maximum(smem_bw, 1.0)
+
+        # --- staging latency ----------------------------------------------------
+        stage_serial = ceil_waves * reduce_chunks * hw.dram.latency_s
+        stage_time = stage_serial / np.maximum(1.0, bps * lat_hiding * 4.0)
+
+        # --- combine ------------------------------------------------------------
+        bound = np.maximum(
+            np.maximum(compute_time, dram_time), np.maximum(l2_time, smem_time)
+        )
+        pipe_sum = compute_time + dram_time + l2_time + smem_time
+        latency = (
+            hw.kernel_launch_overhead_s
+            + bound
+            + _OVERLAP * (pipe_sum - bound)
+            + stage_time
+        )
+        achieved = useful_flops / latency
+        throughput = np.minimum(1.0, achieved / hw.peak_flops)
+        sm_occ = occupancy * sm_utilization
+        mem_busy = np.minimum(1.0, dram_time / latency)
+
+        for j, i in enumerate(rows):
+            results[i] = KernelMetrics(
+                latency_s=float(latency[j]),
+                achieved_flops=float(achieved[j]),
+                compute_throughput=float(throughput[j]),
+                sm_occupancy=float(sm_occ[j]),
+                mem_busy=float(mem_busy[j]),
+                l2_hit_rate=float(l2_hit[j]),
+                dram_bytes=float(dram_bytes[j]),
+                smem_bytes=float(smem_bytes[j]),
+                bank_conflict_factor=float(conflict[j]),
+                blocks_per_sm=int(bps[j]),
+                waves=float(waves[j]),
+            )
+        return results
+
+    def latency_batch(self, states: "list[ETIR]") -> np.ndarray:
+        """Latency column of :meth:`evaluate_batch` as a float64 array."""
+        return np.array(
+            [m.latency_s for m in self.evaluate_batch(states)], dtype=np.float64
+        )
+
     # -- model terms -----------------------------------------------------------------
 
     def _blocks_per_sm(self, state: ETIR, threads_per_block: int) -> int:
@@ -194,7 +361,28 @@ class CostModel:
         tile extent of the axes indexing the tensor's innermost dimension.
         The per-access factors are averaged weighted by each access's share
         of the footprint.
+
+        Memoized by block tiles; the key (and the float it maps to) is
+        shared with :func:`repro.core.score._coalescing`, which runs the
+        same weighted average in the same operation order.
         """
+        if HOT_PATH_CACHING.enabled:
+            from repro.ir.access import _tile_cache
+
+            cache = _tile_cache(state.compute)
+            lvl = state.num_levels
+            key = (
+                "coal",
+                tuple(t[lvl - 1] for t in state.config.tiles),
+                self.hw.warp_size,
+            )
+            cached = cache.get(key)
+            if cached is None:
+                cached = cache[key] = self._coalescing_uncached(state)
+            return cached
+        return self._coalescing_uncached(state)
+
+    def _coalescing_uncached(self, state: ETIR) -> float:
         hw = self.hw
         block_tiles = state.tile_sizes(state.num_levels)
         total_weight = 0.0

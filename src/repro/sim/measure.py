@@ -16,7 +16,6 @@ import time
 from repro.hardware.spec import HardwareSpec
 from repro.ir.etir import ETIR
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.sim.costmodel import CostModel
 from repro.sim.metrics import KernelMetrics
 from repro.utils.rng import spawn_rng
 
@@ -47,6 +46,9 @@ class Measurer:
             slept (0 disables sleeping; experiments use a small value).
         tracer: optional event sink; every measurement emits a ``measure``
             event with the resulting :class:`KernelMetrics` fields.
+        memo: shared :class:`~repro.perf.memo.MetricsMemo` supplying the
+            noise-free truth; defaults to the process-wide memo, so a
+            state priced during construction is never re-evaluated here.
     """
 
     def __init__(
@@ -57,9 +59,13 @@ class Measurer:
         seconds_per_measurement: float = 0.35,
         time_scale: float = 0.0,
         tracer: Tracer | None = None,
+        memo=None,
     ) -> None:
+        from repro.perf.memo import get_memo
+
         self.hw = hardware
-        self.model = CostModel(hardware)
+        self._memo = memo if memo is not None else get_memo()
+        self.model = self._memo.model(hardware)
         self.seed = seed
         self.noise_sigma = noise_sigma
         self.seconds_per_measurement = seconds_per_measurement
@@ -77,7 +83,7 @@ class Measurer:
         self.num_measurements += 1
         if self.time_scale > 0.0:
             time.sleep(self.seconds_per_measurement * self.time_scale)
-        truth = self.model.evaluate(state)
+        truth = self._memo.evaluate(self.hw, state)
         if not truth.feasible:
             if self.tracer.enabled:
                 self._trace(state, truth)

@@ -1,0 +1,41 @@
+"""Global switch for hot-path derived-value caching.
+
+The ETIR/access layers memoize derived quantities (footprints, traffic,
+memory checks) that the construction hot path re-derives for equal states
+many times.  Those caches are value-transparent — they only change how
+often the same arithmetic runs — but the walk benchmark needs to measure
+the *uncached* historical path as its baseline, so they all consult this
+one process-wide toggle.
+
+Not thread-safe by design: the toggle is flipped only by the bench (and
+tests) around whole single-threaded runs, never mid-compile.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["HOT_PATH_CACHING", "hot_path_caching_disabled"]
+
+
+class _Toggle:
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+#: consulted by :mod:`repro.ir.etir` and :mod:`repro.ir.access`.
+HOT_PATH_CACHING = _Toggle()
+
+
+@contextmanager
+def hot_path_caching_disabled() -> Iterator[None]:
+    """Run a block with derived-value caching off (bench baseline mode)."""
+    prev = HOT_PATH_CACHING.enabled
+    HOT_PATH_CACHING.enabled = False
+    try:
+        yield
+    finally:
+        HOT_PATH_CACHING.enabled = prev

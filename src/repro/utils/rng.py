@@ -14,7 +14,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["new_rng", "spawn_rng"]
+__all__ = ["new_rng", "spawn_rng", "spawn_substreams"]
 
 
 def new_rng(seed: int | None = 0) -> np.random.Generator:
@@ -34,10 +34,30 @@ def spawn_rng(seed: int, *labels: str | int) -> np.random.Generator:
     consumed by e.g. ``("ansor", "M3")`` never collides with or depends on
     the stream for ``("gensor", "M3")``.
     """
+    return np.random.default_rng(_label_seed(seed, *labels))
+
+
+def spawn_substreams(
+    seed: int, *labels: str | int, n: int
+) -> list[np.random.Generator]:
+    """``n`` independent generators via ``SeedSequence.spawn`` substreams.
+
+    Anchored at the same stable label hash as :func:`spawn_rng`, so the
+    substream family for one label path is deterministic across runs and
+    platforms but statistically independent of every ``spawn_rng`` stream
+    (the SeedSequence spawn tree hashes differently from a direct seed).
+    Used by multi-walker construction: each walker's chains draw from
+    their own substream, so walkers never share or perturb each other's
+    randomness regardless of thread scheduling.
+    """
+    root = np.random.SeedSequence(_label_seed(seed, *labels))
+    return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+def _label_seed(seed: int, *labels: str | int) -> int:
     h = hashlib.sha256()
     h.update(str(int(seed)).encode())
     for label in labels:
         h.update(b"/")
         h.update(str(label).encode())
-    child_seed = int.from_bytes(h.digest()[:8], "little")
-    return np.random.default_rng(child_seed)
+    return int.from_bytes(h.digest()[:8], "little")

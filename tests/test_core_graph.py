@@ -69,3 +69,30 @@ class TestNetworkxExport:
         for _u, _v, data in g.edges(data=True):
             assert data["benefit"] > 0
             assert data["action"] in ActionKind.ALL
+
+
+class TestBoundedCaches:
+    def test_eviction_bounds_cached_nodes(self, hw, start):
+        graph = ConstructionGraph(hw, max_cached_states=50)
+        graph.explore(start, max_nodes=400)
+        # Eviction halves past the cap, so the steady state stays at or
+        # below the cap even while expansion keeps inserting.
+        assert graph.num_cached_nodes <= 50
+        assert len(graph._edges) <= 50
+        assert len(graph._quick_cache) <= 50
+        # The monotone counter keeps the true visit count.
+        assert graph.num_nodes > 50
+
+    def test_eviction_preserves_walk_values(self, hw, start):
+        # Re-expanding an evicted state re-derives identical edges.
+        bounded = ConstructionGraph(hw, max_cached_states=20)
+        unbounded = ConstructionGraph(hw, max_cached_states=0)
+        bounded.explore(start, max_nodes=150)
+        want = [(e.dst_key, e.benefit) for e in unbounded.expand(start)]
+        got = [(e.dst_key, e.benefit) for e in bounded.expand(start)]
+        assert got == want
+
+    def test_zero_cap_disables_eviction(self, hw, start):
+        graph = ConstructionGraph(hw, max_cached_states=0)
+        graph.explore(start, max_nodes=300)
+        assert graph.num_cached_nodes == graph.num_nodes

@@ -95,6 +95,37 @@ class TestBuildTransitionMatrix:
             bad.validate()
 
 
+class TestIndexLookup:
+    def test_index_is_constant_time_on_large_matrix(self):
+        # Regression guard: `index` used to scan `keys` linearly, making
+        # per-state lookups O(n).  200k lookups against 500 states finish
+        # in well under a second with the dict map; the old scan took >10s.
+        import time
+
+        n = 500
+        tm = TransitionMatrix(
+            keys=[("s", i) for i in range(n)], matrix=np.eye(n)
+        )
+        keys = tm.keys
+        t0 = time.perf_counter()
+        for _ in range(400):
+            for k in keys:
+                tm.index(k)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 2.0
+
+    def test_index_matches_position_everywhere(self):
+        n = 64
+        tm = TransitionMatrix(
+            keys=[("s", i) for i in range(n)], matrix=np.eye(n)
+        )
+        assert [tm.index(k) for k in tm.keys] == list(range(n))
+
+    def test_unknown_key_raises(self, tm):
+        with pytest.raises(KeyError):
+            tm.index(("no", "such", "state"))
+
+
 class TestStationaryDistribution:
     def test_is_fixed_point(self, tm):
         pi = stationary_distribution(tm)
@@ -117,6 +148,24 @@ class TestStationaryDistribution:
             matrix=np.array([[0.0, 1.0], [1.0, 0.0]]),
         )
         pi = stationary_distribution(tm)
+        assert pi == pytest.approx([0.5, 0.5])
+
+    def test_cesaro_fallback_runs_max_iter_steps(self, monkeypatch):
+        # Force the lstsq path to look degenerate so the Cesàro fallback
+        # runs.  Starting uniform on a doubly stochastic chain, the very
+        # first averaging step already satisfies the tolerance — so
+        # max_iter=1 must succeed.  The old `range(1, max_iter)` bound ran
+        # max_iter - 1 steps and reported non-convergence here.
+        monkeypatch.setattr(
+            np.linalg,
+            "lstsq",
+            lambda *a, **k: (np.array([-1.0, -1.0]), None, None, None),
+        )
+        tm = TransitionMatrix(
+            keys=[("a",), ("b",)],
+            matrix=np.array([[0.0, 1.0], [1.0, 0.0]]),
+        )
+        pi = stationary_distribution(tm, max_iter=1)
         assert pi == pytest.approx([0.5, 0.5])
 
 

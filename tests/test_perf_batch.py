@@ -1,0 +1,101 @@
+"""Batched evaluation parity: every element bit-identical to the scalar path.
+
+The entire golden-trace argument for routing the walk, polish, and rank
+through ``evaluate_batch`` / ``quick_latency_batch`` rests on element-wise
+bit-identity with the scalar calls — including INFEASIBLE states and both
+hardware generations.  These properties pin that contract.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.score import quick_latency, quick_latency_batch
+from repro.hardware import orin_nano, rtx4090
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR
+from repro.sim.costmodel import INFEASIBLE, CostModel
+
+RTX = rtx4090()
+NANO = orin_nano()
+GEMM = ops.matmul(512, 256, 512, "parity_g")
+
+_POW2 = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+
+@st.composite
+def tile_states(draw):
+    """A (possibly infeasible) schedule state for the parity GEMM.
+
+    Tile sizes are drawn as unconstrained powers of two, so oversized
+    block tiles routinely blow the shared-memory budget — exactly the
+    INFEASIBLE inputs the batch path must reproduce as such.
+    """
+    block = {}
+    thread = {}
+    for name, extent in (("i", 512), ("j", 256), ("k", 512)):
+        b = draw(st.sampled_from([t for t in _POW2 if t <= extent]))
+        t = draw(st.sampled_from([t for t in _POW2 if t <= b]))
+        block[name] = b
+        thread[name] = t
+    vthread = {}
+    if draw(st.booleans()):
+        vthread["i"] = draw(st.sampled_from([2, 4]))
+    try:
+        return ETIR.from_tiles(GEMM, block, thread, vthread)
+    except ValueError:
+        return None
+
+
+def batches(min_size=1, max_size=24):
+    return st.lists(tile_states(), min_size=min_size, max_size=max_size).map(
+        lambda states: [s for s in states if s is not None]
+    )
+
+
+class TestEvaluateBatchParity:
+    @settings(max_examples=30, deadline=None)
+    @given(states=batches())
+    @pytest.mark.parametrize("hw", [RTX, NANO], ids=["rtx4090", "orin_nano"])
+    def test_bit_identical_to_scalar(self, hw, states):
+        model = CostModel(hw)
+        batch = model.evaluate_batch(states)
+        assert len(batch) == len(states)
+        for state, got in zip(states, batch):
+            assert got == model.evaluate(state)
+
+    @settings(max_examples=20, deadline=None)
+    @given(states=batches())
+    def test_infeasible_states_marked(self, states):
+        model = CostModel(RTX)
+        batch = model.evaluate_batch(states)
+        for state, got in zip(states, batch):
+            if not state.memory_ok(RTX):
+                assert got is INFEASIBLE
+                assert not got.feasible
+
+    def test_empty_batch(self):
+        assert CostModel(RTX).evaluate_batch([]) == []
+
+    def test_all_infeasible_batch(self):
+        state = ETIR.from_tiles(
+            GEMM, {"i": 512, "j": 256, "k": 512}, {"i": 1, "j": 1, "k": 1}
+        )
+        assert not state.memory_ok(RTX)
+        # Wide enough to clear the scalar cut-over into the numpy path.
+        batch = CostModel(RTX).evaluate_batch([state] * 20)
+        assert all(m is INFEASIBLE for m in batch)
+
+
+class TestQuickLatencyBatchParity:
+    @settings(max_examples=30, deadline=None)
+    @given(states=batches(), strict=st.booleans())
+    @pytest.mark.parametrize("hw", [RTX, NANO], ids=["rtx4090", "orin_nano"])
+    def test_bit_identical_to_scalar(self, hw, states, strict):
+        lats = quick_latency_batch(states, hw, strict=strict)
+        assert lats.shape == (len(states),)
+        for state, got in zip(states, lats):
+            want = quick_latency(state, hw, strict=strict)
+            assert (got == want) or (math.isinf(got) and math.isinf(want))

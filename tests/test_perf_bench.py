@@ -1,0 +1,130 @@
+"""The walk benchmark harness (repro.perf.bench) and its CLI gates."""
+
+import argparse
+import json
+
+import pytest
+
+import repro.perf.bench as bench_mod
+from repro.cli import main
+from repro.perf.bench import BENCH_SCHEMA, _best_of, run_walk_bench, write_bench
+
+
+@pytest.fixture
+def tiny_bench(monkeypatch):
+    """Shrink the quick suite to one operator and a toy walk so a real
+    end-to-end bench run stays test-sized."""
+    monkeypatch.setattr(bench_mod, "QUICK_LABELS", ("V1",))
+    monkeypatch.setattr(
+        bench_mod,
+        "_QUICK_CONFIG",
+        dict(num_chains=1, max_iterations_per_chain=10, polish_steps=4),
+    )
+
+
+class TestBestOf:
+    def test_keeps_fastest_run(self):
+        runs = iter([{"total_wall_s": 3.0, "tag": "slow"},
+                     {"total_wall_s": 1.0, "tag": "fast"},
+                     {"total_wall_s": 2.0, "tag": "mid"}])
+        best = _best_of(3, lambda: next(runs))
+        assert best["tag"] == "fast"
+
+    def test_nonpositive_repeats_run_once(self):
+        calls = []
+        _best_of(0, lambda: calls.append(1) or {"total_wall_s": 1.0})
+        assert len(calls) == 1
+
+
+class TestRunWalkBench:
+    def test_payload_schema(self, hw, tiny_bench, tmp_path):
+        payload = run_walk_bench(hw, quick=True)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["device"] == hw.name
+        assert payload["quick"] is True
+        assert payload["suite"] == ["V1"]
+        for section in ("scalar", "batched"):
+            run = payload[section]
+            assert run["total_iterations"] > 0
+            assert run["states_per_sec"] > 0
+            assert [op["label"] for op in run["ops"]] == ["V1"]
+        assert payload["speedup_states_per_sec"] > 0
+        assert set(payload["walker_scaling"]["runs"]) == {"1", "4"}
+        assert payload["walker_scaling"]["scaling"] > 0
+        assert payload["memo"]["misses"] > 0
+        micro = payload["micro"]
+        assert micro["sampled_states"] > 0
+        assert micro["evaluate_scalar_us"] > 0
+        assert micro["expand_batch_us"] > 0
+
+        out = write_bench(payload, tmp_path / "BENCH_walk.json")
+        assert json.loads(out.read_text())["schema"] == BENCH_SCHEMA
+
+    def test_walks_identical_across_paths(self, hw, tiny_bench):
+        # Scalar and batched pricing must walk the same states: identical
+        # iteration counts and identical best latencies per op.
+        payload = run_walk_bench(hw, quick=True)
+        for s_op, b_op in zip(payload["scalar"]["ops"], payload["batched"]["ops"]):
+            assert s_op["iterations"] == b_op["iterations"]
+            assert s_op["best_latency_s"] == b_op["best_latency_s"]
+
+    def test_repeats_reported(self, hw, tiny_bench):
+        payload = run_walk_bench(hw, quick=True, repeats=2)
+        assert payload["repeats"] == 2
+
+
+class TestCliGates:
+    def _payload(self, speedup, scaling):
+        return {
+            "schema": BENCH_SCHEMA,
+            "device": "rtx4090",
+            "quick": True,
+            "repeats": 1,
+            "suite": ["V1"],
+            "scalar": {"states_per_sec": 100.0},
+            "batched": {"states_per_sec": 100.0 * speedup},
+            "speedup_states_per_sec": speedup,
+            "memo": {"hits": 1, "misses": 1, "hit_rate": 0.5, "size": 1},
+            "micro": {
+                "sampled_states": 1,
+                "evaluate_scalar_us": 1.0,
+                "evaluate_batch_us_per_state": 1.0,
+            },
+            "walker_scaling": {"counts": [1, 4], "scaling": scaling},
+        }
+
+    def _run(self, monkeypatch, tmp_path, payload, *flags):
+        monkeypatch.setattr(
+            bench_mod, "run_walk_bench", lambda *a, **k: payload
+        )
+        return main(
+            ["bench", "walk", "--quick",
+             "--out", str(tmp_path / "B.json"), *flags]
+        )
+
+    def test_passing_gates_exit_zero(self, monkeypatch, tmp_path):
+        rc = self._run(
+            monkeypatch, tmp_path, self._payload(3.5, 2.5),
+            "--min-speedup", "3.0", "--min-walker-scaling", "2.0",
+        )
+        assert rc == 0
+
+    def test_speedup_gate_fails(self, monkeypatch, tmp_path, capsys):
+        rc = self._run(
+            monkeypatch, tmp_path, self._payload(2.0, 2.5),
+            "--min-speedup", "3.0",
+        )
+        assert rc == 1
+        assert "speedup" in capsys.readouterr().err
+
+    def test_scaling_gate_fails(self, monkeypatch, tmp_path, capsys):
+        rc = self._run(
+            monkeypatch, tmp_path, self._payload(3.5, 1.4),
+            "--min-walker-scaling", "2.0",
+        )
+        assert rc == 1
+        assert "walker scaling" in capsys.readouterr().err
+
+    def test_no_gates_always_pass(self, monkeypatch, tmp_path):
+        rc = self._run(monkeypatch, tmp_path, self._payload(0.5, 0.5))
+        assert rc == 0

@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro compile --op gemm --shape 4096x4096x4096 --method gensor
     python -m repro experiment fig06 [--full]
     python -m repro serve-bench --model bert --requests 200 --workers 8
+    python -m repro fleet-bench --processes 4 [--quick]
     python -m repro bench walk [--quick] [--out BENCH_walk.json]
     python -m repro trace-report walk.jsonl [--chrome timeline.json]
     python -m repro devices
@@ -15,7 +16,11 @@ and compile cost; ``--trace out.jsonl`` records the full Markov walk
 (per-step actions, probabilities, temperature) for gensor/dynamic.
 ``experiment`` regenerates one of the paper's tables/figures by name.
 ``serve-bench`` replays a synthetic dynamic-shape request trace through
-the concurrent compile service and prints its stats table.
+the concurrent compile service, prints its stats table, and writes
+``BENCH_serve.json``.  ``fleet-bench`` replays the same traces through
+the sharded multi-process fleet at increasing process counts and writes
+``BENCH_fleet.json`` (throughput scaling, schedule parity vs the
+single-process service, autoscale demo).
 ``bench walk`` measures construction-walk throughput (batched vs scalar
 pricing, memo hit rate, multi-walker scaling) and writes
 ``BENCH_walk.json`` — the perf trajectory every PR is compared against.
@@ -206,6 +211,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"replayed {report.requests} requests "
           f"({report.unique_shapes} unique shapes) in {report.wall_s:.2f}s "
           f"-> {report.requests_per_s:.1f} req/s, {report.failed} failed")
+    if args.out:
+        from repro.perf.bench import write_bench
+
+        print(f"wrote {write_bench(report.to_json(), args.out)}")
     if args.faults is not None:
         res = report.resilience
         print()
@@ -217,6 +226,58 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"availability: {report.availability:.1%} "
               f"(degraded tiers count as available)")
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    from repro.fleet.bench import run_fleet_bench
+    from repro.perf.bench import write_bench
+
+    process_counts = None
+    if args.processes is not None:
+        counts = [1]
+        while counts[-1] * 2 <= args.processes:
+            counts.append(counts[-1] * 2)
+        if counts[-1] != args.processes:
+            counts.append(args.processes)
+        # the scaling gate compares 4v1, so keep 4 in mid-size sweeps
+        if 4 not in counts and args.processes > 4:
+            counts.insert(-1, 4)
+        process_counts = tuple(counts)
+    report = run_fleet_bench(
+        model=args.model,
+        num_requests=args.requests,
+        process_counts=process_counts,
+        workers_per_shard=args.workers_per_shard,
+        device_name=args.device,
+        seed=args.seed,
+        window=args.window,
+        time_scale=args.time_scale,
+        quick=args.quick,
+        routing=args.routing,
+        check_parity=not args.skip_parity,
+    )
+    print(report.render())
+    if args.out:
+        print(f"wrote {write_bench(report.to_json(), args.out)}")
+    failed = []
+    if report.parity and report.parity["mismatches"] > 0:
+        failed.append(
+            f"{report.parity['mismatches']} schedule parity mismatches "
+            f"between the {report.parity['processes']}-process fleet and "
+            f"the single-process service"
+        )
+    if args.min_process_scaling is not None:
+        ratio = report.scaling.get("4v1")
+        if ratio is None:
+            failed.append("no 4-process run to gate on")
+        elif ratio < args.min_process_scaling:
+            failed.append(
+                f"process scaling {ratio:.2f}x < required "
+                f"{args.min_process_scaling}x"
+            )
+    for msg in failed:
+        print(f"fleet-bench: FAIL: {msg}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -341,7 +402,47 @@ def build_parser() -> argparse.ArgumentParser:
                          default=False,
                          help="abort the replay on the first error response "
                               "instead of completing the trace")
+    p_serve.add_argument("--out", default="BENCH_serve.json",
+                         metavar="OUT.json",
+                         help="artifact path ('' disables the write)")
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_fleet = sub.add_parser(
+        "fleet-bench",
+        help="replay a trace through the sharded multi-process fleet "
+             "-> BENCH_fleet.json",
+    )
+    p_fleet.add_argument("--model", default="bert", choices=["bert", "gpt2"])
+    p_fleet.add_argument("--requests", type=int, default=None,
+                         help="trace length (default: 48 quick, 160 full)")
+    p_fleet.add_argument("--processes", type=int, default=None,
+                         help="largest shard-process count; the sweep runs "
+                              "1..N in powers of two (default: 4 quick, "
+                              "8 full)")
+    p_fleet.add_argument("--workers-per-shard", type=int, default=1,
+                         help="worker threads inside each shard process")
+    p_fleet.add_argument("--device", default="rtx4090", choices=list(_DEVICES))
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--window", type=int, default=32,
+                         help="closed-loop client concurrency")
+    p_fleet.add_argument("--time-scale", type=float, default=1.0,
+                         help="fraction of simulated profiling cost slept "
+                              "in real time (0 = CPU-only)")
+    p_fleet.add_argument("--routing", default="least-loaded",
+                         choices=["hash", "least-loaded"])
+    p_fleet.add_argument("--quick", action="store_true",
+                         help="CI smoke mode: short trace, tiny "
+                              "construction budget, no 8-process point")
+    p_fleet.add_argument("--out", default="BENCH_fleet.json",
+                         metavar="OUT.json",
+                         help="artifact path ('' disables the write)")
+    p_fleet.add_argument("--min-process-scaling", type=float, default=None,
+                         help="exit 1 if 4-vs-1 process throughput scaling "
+                              "falls below this")
+    p_fleet.add_argument("--skip-parity", action="store_true",
+                         help="skip the sequential fleet-vs-single-process "
+                              "schedule parity check")
+    p_fleet.set_defaults(fn=_cmd_fleet_bench)
 
     p_bench = sub.add_parser(
         "bench",

@@ -11,6 +11,7 @@ re-optimization.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import math
@@ -19,7 +20,12 @@ import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Mapping
+
+try:  # POSIX advisory file locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
@@ -203,17 +209,84 @@ class ScheduleCache:
             )
             return True
 
+    # -- cross-process merge ----------------------------------------------------
+
+    def merge_entries(self, entries: Mapping[str, "CachedSchedule"]) -> int:
+        """Union ``entries`` into memory; the faster latency wins per key.
+
+        Returns how many keys were added or improved.  This is the in-memory
+        half of cross-process replication: a sibling's published winners
+        only ever add to or improve the local view, never regress it.
+        """
+        updated = 0
+        with self._lock:
+            for key, entry in entries.items():
+                existing = self._entries.get(key)
+                if existing is None or entry.latency_s < existing.latency_s:
+                    self._entries[key] = entry
+                    updated += 1
+        return updated
+
+    def snapshot_entries(self) -> dict[str, "CachedSchedule"]:
+        """Point-in-time copy of the key -> entry map (for merge/transport)."""
+        with self._lock:
+            return dict(self._entries)
+
+    def refresh(self, path: str | Path) -> int:
+        """Pull: merge the on-disk database into memory (returns updates).
+
+        A missing or unreadable file merges nothing — replication must
+        never crash a serving shard because a sibling wrote garbage.
+        """
+        path = Path(path)
+        with _file_lock(path):
+            disk = _read_entries(path, self.hw.name)
+        return self.merge_entries(disk)
+
+    def sync(self, path: str | Path) -> int:
+        """Push+pull: union memory with the on-disk database, write both.
+
+        Under one advisory file lock, the current file is read, its entries
+        are merged into memory (faster latency wins), and the merged view
+        is written back crash-safely.  Concurrent syncers from different
+        processes serialize on the lock, so no process's published entries
+        are ever lost to a last-writer-wins race.  Returns the number of
+        entries pulled in from disk.
+        """
+        path = Path(path)
+        with _file_lock(path):
+            pulled = self.merge_entries(_read_entries(path, self.hw.name))
+            self._write_locked(path)
+        return pulled
+
     # -- persistence -----------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, *, merge: bool = True) -> None:
         """Persist crash-safely: journal write, fsync, then atomic rename.
 
         The checksummed payload is written to a journal sibling, flushed
         to disk, and moved into place with :func:`os.replace`, so readers
         only ever observe either the old or the new complete database —
         a crash mid-save never corrupts the live file.
+
+        Saves from different processes additionally serialize on an
+        advisory lock file (``<name>.lock``, :mod:`fcntl`) and, with
+        ``merge=True`` (the default), union the in-memory entries with
+        whatever is already on disk — keeping the faster entry per key —
+        instead of last-writer-wins.  Two processes saving concurrently
+        therefore never interleave their :func:`os.replace` calls and
+        never drop each other's entries.  ``merge=False`` restores plain
+        overwrite semantics (still locked) for tools that intend to
+        truncate the database.
         """
         path = Path(path)
+        with _file_lock(path):
+            if merge:
+                self.merge_entries(_read_entries(path, self.hw.name))
+            self._write_locked(path)
+
+    def _write_locked(self, path: Path) -> None:
+        """Journal+fsync+rename of the current entries (lock already held)."""
         with self._lock:
             payload = {
                 "device": self.hw.name,
@@ -337,3 +410,63 @@ def entry_checksum(entry_json: dict) -> int:
     """CRC-32 of an entry's canonical JSON (flipped-bit detection)."""
     canonical = json.dumps(entry_json, sort_keys=True, separators=(",", ":"))
     return zlib.crc32(canonical.encode())
+
+
+@contextlib.contextmanager
+def _file_lock(path: Path):
+    """Advisory cross-process lock guarding ``path``'s save/merge cycle.
+
+    Locks a ``<name>.lock`` sibling rather than the database itself so the
+    lock survives :func:`os.replace` of the data file.  The OS releases the
+    lock when the holder dies, so a crashed process never wedges its
+    siblings.  On platforms without :mod:`fcntl` the lock degrades to a
+    no-op (single-process semantics, which the journal+rename still keeps
+    crash-safe).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.parent / f"{path.name}.lock"
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "a+", encoding="utf-8") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
+def _read_entries(path: Path, device: str) -> dict[str, CachedSchedule]:
+    """Checksummed entries of an on-disk database, skipping whatever is bad.
+
+    The lenient read used by merge paths: a missing/corrupt file yields an
+    empty mapping and individual bad records are skipped (the next real
+    :meth:`ScheduleCache.load` quarantines them).  A device mismatch raises
+    — merging databases tuned for different hardware is a configuration
+    error, not corruption.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("entries"), dict
+    ):
+        return {}
+    if payload.get("device") != device:
+        raise ValueError(
+            f"cache {path} was tuned for {payload.get('device')!r}, "
+            f"not {device!r}"
+        )
+    out: dict[str, CachedSchedule] = {}
+    for key, data in payload["entries"].items():
+        try:
+            if isinstance(data, dict) and "crc" in data:
+                body = {k: v for k, v in data.items() if k != "crc"}
+                if entry_checksum(body) != data["crc"]:
+                    continue
+                data = body
+            out[key] = CachedSchedule.from_json(data)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            continue
+    return out

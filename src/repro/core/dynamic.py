@@ -100,7 +100,11 @@ class DynamicGensor:
             raise ValueError(f"warm_pool must be >= 1, got {warm_pool}")
         self.hw = hardware
         self.config = config or GensorConfig()
-        self.cache = cache or ScheduleCache(hardware)
+        # not `cache or ...`: ScheduleCache has __len__, so an *empty*
+        # injected cache is falsy and would be silently replaced — fatal
+        # for fleet shards, which hand in an empty cache wired to the
+        # shared on-disk database.
+        self.cache = cache if cache is not None else ScheduleCache(hardware)
         self.warm_polish_steps = warm_polish_steps
         self.warm_pool = warm_pool
         self.stats = DynamicStats()

@@ -1,0 +1,44 @@
+"""repro.fleet: sharded multi-process compile fleet.
+
+The scale-out layer over :mod:`repro.serve`: a
+:class:`~repro.fleet.dispatcher.FleetDispatcher` routes compile requests
+family-sticky across shard processes (each a full CompileService), with
+fleet-wide single-flight dedup, a shared crash-safe on-disk
+ScheduleCache with cross-process locking and warm replication,
+queue-wait-driven worker autoscaling inside each shard, and supervised
+respawn of dead shard processes.  ``python -m repro fleet-bench``
+measures throughput vs process count and writes ``BENCH_fleet.json``.
+"""
+
+from repro.fleet.autoscale import AutoscalePolicy, Autoscaler
+from repro.fleet.bench import FleetBenchReport, run_fleet_bench
+from repro.fleet.dispatcher import (
+    MAX_SHARD_RESENDS,
+    FleetDispatcher,
+    FleetResponse,
+)
+from repro.fleet.routing import FamilyRouter, stable_shard
+from repro.fleet.shard import (
+    ShardOptions,
+    ShardStats,
+    WireControl,
+    WireRequest,
+    WireResponse,
+)
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "FamilyRouter",
+    "FleetBenchReport",
+    "FleetDispatcher",
+    "FleetResponse",
+    "MAX_SHARD_RESENDS",
+    "ShardOptions",
+    "ShardStats",
+    "WireControl",
+    "WireRequest",
+    "WireResponse",
+    "run_fleet_bench",
+    "stable_shard",
+]

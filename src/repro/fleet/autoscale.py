@@ -1,0 +1,115 @@
+"""Queue-wait-driven autoscaling of a shard's worker-thread count.
+
+The policy is a pure function of three :class:`~repro.obs.metrics.
+MetricsRegistry`-backed signals — queue depth, roster size, and the queue
+wait p95 — so scaling decisions are unit-testable without threads.  The
+:class:`Autoscaler` thread samples those signals inside a shard process
+and drives :meth:`~repro.resilience.supervisor.SupervisedWorkerPool.
+resize`; every decision is published back to the registry
+(``fleet_autoscale_total{direction=...}``, ``fleet_workers``) so the
+dispatcher's merged metrics show the whole fleet breathing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Hysteresis band over backlog-per-worker and queue-wait p95.
+
+    Grow when either signal says workers are scarce (backlog above
+    ``depth_high`` per worker, or waits above ``wait_high_s``); shrink
+    only when *both* say workers are idle.  The asymmetric band plus
+    one-step moves keeps the roster from oscillating on bursty traffic.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    #: queued items per worker beyond which the pool grows.
+    depth_high: float = 2.0
+    #: queue-wait p95 (seconds) beyond which the pool grows.
+    wait_high_s: float = 0.5
+    #: queued items per worker below which the pool may shrink.
+    depth_low: float = 0.25
+    #: queue-wait p95 (seconds) below which the pool may shrink.
+    wait_low_s: float = 0.05
+    #: workers added/removed per decision tick.
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.min_workers <= self.max_workers):
+            raise ValueError(
+                f"need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers}..{self.max_workers}"
+            )
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+
+    def decide(self, workers: int, depth: int, wait_p95_s: float) -> int:
+        """Target worker count given the current signals (clamped)."""
+        per_worker = depth / max(1, workers)
+        if per_worker > self.depth_high or wait_p95_s > self.wait_high_s:
+            target = workers + self.step
+        elif per_worker < self.depth_low and wait_p95_s < self.wait_low_s:
+            target = workers - self.step
+        else:
+            target = workers
+        return max(self.min_workers, min(self.max_workers, target))
+
+
+class Autoscaler:
+    """Samples pool/queue signals on an interval and resizes the pool."""
+
+    def __init__(
+        self,
+        pool,
+        registry: MetricsRegistry,
+        policy: AutoscalePolicy | None = None,
+        interval_s: float = 0.25,
+        #: registry histogram holding queue-wait observations.
+        wait_metric: str = "serve_queue_wait_seconds",
+    ) -> None:
+        self.pool = pool
+        self.registry = registry
+        self.policy = policy or AutoscalePolicy()
+        self.interval_s = interval_s
+        self.wait_metric = wait_metric
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-autoscaler", daemon=True
+        )
+
+    def start(self) -> "Autoscaler":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def tick(self) -> int:
+        """One decision cycle (also called directly by tests): sample,
+        decide, resize if the target moved, publish.  Returns the target."""
+        workers = self.pool.num_workers
+        depth = self.pool.depth()
+        wait_p95 = self.registry.histogram(self.wait_metric).percentile(95)
+        target = self.policy.decide(workers, depth, wait_p95)
+        if target != workers:
+            direction = "up" if target > workers else "down"
+            self.pool.resize(target)
+            self.registry.counter(
+                "fleet_autoscale_total", direction=direction
+            ).inc()
+        self.registry.gauge("fleet_workers").set(self.pool.num_workers)
+        return target
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.tick()

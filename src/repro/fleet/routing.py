@@ -1,0 +1,89 @@
+"""Family-sticky request routing across shard processes.
+
+The fleet shards by **operator-family fingerprint** (kind + axis set, any
+extents — see :func:`repro.core.cache.family_fingerprint`): every shape of
+one family lands on the same shard.  Stickiness is what makes the fleet
+correct and fast at once:
+
+* the shard's :class:`~repro.core.cache.ScheduleCache` accumulates every
+  winner of the family, so ``nearest``-neighbor warm starts keep working
+  exactly as in the single-process service;
+* schedule outcomes depend only on the *within-family* request order
+  (families never warm-start each other), so pinning a family to one
+  FIFO pipe preserves single-process determinism;
+* the per-family cold-stampede locks and circuit breakers stay local to
+  one process.
+
+Two assignment policies:
+
+* ``"hash"`` — stable CRC-32 of the family fingerprint modulo shard
+  count.  Fully deterministic across runs and dispatcher instances (the
+  builtin :func:`hash` is salted per process, so it is *not* used).
+* ``"least-loaded"`` — first sight of a family picks the shard with the
+  fewest outstanding requests (ties break toward the stable hash shard);
+  the assignment then sticks.  Balances coarse family-cost skew that a
+  pure hash cannot see.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Sequence
+
+__all__ = ["FamilyRouter", "stable_shard"]
+
+
+def stable_shard(family: str, shards: int) -> int:
+    """Process-stable hash placement of a family (CRC-32, not ``hash``)."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return zlib.crc32(family.encode()) % shards
+
+
+class FamilyRouter:
+    """Sticky family -> shard map with pluggable first-sight placement."""
+
+    POLICIES = ("hash", "least-loaded")
+
+    def __init__(self, shards: int, policy: str = "hash") -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; choices: {self.POLICIES}"
+            )
+        self.shards = shards
+        self.policy = policy
+        self._assigned: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def route(self, family: str, loads: Sequence[int] | None = None) -> int:
+        """Shard index for ``family`` (assigning it on first sight).
+
+        ``loads`` is the per-shard outstanding-request count consulted by
+        the ``least-loaded`` policy; omitted or under the ``hash`` policy
+        it is ignored.
+        """
+        with self._lock:
+            shard = self._assigned.get(family)
+            if shard is not None:
+                return shard
+            anchor = stable_shard(family, self.shards)
+            if self.policy == "hash" or loads is None:
+                shard = anchor
+            else:
+                if len(loads) != self.shards:
+                    raise ValueError(
+                        f"expected {self.shards} loads, got {len(loads)}"
+                    )
+                low = min(loads)
+                candidates = [i for i, n in enumerate(loads) if n == low]
+                shard = anchor if anchor in candidates else candidates[0]
+            self._assigned[family] = shard
+            return shard
+
+    def assignments(self) -> dict[str, int]:
+        """Copy of the current family -> shard map."""
+        with self._lock:
+            return dict(self._assigned)

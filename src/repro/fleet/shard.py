@@ -1,0 +1,290 @@
+"""Shard process: one CompileService behind a request pipe.
+
+A shard is a whole single-process serving stack —
+:class:`~repro.serve.service.CompileService` over
+:class:`~repro.core.dynamic.DynamicGensor` with its supervised thread
+pool, breakers, and retries — wrapped in a process whose only interface
+is two ``multiprocessing`` queues:
+
+* the **request queue** carries :class:`WireRequest` /
+  :class:`WireControl` messages from the dispatcher (FIFO, which is what
+  preserves per-family determinism under family-sticky routing);
+* the **response queue** carries :class:`WireResponse` completions plus
+  lifecycle/telemetry messages (:class:`ShardReady`, :class:`ShardStats`,
+  :class:`ShardBye`).
+
+Everything on the wire is plain picklable data: schedules travel as
+:class:`~repro.core.cache.CachedSchedule` (shape-independent tile
+configuration), never as live ETIR states.
+
+The shard also runs the two fleet-local control loops: a **replicator**
+thread that periodically :meth:`~repro.core.cache.ScheduleCache.sync`'s
+the in-memory cache with the shared on-disk database (publishing this
+shard's winners, pulling in siblings') and ships a metrics export to the
+dispatcher, and an optional :class:`~repro.fleet.autoscale.Autoscaler`
+that grows/shrinks the worker-thread roster from queue-wait signals.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.cache import CachedSchedule, ScheduleCache
+from repro.core.constructor import GensorConfig
+from repro.fleet.autoscale import AutoscalePolicy, Autoscaler
+from repro.hardware import generic_gpu, orin_nano, rtx4090
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.service import CompileService
+from repro.sim.measure import MICROBENCH_SECONDS, Measurer
+
+__all__ = [
+    "ShardOptions",
+    "WireRequest",
+    "WireControl",
+    "WireResponse",
+    "ShardReady",
+    "ShardStats",
+    "ShardBye",
+    "run_shard",
+]
+
+_DEVICES = {
+    "rtx4090": rtx4090,
+    "orin_nano": orin_nano,
+    "generic_gpu": generic_gpu,
+}
+
+#: how long a stopping shard waits for its in-flight requests to land.
+_DRAIN_TIMEOUT_S = 60.0
+
+
+@dataclass(frozen=True)
+class ShardOptions:
+    """Picklable construction recipe for one shard's serving stack."""
+
+    device: str
+    config: GensorConfig = field(default_factory=GensorConfig)
+    workers: int = 4
+    queue_capacity: int = 128
+    warm_polish_steps: int = 40
+    warm_pool: int = 3
+    #: fraction of simulated profiling cost slept in real time (benchmarks
+    #: pass 1.0 so process scaling is wall-clock real).
+    time_scale: float = 0.0
+    #: shared on-disk ScheduleCache path; ``None`` disables replication.
+    cache_path: str | None = None
+    #: period of the cache sync + metrics publication loop.
+    sync_interval_s: float = 1.0
+    #: worker autoscaling policy; ``None`` keeps the roster fixed.
+    autoscale: AutoscalePolicy | None = None
+
+
+@dataclass(frozen=True)
+class WireRequest:
+    """One compile ask on the wire (dispatcher -> shard)."""
+
+    request_id: int
+    compute: object  # ComputeDef; typed loosely to keep the wire layer thin
+    deadline_s: float | None = None
+    priority: int = 0
+    #: times the dispatcher re-sent this request after a shard crash.
+    resends: int = 0
+
+
+@dataclass(frozen=True)
+class WireControl:
+    """Out-of-band shard control.
+
+    ``stop``  — drain in-flight work, publish the cache, exit cleanly.
+    ``sync``  — run one cache sync + stats publication now.
+    ``crash`` — die immediately via ``os._exit`` (chaos hook for the
+    crashed-shard respawn tests, in the spirit of
+    :meth:`ScheduleCache.corrupt`).
+    """
+
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stop", "sync", "crash"):
+            raise ValueError(f"unknown control kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class WireResponse:
+    """One completion on the wire (shard -> dispatcher)."""
+
+    shard: int
+    request_id: int
+    tier: str
+    ok: bool
+    reason: str | None = None
+    #: the served schedule as a portable tile configuration (``None`` for
+    #: rejected/failed responses); re-instantiable against the ComputeDef.
+    schedule: CachedSchedule | None = None
+    #: predicted kernel latency of the served schedule.
+    kernel_latency_s: float | None = None
+    #: wall time the request spent inside the shard's service.
+    shard_latency_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShardReady:
+    shard: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Periodic telemetry: a lossless metrics export plus vitals."""
+
+    shard: int
+    metrics: dict
+    cache_size: int
+    workers: int
+
+
+@dataclass(frozen=True)
+class ShardBye:
+    shard: int
+
+
+def _encode(shard: int, request_id: int, response) -> WireResponse:
+    """Flatten a CompileResponse into plain wire data.
+
+    ``request_id`` is the *dispatcher's* id from the WireRequest — the
+    shard's CompileService mints its own local ids, which mean nothing
+    across the process boundary.
+    """
+    schedule = None
+    kernel_latency_s = None
+    if response.result is not None:
+        best = response.result.best
+        kernel_latency_s = response.result.best_metrics.latency_s
+        schedule = CachedSchedule.from_state(best, kernel_latency_s)
+    return WireResponse(
+        shard=shard,
+        request_id=request_id,
+        tier=response.tier,
+        ok=response.ok,
+        reason=response.reason,
+        schedule=schedule,
+        kernel_latency_s=kernel_latency_s,
+        shard_latency_s=response.service_latency_s,
+    )
+
+
+def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
+    """Process entry point: serve ``req_q`` until a ``stop`` control.
+
+    Module-level and fed only picklable arguments so it works under the
+    ``spawn`` start method (the fleet's default — safe to use from the
+    dispatcher's multi-threaded process, unlike ``fork``).
+    """
+    hw = _DEVICES[options.device]()
+    registry = MetricsRegistry()
+    cache = ScheduleCache(hw)
+    if options.cache_path:
+        # Warm boot: adopt whatever siblings (or a previous life of this
+        # shard) already published.
+        cache.refresh(options.cache_path)
+    service = CompileService(
+        hw,
+        options.config,
+        workers=options.workers,
+        queue_capacity=options.queue_capacity,
+        cache=cache,
+        warm_polish_steps=options.warm_polish_steps,
+        warm_pool=options.warm_pool,
+        registry=registry,
+        measurer_factory=lambda: Measurer(
+            hw,
+            seed=options.config.seed,
+            noise_sigma=0.0,
+            seconds_per_measurement=MICROBENCH_SECONDS,
+            time_scale=options.time_scale,
+        ),
+    )
+
+    outstanding: set[int] = set()
+    drained = threading.Condition()
+
+    def publish() -> None:
+        if options.cache_path:
+            cache.sync(options.cache_path)
+        resp_q.put(
+            ShardStats(
+                shard=shard_index,
+                metrics=registry.export_state(),
+                cache_size=len(cache),
+                workers=service.pool.num_workers,
+            )
+        )
+
+    stop_replicator = threading.Event()
+
+    def replicate() -> None:
+        while not stop_replicator.wait(options.sync_interval_s):
+            try:
+                publish()
+            except Exception:  # telemetry must never kill the shard
+                registry.counter("fleet_sync_errors_total").inc()
+
+    replicator = threading.Thread(
+        target=replicate, name=f"shard-{shard_index}-replicator", daemon=True
+    )
+    replicator.start()
+    autoscaler = None
+    if options.autoscale is not None:
+        autoscaler = Autoscaler(
+            service.pool, registry, options.autoscale
+        ).start()
+
+    def forward(wire_id: int, ticket) -> None:
+        def on_done(response) -> None:
+            resp_q.put(_encode(shard_index, wire_id, response))
+            with drained:
+                outstanding.discard(wire_id)
+                drained.notify_all()
+
+        ticket.add_done_callback(on_done)
+
+    resp_q.put(ShardReady(shard=shard_index, pid=os.getpid()))
+    try:
+        while True:
+            message = req_q.get()
+            if isinstance(message, WireControl):
+                if message.kind == "crash":
+                    os._exit(13)  # die like a SIGKILL: no cleanup, no flush
+                if message.kind == "sync":
+                    publish()
+                    continue
+                break  # stop
+            registry.counter("fleet_shard_requests_total").inc()
+            with drained:
+                outstanding.add(message.request_id)
+            forward(
+                message.request_id,
+                service.submit(
+                    message.compute,
+                    deadline_s=message.deadline_s,
+                    priority=message.priority,
+                ),
+            )
+    finally:
+        deadline = time.monotonic() + _DRAIN_TIMEOUT_S
+        with drained:
+            while outstanding and time.monotonic() < deadline:
+                drained.wait(timeout=0.25)
+        if autoscaler is not None:
+            autoscaler.stop()
+        stop_replicator.set()
+        replicator.join(timeout=5.0)
+        service.close()
+        try:
+            publish()  # final cache publication + stats
+        except Exception:
+            pass
+        resp_q.put(ShardBye(shard=shard_index))

@@ -164,6 +164,13 @@ class _FrozenDict(dict):
             h = self._hash = hash(tuple(sorted(self.items())))
         return h
 
+    def __reduce__(self):
+        # dict subclass pickling reconstructs via __setitem__/update, which
+        # the read-only guards below block; rebuild from a plain dict instead
+        # (dict.__init__ bypasses the overrides).  Needed to ship ComputeDefs
+        # across process boundaries (the fleet's shard pipes).
+        return (_FrozenDict, (dict(self),))
+
     def _readonly(self, *args: object, **kwargs: object) -> None:
         raise TypeError("AffineExpr terms are immutable")
 

@@ -112,6 +112,35 @@ class Histogram:
                 self._samples[self._next] = value
                 self._next = (self._next + 1) % self._cap
 
+    def export_state(self) -> dict:
+        """Plain-data state (no locks) for cross-process transport."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "min": self._min if self.count else None,
+                "max": self._max if self.count else None,
+                "samples": list(self._samples),
+            }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an exported state in: counts/sums add, extrema combine,
+        samples concatenate into the bounded reservoir."""
+        with self._lock:
+            self.count += int(state["count"])
+            self.total += float(state["total"])
+            if state.get("min") is not None:
+                self._min = min(self._min, float(state["min"]))
+            if state.get("max") is not None:
+                self._max = max(self._max, float(state["max"]))
+            for value in state.get("samples", ()):
+                # reservoir-only: count/total already folded above
+                if len(self._samples) < self._cap:
+                    self._samples.append(float(value))
+                else:
+                    self._samples[self._next] = float(value)
+                    self._next = (self._next + 1) % self._cap
+
     def percentile(self, pct: float) -> float:
         with self._lock:
             return _nearest_rank(sorted(self._samples), pct)
@@ -217,6 +246,57 @@ class MetricsRegistry:
                 text = f"{value:g}"
                 table.add_row(series, text)
         return table.render()
+
+    def export_state(self) -> dict:
+        """Serializable registry state: a list of plain-data series records.
+
+        Unlike :meth:`snapshot` (a human-oriented flat view), the export is
+        lossless and mergeable: each record carries the metric name, its
+        label dict, the instrument type, and the raw state — no lock
+        objects, so the dict pickles across process boundaries.  Shards
+        ship these to the fleet dispatcher, which folds them together with
+        :meth:`merge_state`.
+        """
+        with self._lock:
+            items = list(self._metrics.items())
+        series = []
+        for (name, labels), metric in items:
+            if isinstance(metric, Histogram):
+                kind, state = "histogram", metric.export_state()
+            elif isinstance(metric, Gauge):
+                kind, state = "gauge", metric.value
+            else:
+                kind, state = "counter", metric.value
+            series.append(
+                {"name": name, "labels": dict(labels), "kind": kind,
+                 "state": state}
+            )
+        return {"series": series}
+
+    def merge_state(self, exported: dict) -> None:
+        """Fold an :meth:`export_state` payload into this registry.
+
+        Counters add, gauges take the incoming value (last writer wins —
+        gauges describe the reporting process, not a sum), histograms merge
+        counts/sums/extrema and concatenate reservoirs.
+        """
+        for record in exported.get("series", ()):
+            labels = {str(k): str(v) for k, v in record["labels"].items()}
+            kind = record["kind"]
+            if kind == "counter":
+                self.counter(record["name"], **labels).inc(
+                    float(record["state"])
+                )
+            elif kind == "gauge":
+                self.gauge(record["name"], **labels).set(
+                    float(record["state"])
+                )
+            elif kind == "histogram":
+                self.histogram(record["name"], **labels).merge_state(
+                    record["state"]
+                )
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
 
     def reset(self) -> None:
         """Drop every registered instrument (test isolation helper)."""

@@ -100,6 +100,39 @@ class SupervisedWorkerPool:
         """Current queue backlog (approximate, racy by nature)."""
         return self._queue.qsize()
 
+    @property
+    def target_workers(self) -> int:
+        """Roster size the supervisor maintains (autoscaling moves this)."""
+        with self._roster_lock:
+            return self._target_workers
+
+    def resize(self, target: int) -> int:
+        """Grow or shrink the worker roster toward ``target`` threads.
+
+        Growing spawns immediately.  Shrinking retires *idle* workers
+        (they drop off the roster and exit on their next loop); busy
+        workers finish their current item and are trimmed by later resize
+        ticks, so shrink never abandons in-flight work.  Returns the
+        roster size after the call.  The autoscaler drives this from
+        queue-depth/queue-wait signals.
+        """
+        if target < 1:
+            raise ValueError(f"target must be >= 1, got {target}")
+        spawn = 0
+        with self._roster_lock:
+            self._target_workers = target
+            current = len(self._roster)
+            if current < target:
+                spawn = target - current
+            elif current > target:
+                idle = [t for t in self._roster if t not in self._busy]
+                for t in idle[: current - target]:
+                    self._roster.discard(t)
+                    self._beats.pop(t, None)
+        for _ in range(spawn):
+            self._spawn()
+        return self.num_workers
+
     def submit_nowait(self, fn: Callable[[], None], priority: int = 0) -> None:
         """Admit one work item or fail fast.
 
@@ -162,6 +195,11 @@ class SupervisedWorkerPool:
             if reason == "stuck":
                 self._abandoned.add(dead)
             self.respawns[reason] = self.respawns.get(reason, 0) + 1
+            # After a shrink, deaths among the surplus are not replaced.
+            if len(self._roster) >= self._target_workers:
+                if self._on_respawn is not None:
+                    self._on_respawn(reason)
+                return
         self._spawn()
         if self._on_respawn is not None:
             self._on_respawn(reason)

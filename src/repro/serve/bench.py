@@ -85,6 +85,31 @@ class BenchReport:
     def requests_per_s(self) -> float:
         return self.requests / self.wall_s if self.wall_s > 0 else 0.0
 
+    def to_json(self) -> dict:
+        """Serializable artifact payload (``BENCH_serve.json``).
+
+        Schedules are summarized, not dumped: the artifact records how the
+        service behaved, while parity comparisons use the in-memory report.
+        """
+        return {
+            "bench": "serve",
+            "model": self.model,
+            "device": self.device,
+            "workers": self.workers,
+            "requests": self.requests,
+            "unique_shapes": self.unique_shapes,
+            "wall_s": self.wall_s,
+            "requests_per_s": self.requests_per_s,
+            "failed": self.failed,
+            "availability": self.availability,
+            "stats": self.stats,
+            "resilience": self.resilience,
+            "served_schedules": sum(
+                1 for _, key in self.schedules if key is not None
+            ),
+            "faulted_shapes": len(self.faulted_keys),
+        }
+
 
 def _schedule_key(response) -> tuple | None:
     """Canonical, comparable summary of a response's served schedule."""

@@ -115,9 +115,26 @@ class ServeTicket:
         self.request = request
         self._done = threading.Event()
         self._response: CompileResponse | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     def done(self) -> bool:
         return self._done.is_set()
+
+    def add_done_callback(self, fn) -> None:
+        """Invoke ``fn(response)`` when the ticket resolves.
+
+        Runs on the fulfilling worker's thread (or immediately on the
+        caller's if already resolved) — the fleet's shard loop uses this to
+        forward completions over the response pipe without a waiter thread
+        per request.  Callback exceptions propagate to the fulfiller, which
+        treats them like any other item failure.
+        """
+        with self._cb_lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self._response)
 
     def result(self, timeout: float | None = None) -> CompileResponse:
         """Block until the response is ready (raises ``TimeoutError``)."""
@@ -135,5 +152,9 @@ class ServeTicket:
             raise RuntimeError(
                 f"request {self.request.request_id} fulfilled twice"
             )
-        self._response = response
-        self._done.set()
+        with self._cb_lock:
+            self._response = response
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(response)

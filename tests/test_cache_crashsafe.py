@@ -149,9 +149,12 @@ class TestPartialWrite:
         with pytest.raises(OSError, match="injected crash"):
             cache.save(path)
         monkeypatch.undo()
-        # old file byte-identical, journal cleaned up, and it still loads
+        # old file byte-identical, journal cleaned up (the ``.lock``
+        # sibling is the persistent cross-process guard), and it still loads
         assert path.read_text() == before
-        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+        assert {p.name for p in tmp_path.iterdir()} == {
+            "cache.json", "cache.json.lock",
+        }
         loaded = ScheduleCache.load(path, hw)
         assert len(loaded) == 1 and not loaded.quarantined
 
@@ -184,3 +187,89 @@ class TestCorruptChaosHook:
         state = make_state()
         cache.put(state, 1e-3)
         assert cache.corrupt(shape_fingerprint(state.compute))
+
+
+def _chaos_writer(idx: int, path_str: str, acked_path_str: str) -> None:
+    """Child process body: put+merge-save in a loop, acking each save.
+
+    Module-level so the 'spawn' start method can pickle it.  A key is
+    acked (flushed+fsynced to the sidecar) only AFTER save() returned —
+    the durability contract under test is exactly those keys.
+    """
+    from repro.hardware import rtx4090
+
+    hw = rtx4090()
+    cache = ScheduleCache(hw)
+    with open(acked_path_str, "a", encoding="utf-8") as acked:
+        for i in range(500):
+            state = make_state(
+                64 * ((i % 40) + 1), 32, 64 + 16 * idx, name=f"w{idx}_{i}"
+            )
+            cache.put(state, 1e-3 + i * 1e-6)
+            cache.save(path_str)
+            acked.write(shape_fingerprint(state.compute) + "\n")
+            acked.flush()
+            os.fsync(acked.fileno())
+
+
+class TestConcurrentSaveChaos:
+    """Two processes hammer merge-saves on one file and get SIGKILLed.
+
+    The acceptance bar: the live file never corrupts, and no entry whose
+    save was acknowledged is ever lost — crash-mid-save only ever costs
+    the unacked tail.
+    """
+
+    def test_killed_writers_lose_no_acked_entries(self, hw, tmp_path):
+        import multiprocessing as mp
+        import signal
+        import time
+
+        ctx = mp.get_context("spawn")
+        path = tmp_path / "cache.json"
+        sidecars = [tmp_path / f"acked{i}.log" for i in range(2)]
+        workers = [
+            ctx.Process(
+                target=_chaos_writer, args=(i, str(path), str(sidecars[i]))
+            )
+            for i in range(2)
+        ]
+        for p in workers:
+            p.start()
+        try:
+            # let both make real progress, then kill them mid-flight
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                acked = [
+                    s.read_text().splitlines() if s.exists() else []
+                    for s in sidecars
+                ]
+                if all(len(lines) >= 5 for lines in acked):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("chaos writers made no progress")
+        finally:
+            for p in workers:
+                if p.pid and p.is_alive():
+                    os.kill(p.pid, signal.SIGKILL)
+            for p in workers:
+                p.join(timeout=10)
+        acked_keys = {
+            key
+            for sidecar in sidecars
+            if sidecar.exists()
+            for key in sidecar.read_text().split()
+        }
+        assert acked_keys  # the run exercised real saves
+        loaded = ScheduleCache.load(path, hw)
+        assert not loaded.quarantined  # file is wholly intact
+        payload = json.loads(path.read_text())
+        missing = acked_keys - set(payload["entries"])
+        assert not missing, f"{len(missing)} acked entries lost: {sorted(missing)[:3]}"
+        # and the survivor file is still writable by a fresh process
+        cache = ScheduleCache(hw)
+        cache.put(make_state(name="after_chaos"), 1e-3)
+        cache.save(path)
+        merged = json.loads(path.read_text())
+        assert set(payload["entries"]) <= set(merged["entries"])

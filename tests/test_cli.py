@@ -99,6 +99,25 @@ class TestParser:
             "repro.experiments.serving_resilience"
         )
 
+    def test_serve_bench_out_default(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.out == "BENCH_serve.json"
+        args = build_parser().parse_args(["serve-bench", "--out", ""])
+        assert args.out == ""
+
+    def test_fleet_bench_defaults(self):
+        args = build_parser().parse_args(["fleet-bench"])
+        assert args.model == "bert"
+        assert args.requests is None
+        assert args.processes is None
+        assert args.workers_per_shard == 1
+        assert args.window == 32
+        assert args.routing == "least-loaded"
+        assert args.quick is False
+        assert args.out == "BENCH_fleet.json"
+        assert args.min_process_scaling is None
+        assert args.skip_parity is False
+
     def test_trace_report_args(self):
         args = build_parser().parse_args(
             ["trace-report", "walk.jsonl", "--chrome", "timeline.json"]
@@ -149,6 +168,42 @@ class TestMain:
         out = capsys.readouterr().out
         assert "serve-bench" in out and "tier:cold" in out
         assert "0 failed" in out
+
+    def test_serve_bench_writes_artifact(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["serve-bench", "--model", "bert", "--requests", "6",
+             "--workers", "2", "--time-scale", "0", "--out", str(out)]
+        )
+        assert code == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "serve"
+        assert payload["requests"] == 6
+        assert payload["failed"] == 0
+        assert payload["requests_per_s"] > 0
+        assert payload["served_schedules"] == 6
+
+    def test_fleet_bench_tiny_run_writes_artifact(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_fleet.json"
+        code = main(
+            ["fleet-bench", "--quick", "--requests", "8",
+             "--processes", "2", "--time-scale", "0", "--skip-parity",
+             "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "fleet-bench" in stdout and f"wrote {out}" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "fleet"
+        assert set(payload["runs"]) == {"1", "2"}
+        assert all(r["failed"] == 0 for r in payload["runs"].values())
+        assert "2v1" in payload["process_scaling"]
+        assert payload["autoscale"]["peak_workers"] >= 1
 
     def test_serve_bench_with_fault_plan(self, capsys, tmp_path):
         import json

@@ -138,7 +138,11 @@ class TestScheduleCache:
         cache = ScheduleCache(hw)
         cache.put(make_state(), 1e-3)
         cache.save(tmp_path / "cache.json")
-        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+        # the persistent ``.lock`` sibling is the cross-process save guard;
+        # what must never leak is a journal temp file.
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {"cache.json", "cache.json.lock"}
+        assert not [n for n in names if "journal" in n]
 
     def test_save_replaces_existing_file(self, hw, tmp_path):
         path = tmp_path / "cache.json"

@@ -1,0 +1,107 @@
+"""Queue-wait autoscaling: pure policy decisions and the sampling loop."""
+
+import pytest
+
+from repro.fleet.autoscale import AutoscalePolicy, Autoscaler
+from repro.obs.metrics import MetricsRegistry
+
+POLICY = AutoscalePolicy(
+    min_workers=1, max_workers=4,
+    depth_high=2.0, wait_high_s=0.5,
+    depth_low=0.25, wait_low_s=0.05,
+)
+
+
+class TestPolicy:
+    def test_grows_on_deep_backlog(self):
+        assert POLICY.decide(workers=2, depth=5, wait_p95_s=0.0) == 3
+
+    def test_grows_on_long_waits(self):
+        assert POLICY.decide(workers=2, depth=0, wait_p95_s=1.0) == 3
+
+    def test_holds_inside_the_band(self):
+        assert POLICY.decide(workers=2, depth=2, wait_p95_s=0.1) == 2
+
+    def test_shrinks_only_when_both_signals_low(self):
+        assert POLICY.decide(workers=3, depth=0, wait_p95_s=0.0) == 2
+        # idle queue but slow waits: hold, don't flap
+        assert POLICY.decide(workers=3, depth=0, wait_p95_s=0.2) == 3
+
+    def test_clamped_to_bounds(self):
+        assert POLICY.decide(workers=4, depth=100, wait_p95_s=9.0) == 4
+        assert POLICY.decide(workers=1, depth=0, wait_p95_s=0.0) == 1
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(step=0)
+
+
+class FakePool:
+    """Duck-typed SupervisedWorkerPool: roster size + queue depth."""
+
+    def __init__(self, workers=1, depth=0):
+        self.num_workers = workers
+        self._depth = depth
+        self.resized_to = []
+
+    def depth(self):
+        return self._depth
+
+    def resize(self, target):
+        self.resized_to.append(target)
+        self.num_workers = target
+        return target
+
+
+class TestAutoscaler:
+    def test_tick_grows_pool_on_backlog(self):
+        pool = FakePool(workers=1, depth=10)
+        registry = MetricsRegistry()
+        scaler = Autoscaler(pool, registry, POLICY)
+        assert scaler.tick() == 2
+        assert pool.resized_to == [2]
+        assert registry.counter(
+            "fleet_autoscale_total", direction="up"
+        ).value == 1
+
+    def test_tick_shrinks_idle_pool(self):
+        pool = FakePool(workers=3, depth=0)
+        registry = MetricsRegistry()
+        scaler = Autoscaler(pool, registry, POLICY)
+        scaler.tick()
+        assert pool.num_workers == 2
+        assert registry.counter(
+            "fleet_autoscale_total", direction="down"
+        ).value == 1
+
+    def test_tick_publishes_worker_gauge(self):
+        pool = FakePool(workers=2, depth=2)
+        registry = MetricsRegistry()
+        Autoscaler(pool, registry, POLICY).tick()
+        assert registry.gauge("fleet_workers").value == 2
+
+    def test_wait_signal_read_from_histogram(self):
+        pool = FakePool(workers=1, depth=0)
+        registry = MetricsRegistry()
+        for _ in range(20):
+            registry.histogram("serve_queue_wait_seconds").observe(2.0)
+        scaler = Autoscaler(pool, registry, POLICY)
+        assert scaler.tick() == 2
+
+    def test_thread_lifecycle(self):
+        pool = FakePool(workers=1, depth=10)
+        registry = MetricsRegistry()
+        scaler = Autoscaler(pool, registry, POLICY, interval_s=0.01).start()
+        try:
+            deadline = 200
+            while pool.num_workers < 4 and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.01)
+        finally:
+            scaler.stop()
+        assert pool.num_workers == 4
+        assert not scaler._thread.is_alive()

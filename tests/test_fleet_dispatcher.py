@@ -1,0 +1,172 @@
+"""Multi-process fleet: end-to-end serving, dedup, crash respawn, cache.
+
+Each FleetDispatcher boots real spawn-start processes, so the suite keeps
+shard counts and construction budgets tiny and reuses one running fleet
+across the read-only tests.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import ScheduleCache, shape_fingerprint
+from repro.core.constructor import GensorConfig
+from repro.fleet import (
+    FleetDispatcher,
+    ShardOptions,
+    WireControl,
+)
+from repro.hardware import rtx4090
+from repro.ir import operators as ops
+
+
+def tiny_config(seed=0):
+    return GensorConfig(
+        seed=seed, num_chains=1, top_k=2, polish_steps=2,
+        max_iterations_per_chain=8,
+    )
+
+
+def tiny_options(**overrides):
+    base = dict(
+        device="rtx4090",
+        config=tiny_config(),
+        workers=2,
+        queue_capacity=32,
+        warm_polish_steps=2,
+        warm_pool=2,
+        time_scale=0.0,
+        sync_interval_s=0.2,
+    )
+    base.update(overrides)
+    return ShardOptions(**base)
+
+
+def gemm(m=64, k=32, n=64, name="op"):
+    return ops.matmul(m, k, n, name)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    dispatcher = FleetDispatcher(
+        tiny_options(), 2, routing="hash", supervise_interval_s=0.1
+    )
+    yield dispatcher
+    dispatcher.close()
+
+
+class TestServing:
+    def test_serves_cold_then_hit(self, fleet):
+        first = fleet.serve(gemm(name="serve_a"), timeout=60)
+        again = fleet.serve(gemm(name="serve_a"), timeout=60)
+        assert first.ok and first.tier == "cold"
+        assert again.ok and again.tier == "hit"
+        assert first.schedule_key() == again.schedule_key()
+
+    def test_response_carries_portable_schedule(self, fleet):
+        compute = gemm(128, 32, 64, name="serve_b")
+        response = fleet.serve(compute, timeout=60)
+        assert response.ok
+        assert response.kernel_latency_s > 0
+        state = response.schedule.instantiate(compute)
+        assert state.compute.name == compute.name
+
+    def test_distinct_families_route_by_family(self, fleet):
+        a = fleet.serve(gemm(name="route_a"), timeout=60)
+        b = fleet.serve(
+            ops.elementwise((64, 64), "relu", name="route_b"), timeout=60
+        )
+        assignments = fleet.router.assignments()
+        assert len(assignments) >= 2
+        assert a.shard in (0, 1) and b.shard in (0, 1)
+
+    def test_fleet_wide_single_flight_dedup(self, fleet):
+        shapes = [gemm(96, 32, 64, name="dedup") for _ in range(6)]
+        tickets = [fleet.submit(c) for c in shapes]
+        responses = [t.result(timeout=60) for t in tickets]
+        assert all(r.ok for r in responses)
+        assert sum(1 for r in responses if r.coalesced) >= 1
+        keys = {r.schedule_key() for r in responses}
+        assert len(keys) == 1  # followers share the leader's schedule
+
+    def test_fleet_metrics_merge_shard_series(self, fleet):
+        fleet.serve(gemm(name="metrics_a"), timeout=60)
+        fleet.sync()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            merged = fleet.fleet_metrics()
+            if merged.series("fleet_shard_requests_total"):
+                break
+            time.sleep(0.05)
+        assert merged.series("fleet_shard_requests_total")
+        assert merged.series("fleet_requests_total")
+        assert fleet.shard_stats()
+
+
+class TestShutdown:
+    def test_submit_after_close_is_refused(self):
+        dispatcher = FleetDispatcher(tiny_options(), 1)
+        dispatcher.serve(gemm(name="pre_close"), timeout=60)
+        dispatcher.close()
+        response = dispatcher.submit(gemm(name="post_close")).result(
+            timeout=5
+        )
+        assert not response.ok
+        assert response.tier == "rejected"
+        assert response.reason == "shutting_down"
+
+    def test_close_is_idempotent(self):
+        dispatcher = FleetDispatcher(tiny_options(), 1)
+        dispatcher.close()
+        dispatcher.close()
+
+
+class TestCrashRespawn:
+    def test_crashed_shard_respawns_and_requeues(self):
+        with FleetDispatcher(
+            tiny_options(), 1, supervise_interval_s=0.05
+        ) as fleet:
+            warm = fleet.serve(gemm(name="crash_warm"), timeout=60)
+            assert warm.ok
+            fleet._req_qs[0].put(WireControl("crash"))
+            # keep submitting through the crash window: every request must
+            # still resolve (requeued by the supervisor onto the respawn)
+            tickets = [
+                fleet.submit(gemm(64 * (i + 1), 32, 64, name=f"crash_{i}"))
+                for i in range(4)
+            ]
+            responses = [t.result(timeout=120) for t in tickets]
+            assert all(r.ok for r in responses)
+            assert fleet.respawns >= 1
+            respawn_series = fleet.registry.series(
+                "fleet_shard_respawns_total"
+            )
+            assert sum(c.value for c in respawn_series.values()) >= 1
+
+
+class TestSharedCache:
+    def test_replicated_cache_warms_a_new_fleet(self, tmp_path):
+        cache_path = str(tmp_path / "shared" / "fleet_cache.json")
+        compute = gemm(name="shared_cache")
+        with FleetDispatcher(
+            tiny_options(cache_path=cache_path), 1
+        ) as fleet:
+            cold = fleet.serve(compute, timeout=60)
+            assert cold.tier == "cold"
+            fleet.sync()
+            deadline = time.monotonic() + 15
+            loaded = ScheduleCache(rtx4090())
+            while time.monotonic() < deadline:
+                if Path(cache_path).exists():
+                    loaded = ScheduleCache.load(cache_path, rtx4090())
+                    if len(loaded):
+                        break
+                time.sleep(0.1)
+            assert loaded.get(compute) is not None
+        # a brand-new fleet boots warm off the shared database
+        with FleetDispatcher(
+            tiny_options(cache_path=cache_path), 1
+        ) as fresh:
+            hit = fresh.serve(compute, timeout=60)
+            assert hit.tier == "hit"

@@ -1,0 +1,69 @@
+"""Family-sticky shard routing: determinism and balance."""
+
+import pytest
+
+from repro.core.cache import family_fingerprint
+from repro.fleet.routing import FamilyRouter, stable_shard
+from repro.ir import operators as ops
+
+FAMILIES = [
+    family_fingerprint(ops.matmul(64, 32, 64, "g")),
+    family_fingerprint(ops.gemv(64, 32, "v")),
+    family_fingerprint(ops.elementwise((16, 16), "relu", name="e")),
+    family_fingerprint(ops.batched_matmul(2, 16, 16, 16, "b")),
+]
+
+
+class TestStableShard:
+    def test_deterministic_across_calls(self):
+        for family in FAMILIES:
+            assert stable_shard(family, 4) == stable_shard(family, 4)
+
+    def test_in_range(self):
+        for family in FAMILIES:
+            for shards in (1, 2, 3, 8):
+                assert 0 <= stable_shard(family, shards) < shards
+
+    def test_independent_of_extents(self):
+        # same family string regardless of shape -> same shard
+        small = family_fingerprint(ops.matmul(64, 32, 64, "a"))
+        large = family_fingerprint(ops.matmul(4096, 4096, 4096, "b"))
+        assert stable_shard(small, 8) == stable_shard(large, 8)
+
+
+class TestFamilyRouter:
+    def test_hash_routing_matches_stable_shard(self):
+        router = FamilyRouter(4, "hash")
+        for family in FAMILIES:
+            assert router.route(family) == stable_shard(family, 4)
+
+    def test_sticky_across_repeat_routes(self):
+        router = FamilyRouter(4, "least-loaded")
+        first = {f: router.route(f, loads=[0, 0, 0, 0]) for f in FAMILIES}
+        # later routes ignore load changes: the family is pinned
+        for family, shard in first.items():
+            assert router.route(family, loads=[9, 9, 9, 0]) == shard
+
+    def test_least_loaded_prefers_idle_shard(self):
+        router = FamilyRouter(4, "least-loaded")
+        assert router.route(FAMILIES[0], loads=[5, 5, 0, 5]) == 2
+
+    def test_least_loaded_spreads_distinct_families(self):
+        router = FamilyRouter(2, "least-loaded")
+        loads = [0, 0]
+        for family in FAMILIES:
+            loads[router.route(family, loads)] += 1
+        assert loads == [2, 2]
+
+    def test_assignments_snapshot(self):
+        router = FamilyRouter(2, "hash")
+        router.route(FAMILIES[0])
+        assert FAMILIES[0] in router.assignments()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            FamilyRouter(2, "round-robin")
+
+    def test_shard_count_validated(self):
+        with pytest.raises(ValueError):
+            FamilyRouter(0, "hash")

@@ -127,3 +127,75 @@ class TestMetricsRegistry:
             t.join()
         assert r.counter("hits", worker="w").value == 4000
         assert r.histogram("lat").summary()["count"] == 4000
+
+
+class TestExportMerge:
+    """Cross-process transport: export_state is plain data, merge is lossless."""
+
+    def make_registry(self):
+        r = MetricsRegistry()
+        r.counter("req", tier="hit").inc(3)
+        r.gauge("workers").set(4)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            r.histogram("lat").observe(v)
+        return r
+
+    def test_export_is_picklable_plain_data(self):
+        import pickle
+
+        state = self.make_registry().export_state()
+        assert pickle.loads(pickle.dumps(state)) == state
+        import json
+
+        json.dumps(state)  # and JSON-safe: no locks, no objects
+
+    def test_merge_into_empty_registry_roundtrips(self):
+        source = self.make_registry()
+        sink = MetricsRegistry()
+        sink.merge_state(source.export_state())
+        assert sink.counter("req", tier="hit").value == 3
+        assert sink.gauge("workers").value == 4
+        assert sink.histogram("lat").summary()["count"] == 4
+
+    def test_counters_add_across_merges(self):
+        sink = MetricsRegistry()
+        sink.counter("req", tier="hit").inc(2)
+        sink.merge_state(self.make_registry().export_state())
+        sink.merge_state(self.make_registry().export_state())
+        assert sink.counter("req", tier="hit").value == 8
+
+    def test_gauges_take_last_writer(self):
+        sink = MetricsRegistry()
+        sink.gauge("workers").set(1)
+        sink.merge_state(self.make_registry().export_state())
+        assert sink.gauge("workers").value == 4
+
+    def test_histograms_combine_counts_and_extrema(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("lat").observe(0.1)
+        b.histogram("lat").observe(0.9)
+        a.merge_state(b.export_state())
+        summary = a.histogram("lat").summary()
+        assert summary["count"] == 2
+        assert summary["min"] == 0.1
+        assert summary["max"] == 0.9
+
+    def test_merged_percentiles_see_both_reservoirs(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for _ in range(10):
+            a.histogram("lat").observe(1.0)
+            b.histogram("lat").observe(3.0)
+        a.merge_state(b.export_state())
+        assert a.histogram("lat").percentile(95) == 3.0
+        assert a.histogram("lat").percentile(5) == 1.0
+
+    def test_unknown_kind_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="kind"):
+            MetricsRegistry().merge_state(
+                {"series": [{"name": "x", "labels": {}, "kind": "meter",
+                             "state": 1}]}
+            )

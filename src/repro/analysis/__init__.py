@@ -1,0 +1,52 @@
+"""Repo-specific static analysis: the invariants tests can't easily state.
+
+Three checker families guard the properties the rest of the repo is built
+on (see DESIGN.md §12):
+
+* :class:`~repro.analysis.determinism.DeterminismChecker` — the Markov
+  construction walk stays bit-deterministic per seed;
+* :class:`~repro.analysis.lockorder.LockOrderChecker` — the serve/fleet
+  lock graph stays acyclic and shared state stays behind its lock
+  (paired with the runtime :mod:`~repro.analysis.witness`);
+* :class:`~repro.analysis.spawnsafety.SpawnSafetyChecker` — everything
+  crossing the fleet's spawn boundary survives pickle.
+
+Entry point: ``python -m repro lint`` (see :mod:`repro.analysis.runner`).
+"""
+
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.findings import (
+    Finding,
+    Suppressions,
+    baseline_filter,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lockorder import LockOrderChecker
+from repro.analysis.runner import LintReport, default_checkers, run_lint
+from repro.analysis.spawnsafety import SpawnSafetyChecker
+from repro.analysis.visitor import Checker, SourceModule, discover_modules
+from repro.analysis.witness import LockWitness, current_witness, install, uninstall
+
+__all__ = [
+    "Checker",
+    "DeterminismChecker",
+    "Finding",
+    "LintReport",
+    "LockOrderChecker",
+    "LockWitness",
+    "SourceModule",
+    "SpawnSafetyChecker",
+    "Suppressions",
+    "baseline_filter",
+    "current_witness",
+    "default_checkers",
+    "discover_modules",
+    "fingerprint",
+    "install",
+    "load_baseline",
+    "run_lint",
+    "uninstall",
+    "write_baseline",
+]

@@ -1,0 +1,253 @@
+"""DeterminismChecker: nothing may perturb the walk's RNG stream.
+
+The Markov construction walk must be bit-deterministic per seed — golden
+traces, the RNG-parity chaos tests, and any learned cost model trained on
+traced walk data all depend on it.  In walk-zone modules (``repro.core``,
+``repro.ir``, ``repro.sim``, ``repro.perf``) this checker flags the ways
+nondeterminism silently leaks into a walk:
+
+``global-rng``
+    Calls into the process-global RNGs (``random.*``, ``np.random.*``
+    module functions, unseeded ``default_rng()`` / ``random.Random()``).
+    Walk code must thread an explicit seeded ``np.random.Generator``.
+``wall-clock``
+    Wall-clock reads (``time.time``, ``time.time_ns``, ``datetime.now``,
+    ``utcnow``, ``today``) — anything that could key a decision off the
+    time of day.  Monotonic/perf counters are allowed: they only ever
+    feed *reported* wall costs, never the walk.
+``id-ordering``
+    ``id(...)`` feeding an ordering (a ``sorted``/``min``/``max``/``sort``
+    key, or a comparison): CPython ids are allocation addresses and
+    reshuffle run to run.  Identity-keyed *dict lookups* (the memo's spec
+    interning) are fine and not flagged.
+``set-iteration``
+    Iterating a freshly built unordered ``set`` (literal, ``set(...)``
+    call, or set comprehension) in a ``for`` or comprehension — set order
+    is hash-seed-dependent, so any candidate list built this way reorders
+    across runs.  Wrap in ``sorted(...)`` instead.
+
+One rule applies to *every* zone:
+
+``broad-except``
+    ``except Exception`` / ``except BaseException`` handlers that do not
+    re-raise.  A blanket handler on the walk path can swallow the very
+    nondeterminism signals the chaos suites exist to surface; elsewhere it
+    hides real failures from the metrics registry.  Deliberate safety
+    nets (worker-thread survival) carry a ``# repro: ignore[broad-except]``
+    with their rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.visitor import (
+    Checker,
+    SourceModule,
+    expand_name,
+    import_aliases,
+    parent,
+    qualified_name,
+)
+
+__all__ = ["DeterminismChecker"]
+
+#: ``random``-module attributes that draw from (or reseed) the global RNG.
+_RANDOM_MODULE_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_ORDERING_CALLS = {"sorted", "min", "max"}
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+
+    def check_module(self, mod: SourceModule) -> None:
+        aliases = import_aliases(mod.tree)
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ExceptHandler):
+                self._check_except(mod, node)
+            if mod.zone != "walk":
+                continue
+            if isinstance(node, ast.Call):
+                self._check_call(mod, node, aliases)
+            elif isinstance(node, ast.For):
+                self._check_iter(mod, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    self._check_iter(mod, gen.iter)
+
+    # -- global-rng / wall-clock / id-ordering -------------------------------
+
+    def _check_call(
+        self, mod: SourceModule, node: ast.Call, aliases: dict[str, str]
+    ) -> None:
+        name = _canonical(node.func, aliases)
+        if name is None:
+            return
+        if name in _WALL_CLOCK:
+            mod.report(
+                self.name, "wall-clock", node,
+                f"wall-clock read {name}() on the walk path; walk decisions "
+                f"and trace payloads must not depend on the time of day",
+            )
+            return
+        rng = _global_rng_reason(name, node)
+        if rng is not None:
+            mod.report(self.name, "global-rng", node, rng)
+            return
+        if name == "id":
+            self._check_id_ordering(mod, node)
+
+    def _check_id_ordering(self, mod: SourceModule, node: ast.Call) -> None:
+        """Flag ``id()`` only when its value can order candidates."""
+        cursor: ast.AST | None = node
+        while cursor is not None:
+            cursor = parent(cursor)
+            if isinstance(cursor, ast.Compare):
+                # ``is``/``is not`` are identity tests, not orderings.
+                if any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in cursor.ops
+                ):
+                    mod.report(
+                        self.name, "id-ordering", node,
+                        "id() compared with an ordering operator; CPython "
+                        "ids are allocation addresses and reshuffle per run",
+                    )
+                return
+            if isinstance(cursor, ast.Call):
+                callee = qualified_name(cursor.func)
+                is_sort_key = callee in _ORDERING_CALLS or (
+                    callee is not None and callee.endswith(".sort")
+                )
+                if is_sort_key:
+                    mod.report(
+                        self.name, "id-ordering", node,
+                        f"id() inside a {callee}(...) ranking; candidate "
+                        f"order would depend on allocation addresses",
+                    )
+                    return
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.Module)):
+                return
+
+    def _check_iter(self, mod: SourceModule, iter_node: ast.expr) -> None:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            what = "a set literal" if isinstance(iter_node, ast.Set) else \
+                "a set comprehension"
+            mod.report(
+                self.name, "set-iteration", iter_node,
+                f"iteration over {what}; set order is hash-seed-dependent "
+                f"— sort it before it can feed candidate ranking",
+            )
+            return
+        if (
+            isinstance(iter_node, ast.Call)
+            and qualified_name(iter_node.func) == "set"
+        ):
+            mod.report(
+                self.name, "set-iteration", iter_node,
+                "iteration over set(...); set order is hash-seed-dependent "
+                "— sort it before it can feed candidate ranking",
+            )
+
+    # -- broad-except --------------------------------------------------------
+
+    def _check_except(self, mod: SourceModule, node: ast.ExceptHandler) -> None:
+        broad = _broad_exception_name(node.type)
+        if broad is None:
+            return
+        if _reraises(node):
+            return
+        mod.report(
+            self.name, "broad-except", node,
+            f"except {broad} without re-raise; narrow the type, or count "
+            f"the failure on the MetricsRegistry and suppress with a "
+            f"rationale",
+        )
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _canonical(func: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Expand a callee's dotted name through the module's import aliases."""
+    name = expand_name(func, aliases)
+    if name is None:
+        return None
+    # normalize the numpy spelling so one rule table covers both imports
+    if name.startswith("numpy."):
+        name = "np." + name[len("numpy."):]
+    return name
+
+
+def _global_rng_reason(name: str, node: ast.Call) -> str | None:
+    if name.startswith("np.random."):
+        tail = name[len("np.random."):]
+        if tail in ("Generator", "SeedSequence", "BitGenerator", "PCG64",
+                    "Philox", "SFC64", "MT19937"):
+            return None  # explicit-generator plumbing is the sanctioned path
+        if tail == "default_rng":
+            if node.args or node.keywords:
+                return None  # seeded construction is deterministic
+            return (
+                "np.random.default_rng() without a seed; thread an explicit "
+                "seeded Generator through the walk instead"
+            )
+        return (
+            f"{name}() draws from numpy's process-global RNG; thread an "
+            f"explicit seeded Generator through the walk instead"
+        )
+    if name.startswith("random."):
+        tail = name[len("random."):]
+        if tail == "Random":
+            if node.args or node.keywords:
+                return None
+            return (
+                "random.Random() without a seed; pass an explicit seed so "
+                "the stream is reproducible"
+            )
+        if tail in _RANDOM_MODULE_FNS:
+            return (
+                f"{name}() draws from the process-global random module; "
+                f"walk code must use its seeded np.random.Generator"
+            )
+    return None
+
+
+def _broad_exception_name(type_node: ast.expr | None) -> str | None:
+    """``Exception``/``BaseException`` if the handler catches one, even
+    inside a tuple.  A bare ``except:`` reports as BaseException."""
+    if type_node is None:
+        return "BaseException"  # bare except
+    candidates = (
+        type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    for cand in candidates:
+        name = qualified_name(cand)
+        if name in ("Exception", "BaseException"):
+            return name
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """A handler that (possibly conditionally) re-raises is not blind."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False

@@ -1,0 +1,214 @@
+"""Findings model shared by every checker: spans, suppressions, baseline.
+
+A :class:`Finding` is one violation of a repo-specific invariant, anchored
+to a ``file:line`` span so editors and CI annotations can jump to it.  Two
+escape hatches keep the gate honest without blocking day-one adoption:
+
+* **suppression comments** — ``# repro: ignore[rule-id]`` on the flagged
+  line (or ``# repro: ignore`` for any rule) acknowledges a deliberate
+  violation in place, next to the rationale comment a reviewer will read;
+* **baseline files** — a committed JSON inventory of pre-existing findings
+  (:func:`load_baseline` / :func:`write_baseline`).  CI gates on *new*
+  findings only: anything whose fingerprint is in the baseline is reported
+  as baselined and does not affect the exit code.
+
+Fingerprints are content-addressed (rule + file + message), not
+line-addressed, so unrelated edits that shift line numbers do not
+invalidate the baseline; duplicate findings with the same fingerprint are
+budgeted by count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "Suppressions",
+    "baseline_filter",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: ``# repro: ignore`` or ``# repro: ignore[rule-a, rule-b]``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[a-z0-9_,\s-]+)\])?"
+)
+
+#: JSON schema version of both the ``--format json`` report and the
+#: baseline file; bump on any backwards-incompatible shape change.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker violation with a clickable ``file:line`` span."""
+
+    checker: str  #: which checker produced it (``determinism``, ...)
+    rule: str  #: stable rule id (``global-rng``, ``lock-cycle``, ...)
+    path: str  #: path relative to the lint root (POSIX separators)
+    line: int  #: 1-indexed line of the violating node
+    col: int  #: 0-indexed column of the violating node
+    message: str  #: human-oriented description of the violation
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def span(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        tag = " [baselined]" if self.baselined else ""
+        return f"{self.span}: {self.rule}: {self.message}{tag}"
+
+    def to_json(self) -> dict:
+        return {
+            "checker": self.checker,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": fingerprint(self),
+            "baselined": self.baselined,
+        }
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-insensitive identity used by baselines (rule+file+message)."""
+    text = f"{finding.rule}\x00{finding.path}\x00{finding.message}"
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+class Suppressions:
+    """Per-file index of ``# repro: ignore[...]`` comments.
+
+    A finding is suppressed when its line carries a matching comment.  The
+    index also tracks which comments matched something, so the runner can
+    (in a future pass) flag stale suppressions.
+    """
+
+    def __init__(self, source: str) -> None:
+        #: line -> frozenset of rule ids, or ``None`` for ignore-all.
+        self._by_line: dict[int, frozenset[str] | None] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                self._by_line[lineno] = None
+            else:
+                self._by_line[lineno] = frozenset(
+                    r.strip() for r in rules.split(",") if r.strip()
+                )
+
+    def matches(self, rule: str, line: int) -> bool:
+        if line not in self._by_line:
+            return False
+        rules = self._by_line[line]
+        return rules is None or rule in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Fingerprint -> allowed-count budget from a committed baseline file.
+
+    A missing file is an empty baseline (day-one default); a malformed one
+    raises :class:`ValueError` so CI fails loudly rather than gating
+    against garbage.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed lint baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(
+            f"malformed lint baseline {path}: expected an object with a "
+            f"'findings' list"
+        )
+    budget: dict[str, int] = {}
+    for record in payload["findings"]:
+        if not isinstance(record, dict) or "fingerprint" not in record:
+            raise ValueError(
+                f"malformed lint baseline {path}: each finding needs a "
+                f"'fingerprint'"
+            )
+        fp = str(record["fingerprint"])
+        budget[fp] = budget.get(fp, 0) + int(record.get("count", 1))
+    return budget
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> int:
+    """Persist the current findings as the new baseline; returns the count.
+
+    Records are grouped by fingerprint with a count, sorted for stable
+    diffs, and annotated with the rule/path/message so a reviewer can read
+    the baseline as an inventory of accepted debt.
+    """
+    grouped: dict[str, dict] = {}
+    for f in findings:
+        fp = fingerprint(f)
+        record = grouped.setdefault(
+            fp,
+            {
+                "fingerprint": fp,
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "count": 0,
+            },
+        )
+        record["count"] += 1
+    payload = {
+        "version": SCHEMA_VERSION,
+        "findings": sorted(
+            grouped.values(), key=lambda r: (r["path"], r["rule"], r["fingerprint"])
+        ),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(findings)
+
+
+def baseline_filter(
+    findings: list[Finding], budget: dict[str, int]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined) against a fingerprint budget.
+
+    Each baseline record absorbs up to ``count`` findings with the same
+    fingerprint; spill beyond the budget is new — so a baselined violation
+    that *multiplies* still trips the gate.
+    """
+    remaining = dict(budget)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for f in findings:
+        fp = fingerprint(f)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            baselined.append(
+                Finding(
+                    checker=f.checker,
+                    rule=f.rule,
+                    path=f.path,
+                    line=f.line,
+                    col=f.col,
+                    message=f.message,
+                    baselined=True,
+                )
+            )
+        else:
+            new.append(f)
+    return new, baselined

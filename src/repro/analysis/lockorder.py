@@ -1,0 +1,737 @@
+"""LockOrderChecker: static lock-acquisition graph, cycles, unlocked writes.
+
+27+ ``threading.Lock``/``RLock`` sites now span serve, cache, memo,
+metrics, and fleet with no written ordering discipline.  This checker
+recovers the discipline mechanically:
+
+1. **Lock inventory** — every ``self.x = threading.Lock()`` (or RLock /
+   Condition), module-level lock, function-local lock, and *lock factory*
+   (a method that mints and returns locks, like the serve layer's
+   per-family locks) becomes a named node: ``CompileService._cold_lock``,
+   ``perf.memo._default_lock``, ``CompileService._family_lock()``.
+2. **Acquisition graph** — an abstract interpretation of every function
+   tracks the stack of statically-held locks through nested ``with``
+   blocks.  Acquiring ``B`` while holding ``A`` adds edge ``A -> B``.
+   Calls are resolved interprocedurally (``self.method()``, methods on
+   attributes with known constructor types, module functions, class
+   constructors across the whole analyzed tree) and contribute their
+   *transitive* acquire set as edges from every currently-held lock.
+3. **Cycle report** — a cycle in the merged graph is a potential deadlock
+   (two threads entering the cycle from different nodes can deadlock);
+   each cycle is one ``lock-cycle`` finding anchored at a participating
+   acquisition site.  Re-entrant self-edges on ``RLock`` nodes are
+   legal and skipped.
+4. **Unlocked writes** — an attribute written under one of its class's
+   locks in one method but written bare in another (``__init__``
+   excluded: construction is single-threaded) is a data race waiting for
+   a scheduler to find it; each bare write is an ``unlocked-write``
+   finding.
+
+The runtime twin of this checker is
+:class:`~repro.analysis.witness.LockWitness`, which records the *actual*
+acquisition order under tests/chaos CI and asserts the same graph stays
+acyclic — the static pass proves the order discipline exists, the witness
+proves the code follows it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.visitor import (
+    Checker,
+    SourceModule,
+    import_aliases,
+    expand_name,
+    qualified_name,
+)
+
+__all__ = ["LockOrderChecker"]
+
+_LOCK_CTORS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+}
+
+#: sentinel env value: a local variable holding a freshly minted lock.
+_FRESH_LOCK = "<fresh-lock>"
+
+
+@dataclass
+class _Lock:
+    node_id: str
+    kind: str  #: ``lock`` | ``rlock`` | ``condition`` | ``factory``
+    path: str
+    line: int
+
+
+@dataclass
+class _Write:
+    attr: str
+    locked: bool
+    mod: SourceModule
+    node: ast.AST
+    method: str
+
+
+@dataclass
+class _FuncInfo:
+    """Per-function facts from the abstract interpretation pass."""
+
+    key: str  #: ``Class.method`` or ``module.function``
+    direct: set[str] = field(default_factory=set)  #: locks acquired directly
+    #: (held lock ids at the call, callee key) — expanded in finalize.
+    calls: list[tuple[tuple[str, ...], str, SourceModule, ast.AST]] = field(
+        default_factory=list
+    )
+    is_factory: bool = False
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: str
+    locks: dict[str, _Lock] = field(default_factory=dict)  #: attr -> lock
+    attr_types: dict[str, str] = field(default_factory=dict)
+    methods: set[str] = field(default_factory=set)
+    writes: list[_Write] = field(default_factory=list)
+
+
+class LockOrderChecker(Checker):
+    name = "lockorder"
+
+    def __init__(self) -> None:
+        self._classes: dict[str, _ClassInfo] = {}
+        self._functions: dict[str, _FuncInfo] = {}
+        #: edge (a, b) -> first witnessing (module, node, description)
+        self._edges: dict[tuple[str, str], tuple[SourceModule, ast.AST, str]] = {}
+        self._locks: dict[str, _Lock] = {}
+        #: factory keys surviving the pass-1 reset (see :meth:`finalize`).
+        self._factories: set[str] = set()
+        self._pending: list[SourceModule] = []
+
+    # -- per-module pass -----------------------------------------------------
+
+    def check_module(self, mod: SourceModule) -> None:
+        aliases = import_aliases(mod.tree)
+        short = mod.module.removeprefix("repro.")
+        # inventory pass: classes (locks, attr constructor types, methods)
+        # and module-level locks; interpretation is deferred to finalize so
+        # the whole-program class/factory index exists first.
+        for stmt in mod.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._index_class(mod, stmt, aliases)
+            elif isinstance(stmt, ast.Assign):
+                self._index_module_lock(mod, stmt, aliases, short)
+        self._pending.append(mod)
+
+    def _interpret_all(self) -> None:
+        for mod in self._pending:
+            aliases = import_aliases(mod.tree)
+            short = mod.module.removeprefix("repro.")
+            for stmt in mod.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._interpret_function(mod, stmt, None, aliases, short)
+                elif isinstance(stmt, ast.ClassDef):
+                    for sub in stmt.body:
+                        if isinstance(
+                            sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            self._interpret_function(
+                                mod, sub, stmt.name, aliases, short
+                            )
+
+    def _index_class(
+        self, mod: SourceModule, cls: ast.ClassDef, aliases: dict[str, str]
+    ) -> None:
+        info = self._classes.setdefault(
+            cls.name, _ClassInfo(name=cls.name, module=mod.module)
+        )
+        for sub in cls.body:
+            if not isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            info.methods.add(sub.name)
+            for node in ast.walk(sub):
+                if not isinstance(node, ast.Assign):
+                    continue
+                kind = _lock_ctor_kind(node.value, aliases)
+                ctor = _constructor_of(node.value)
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    if kind is not None:
+                        lock = _Lock(
+                            node_id=f"{cls.name}.{attr}",
+                            kind=kind,
+                            path=mod.path,
+                            line=node.lineno,
+                        )
+                        info.locks[attr] = lock
+                        self._locks[lock.node_id] = lock
+                    elif ctor is not None and sub.name == "__init__":
+                        info.attr_types[attr] = ctor
+
+    def _index_module_lock(
+        self,
+        mod: SourceModule,
+        stmt: ast.Assign,
+        aliases: dict[str, str],
+        short: str,
+    ) -> None:
+        kind = _lock_ctor_kind(stmt.value, aliases)
+        if kind is None:
+            return
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                lock = _Lock(
+                    node_id=f"{short}.{target.id}",
+                    kind=kind,
+                    path=mod.path,
+                    line=stmt.lineno,
+                )
+                self._locks[lock.node_id] = lock
+
+    # -- abstract interpretation ----------------------------------------------
+
+    def _interpret_function(
+        self,
+        mod: SourceModule,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+        aliases: dict[str, str],
+        short: str,
+        outer_env: dict[str, str] | None = None,
+        key_prefix: str | None = None,
+    ) -> None:
+        owner = cls if cls is not None else short
+        base = key_prefix if key_prefix is not None else owner
+        key = f"{base}.{fn.name}"
+        info = self._functions.setdefault(key, _FuncInfo(key=key))
+        env: dict[str, str] = dict(outer_env or {})
+        ctx = _Ctx(
+            checker=self,
+            mod=mod,
+            cls=cls,
+            fn=fn,
+            key=key,
+            info=info,
+            env=env,
+            aliases=aliases,
+            short=short,
+        )
+        ctx.run(fn.body, held=[])
+
+    # -- whole-program resolution ---------------------------------------------
+
+    def finalize(self, modules: list[SourceModule]) -> None:
+        # Pass 1 discovers lock factories (a call site can precede the
+        # factory's definition in source order); pass 2 re-interprets with
+        # the factory set fixed so `with self._factory():` sites resolve.
+        self._interpret_all()
+        self._factories = {
+            key for key, info in self._functions.items() if info.is_factory
+        }
+        self._functions.clear()
+        self._edges.clear()
+        for cls in self._classes.values():
+            cls.writes.clear()
+        for key in self._factories:
+            self._functions[key] = _FuncInfo(key=key, is_factory=True)
+        self._interpret_all()
+        transitive = self._transitive_acquires()
+        # expand call records into edges from held locks to callee acquires
+        for info in self._functions.values():
+            for held, callee, mod, node in info.calls:
+                for target in sorted(transitive.get(callee, ())):
+                    for holder in held:
+                        if holder == target:
+                            continue
+                        self._edges.setdefault(
+                            (holder, target),
+                            (
+                                mod,
+                                node,
+                                f"{holder} held while {callee}() acquires "
+                                f"{target}",
+                            ),
+                        )
+        self._report_cycles(modules)
+        self._report_unlocked_writes()
+
+    def _transitive_acquires(self) -> dict[str, set[str]]:
+        """Fixpoint of direct-acquire sets through resolvable calls."""
+        acquires = {k: set(v.direct) for k, v in self._functions.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, info in self._functions.items():
+                bucket = acquires[key]
+                before = len(bucket)
+                for _, callee, _, _ in info.calls:
+                    bucket.update(acquires.get(callee, ()))
+                if len(bucket) != before:
+                    changed = True
+        return acquires
+
+    def _report_cycles(self, modules: list[SourceModule]) -> None:
+        graph: dict[str, set[str]] = {}
+        for (a, b), _ in self._edges.items():
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        for component in _tarjan_sccs(graph):
+            cyclic = len(component) > 1 or (
+                len(component) == 1
+                and component[0] in graph.get(component[0], ())
+            )
+            if not cyclic:
+                continue
+            members = set(component)
+            # pick a stable witnessing edge inside the component
+            witness = min(
+                (
+                    (edge, site)
+                    for edge, site in self._edges.items()
+                    if edge[0] in members and edge[1] in members
+                ),
+                key=lambda item: item[0],
+            )
+            (a, b), (mod, node, _desc) = witness
+            cycle = " -> ".join(sorted(members)) + f" -> {sorted(members)[0]}"
+            mod.report(
+                self.name, "lock-cycle", node,
+                f"lock-order cycle {cycle}; two threads entering this cycle "
+                f"from different locks can deadlock — pick one global order",
+            )
+
+    def _caller_held(self) -> dict[str, set[str]]:
+        """Function key -> locks held at *every* internal call site.
+
+        Only private helpers (leading underscore, non-dunder) qualify:
+        a public method can be entered from outside with nothing held,
+        so no caller context can be guaranteed for it.  Fixpoint from
+        below: a call site's effective held set includes whatever the
+        caller itself is guaranteed, so helper-calls-helper chains under
+        one lock resolve.
+        """
+        sites: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+        for caller_key, info in self._functions.items():
+            for held, callee, _, _ in info.calls:
+                sites.setdefault(callee, []).append((caller_key, held))
+        guaranteed: dict[str, set[str]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for key, callers in sites.items():
+                name = key.rsplit(".", 1)[-1]
+                if not name.startswith("_") or name.startswith("__"):
+                    continue
+                merged: set[str] | None = None
+                for caller_key, held in callers:
+                    effective = set(held) | guaranteed.get(caller_key, set())
+                    merged = (
+                        effective if merged is None else merged & effective
+                    )
+                merged = merged or set()
+                if merged != guaranteed.get(key, set()):
+                    guaranteed[key] = merged
+                    changed = True
+        return guaranteed
+
+    def _report_unlocked_writes(self) -> None:
+        guaranteed = self._caller_held()
+        for info in self._classes.values():
+            class_lock_ids = {lock.node_id for lock in info.locks.values()}
+            class_lock_ids.update(
+                node_id
+                for node_id in self._locks
+                if node_id.startswith(f"{info.name}.")
+                and node_id.endswith("()")
+            )
+            by_attr: dict[str, list[_Write]] = {}
+            for write in info.writes:
+                if write.method == "__init__" or write.attr in info.locks:
+                    continue
+                by_attr.setdefault(write.attr, []).append(write)
+            for attr, writes in by_attr.items():
+                if not any(w.locked for w in writes):
+                    continue  # attribute has no owning lock at all
+                for w in writes:
+                    if w.locked:
+                        continue
+                    key = f"{info.name}.{w.method}"
+                    if guaranteed.get(key, set()) & class_lock_ids:
+                        continue  # every caller holds an owning lock
+                    w.mod.report(
+                        self.name, "unlocked-write", w.node,
+                        f"{info.name}.{attr} is written under a lock "
+                        f"elsewhere but bare in {w.method}(); either hold "
+                        f"the owning lock or document why this write "
+                        f"cannot race",
+                    )
+
+    # -- edge recording (called by _Ctx) --------------------------------------
+
+    def _add_edge(
+        self,
+        a: str,
+        b: str,
+        mod: SourceModule,
+        node: ast.AST,
+        desc: str,
+    ) -> None:
+        if a == b:
+            lock = self._locks.get(a)
+            if lock is not None and lock.kind in ("rlock", "factory"):
+                return  # legal re-entrancy (RLock) / distinct factory locks
+        self._edges.setdefault((a, b), (mod, node, desc))
+
+
+class _Ctx:
+    """One function's abstract interpretation state."""
+
+    def __init__(self, checker, mod, cls, fn, key, info, env, aliases, short):
+        self.checker: LockOrderChecker = checker
+        self.mod: SourceModule = mod
+        self.cls: str | None = cls
+        self.fn = fn
+        self.key: str = key
+        self.info: _FuncInfo = info
+        self.env: dict[str, str] = env  #: local name -> lock node / marker
+        self.aliases = aliases
+        self.short = short
+        #: nested function defs, registered so bare calls resolve to them.
+        self.local_funcs: dict[str, str] = {}
+
+    # -- statement walk ------------------------------------------------------
+
+    def run(self, body: list[ast.stmt], held: list[str]) -> None:
+        for stmt in body:
+            self._stmt(stmt, held)
+
+    def _stmt(self, stmt: ast.stmt, held: list[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested_key = f"{self.key}.{stmt.name}"
+            self.local_funcs[stmt.name] = nested_key
+            self.checker._interpret_function(
+                self.mod, stmt, self.cls, self.aliases, self.short,
+                outer_env=self.env, key_prefix=self.key,
+            )
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt, held)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt, held)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._record_write(stmt.target, held, stmt)
+            self._calls_in(stmt.value, held)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._record_write(stmt.target, held, stmt)
+                self._calls_in(stmt.value, held)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._calls_in(stmt.value, held)
+                if self._resolves_to_fresh_lock(stmt.value):
+                    self.info.is_factory = True
+                    self._register_factory()
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(stmt.body, held)
+            for handler in stmt.handlers:
+                self.run(handler.body, held)
+            self.run(stmt.orelse, held)
+            self.run(stmt.finalbody, held)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._calls_in(stmt.test, held)
+            self.run(stmt.body, held)
+            self.run(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._calls_in(stmt.iter, held)
+            self.run(stmt.body, held)
+            self.run(stmt.orelse, held)
+            return
+        # leaf statements (Expr, Raise, Assert, Delete, ...): record calls
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.expr):
+                self._calls_in(value, held)
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, held: list[str]) -> None:
+        acquired: list[str] = []
+        for item in stmt.items:
+            # the context expression runs *before* the acquisition
+            self._calls_in(item.context_expr, held + acquired)
+            node_id = self._lock_node(item.context_expr)
+            if node_id is not None:
+                for holder in held + acquired:
+                    self.checker._add_edge(
+                        holder, node_id, self.mod, item.context_expr,
+                        f"{holder} held while acquiring {node_id}",
+                    )
+                self.info.direct.add(node_id)
+                acquired.append(node_id)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    self.env[item.optional_vars.id] = node_id
+        self.run(stmt.body, held + acquired)
+
+    def _assign(self, stmt: ast.Assign, held: list[str]) -> None:
+        kind = _lock_ctor_kind(stmt.value, self.aliases)
+        factory_node = self._factory_call_node(stmt.value)
+        for target in stmt.targets:
+            self._record_write(target, held, stmt)
+            if isinstance(target, ast.Name):
+                if kind is not None:
+                    node_id = f"{self.key}.{target.id}"
+                    self.checker._locks[node_id] = _Lock(
+                        node_id=node_id, kind=kind,
+                        path=self.mod.path, line=stmt.lineno,
+                    )
+                    self.env[target.id] = node_id
+                elif factory_node is not None:
+                    self.env[target.id] = factory_node
+                else:
+                    resolved = self._lock_node(stmt.value)
+                    if resolved is not None:
+                        self.env[target.id] = resolved
+                    else:
+                        self.env.pop(target.id, None)
+        if kind is None and factory_node is None:
+            self._calls_in(stmt.value, held)
+
+    # -- expression helpers ---------------------------------------------------
+
+    def _calls_in(self, expr: ast.expr, held: list[str]) -> None:
+        """Record resolvable calls (with the current held set) in ``expr``.
+
+        Lambda bodies are skipped: they execute later, on whatever thread
+        invokes them, not under this function's held set.
+        """
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Call):
+                callee = self._resolve_callee(node)
+                if callee is not None:
+                    self.info.calls.append(
+                        (tuple(held), callee, self.mod, node)
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _resolve_callee(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.local_funcs:
+                return self.local_funcs[name]
+            if name in self.checker._classes:
+                return f"{name}.__init__"
+            return f"{self.short}.{name}"
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self" and self.cls:
+                info = self.checker._classes.get(self.cls)
+                if info is not None and func.attr in info.methods:
+                    return f"{self.cls}.{func.attr}"
+                return None
+            # self.<attr>.<method>() with a known constructor type
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and self.cls
+            ):
+                info = self.checker._classes.get(self.cls)
+                if info is not None:
+                    target_cls = info.attr_types.get(base.attr)
+                    target = (
+                        self.checker._classes.get(target_cls)
+                        if target_cls
+                        else None
+                    )
+                    if target is not None and func.attr in target.methods:
+                        return f"{target_cls}.{func.attr}"
+        return None
+
+    def _lock_node(self, expr: ast.expr) -> str | None:
+        """Resolve a with-context expression to a lock node id, if any."""
+        attr = _self_attr(expr)
+        if attr is not None and self.cls is not None:
+            info = self.checker._classes.get(self.cls)
+            if info is not None and attr in info.locks:
+                return info.locks[attr].node_id
+            return None
+        if isinstance(expr, ast.Name):
+            bound = self.env.get(expr.id)
+            if bound == _FRESH_LOCK:
+                return None
+            if bound is not None:
+                return bound
+            module_node = f"{self.short}.{expr.id}"
+            if module_node in self.checker._locks:
+                return module_node
+            return None
+        if isinstance(expr, ast.Call):
+            return self._factory_call_node(expr)
+        return None
+
+    def _factory_call_node(self, expr: ast.expr) -> str | None:
+        """``self.lock_factory(...)`` -> the factory's lock-tier node."""
+        if not isinstance(expr, ast.Call):
+            return None
+        callee = self._resolve_callee(expr)
+        if callee is None:
+            return None
+        info = self.checker._functions.get(callee)
+        if info is not None and info.is_factory:
+            return f"{callee}()"
+        return None
+
+    def _resolves_to_fresh_lock(self, expr: ast.expr) -> bool:
+        if _lock_ctor_kind(expr, self.aliases) is not None:
+            return True
+        if isinstance(expr, ast.Name):
+            bound = self.env.get(expr.id)
+            return bound is not None and (
+                bound == _FRESH_LOCK or bound in self.checker._locks
+            )
+        return False
+
+    def _register_factory(self) -> None:
+        node_id = f"{self.key}()"
+        if node_id not in self.checker._locks:
+            self.checker._locks[node_id] = _Lock(
+                node_id=node_id, kind="factory",
+                path=self.mod.path, line=self.fn.lineno,
+            )
+
+    def _record_write(
+        self, target: ast.expr, held: list[str], stmt: ast.stmt
+    ) -> None:
+        if self.cls is None:
+            return
+        info = self.checker._classes.get(self.cls)
+        if info is None:
+            return
+        attr = _self_attr(target)
+        if attr is None and isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+        if attr is None:
+            return
+        class_lock_ids = {lock.node_id for lock in info.locks.values()}
+        # factory locks of this class also count as owning locks
+        class_lock_ids.update(
+            node_id
+            for node_id in self.checker._locks
+            if node_id.startswith(f"{self.cls}.") and node_id.endswith("()")
+        )
+        locked = any(h in class_lock_ids for h in held)
+        info.writes.append(
+            _Write(
+                attr=attr,
+                locked=locked,
+                mod=self.mod,
+                node=stmt,
+                method=self.fn.name,
+            )
+        )
+
+
+# -- small helpers ------------------------------------------------------------
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_ctor_kind(expr: ast.expr, aliases: dict[str, str]) -> str | None:
+    if not isinstance(expr, ast.Call):
+        return None
+    name = expand_name(expr.func, aliases)
+    if name is None:
+        return None
+    if name in ("Lock", "RLock", "Condition"):
+        name = f"threading.{name}"
+    return _LOCK_CTORS.get(name)
+
+
+def _constructor_of(expr: ast.expr) -> str | None:
+    """Class name when ``expr`` (or one branch of it) is ``ClassName(...)``."""
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        name = expr.func.id
+        if name and name[0].isupper():
+            return name
+    if isinstance(expr, ast.IfExp):
+        return _constructor_of(expr.body) or _constructor_of(expr.orelse)
+    if isinstance(expr, ast.BoolOp):
+        for value in expr.values:
+            found = _constructor_of(value)
+            if found is not None:
+                return found
+    return None
+
+
+def _tarjan_sccs(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components, iterative Tarjan (no recursion cap)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent_node = work[-1][0]
+                low[parent_node] = min(low[parent_node], low[node])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs

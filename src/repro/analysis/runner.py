@@ -1,0 +1,135 @@
+"""Lint orchestration: discover -> check -> finalize -> baseline -> render.
+
+This is the engine behind ``python -m repro lint``.  It owns no policy of
+its own — checkers decide what is a finding, the baseline decides what is
+*new* — and returns a :class:`LintReport` the CLI maps onto exit codes:
+
+* ``0`` — no new findings (baselined/suppressed ones may exist);
+* ``2`` — at least one new finding (the CI gate).
+
+Internal errors (unreadable paths, malformed baselines) raise and surface
+as the CLI's usual error exit, distinct from "findings found".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.findings import (
+    SCHEMA_VERSION,
+    Finding,
+    baseline_filter,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lockorder import LockOrderChecker
+from repro.analysis.spawnsafety import SpawnSafetyChecker
+from repro.analysis.visitor import Checker, SourceModule, discover_modules
+
+__all__ = ["LintReport", "default_checkers", "run_lint"]
+
+
+def default_checkers() -> list[Checker]:
+    """The repo's three invariant families, in report order."""
+    return [DeterminismChecker(), LockOrderChecker(), SpawnSafetyChecker()]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-split against the baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    checkers: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        return 2 if self.new else 0
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.new]
+        lines.extend(f.render() for f in self.baselined)
+        summary = (
+            f"repro lint: {self.files} files, "
+            f"{len(self.new)} new finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{self.suppressed} suppressed"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "version": SCHEMA_VERSION,
+            "files": self.files,
+            "checkers": list(self.checkers),
+            "counts": {
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed,
+            },
+            "findings": [f.to_json() for f in self.new]
+            + [f.to_json() for f in self.baselined],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    root: str | Path,
+    *,
+    baseline: str | Path | None = None,
+    update_baseline: bool = False,
+    checkers: Iterable[Checker] | None = None,
+) -> LintReport:
+    """Run every checker over ``paths`` and split against ``baseline``.
+
+    ``root`` anchors relative spans (pass the directory containing the
+    ``repro`` package).  With ``update_baseline`` the current findings are
+    *written* to ``baseline`` and the report treats them all as baselined.
+    """
+    root = Path(root)
+    active = list(checkers) if checkers is not None else default_checkers()
+    modules = discover_modules(paths, root)
+
+    for checker in active:
+        for mod in modules:
+            checker.check_module(mod)
+    for checker in active:
+        checker.finalize(modules)
+
+    findings = sorted(
+        (f for mod in modules for f in mod.findings),
+        key=lambda f: (f.path, f.line, f.col, f.rule),
+    )
+    suppressed = sum(mod.suppressed for mod in modules)
+
+    if update_baseline:
+        if baseline is None:
+            raise ValueError("--update-baseline requires a baseline path")
+        write_baseline(findings, baseline)
+        new: list[Finding] = []
+        baselined = [
+            Finding(
+                checker=f.checker, rule=f.rule, path=f.path, line=f.line,
+                col=f.col, message=f.message, baselined=True,
+            )
+            for f in findings
+        ]
+    else:
+        budget = load_baseline(baseline) if baseline is not None else {}
+        new, baselined = baseline_filter(findings, budget)
+
+    return LintReport(
+        new=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        files=len(modules),
+        checkers=tuple(c.name for c in active),
+    )

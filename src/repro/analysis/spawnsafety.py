@@ -1,0 +1,293 @@
+"""SpawnSafetyChecker: everything crossing the fleet's process boundary
+must survive ``spawn`` + pickle.
+
+The fleet starts shard processes with the ``spawn`` method (forking a
+multi-threaded dispatcher can deadlock the child on inherited lock
+state), which means every ``Process`` target and every object placed on a
+shard queue travels by pickle.  PR 6 already paid for one violation
+(``_FrozenDict.__reduce__``); this checker makes the class of bug
+machine-checked:
+
+``spawn-closure``
+    ``Process(target=...)`` whose target is a lambda, a nested function,
+    or a bound method of a local object — none of which pickle under
+    ``spawn``.  Targets must be module-level callables fed picklable
+    arguments.
+``queue-put-unpicklable``
+    ``.put(...)`` of a lambda, a nested function, or a local bound to a
+    fork-hostile resource (lock, file handle, tracer) onto a queue in a
+    fleet-zone module.
+``wire-unpicklable-field``
+    A field of a fleet-zone dataclass (the wire payload classes) whose
+    annotation names a type that cannot cross the boundary:
+    ``threading.Lock``/``RLock``/``Event``/``Condition``, file/IO
+    handles, tracers.  Wire payloads carry plain data — schedules travel
+    as ``CachedSchedule``, never as live ETIR states or service objects.
+``fork-start``
+    ``multiprocessing.get_context("fork")`` or a bare
+    ``multiprocessing.Process(...)`` (whose platform-default start method
+    may still be ``fork``) — the fleet standardized on explicit spawn
+    contexts for a reason.
+
+The static pass is paired with runtime round-trip tests
+(``tests/test_analysis_spawnsafety.py``) that pickle every wire payload
+class through a real dump/load cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.visitor import (
+    Checker,
+    SourceModule,
+    expand_name,
+    import_aliases,
+    iter_functions,
+    qualified_name,
+)
+
+__all__ = ["SpawnSafetyChecker"]
+
+#: annotation names (suffix-matched) that must never ride a wire payload.
+_FORK_HOSTILE = (
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Event",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.Thread",
+    "IO",
+    "TextIO",
+    "BinaryIO",
+    "Tracer",
+    "JsonlTracer",
+    "RecordingTracer",
+)
+
+#: calls whose result, bound to a local, is fork-hostile to enqueue.
+_FORK_HOSTILE_CTORS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Event",
+    "threading.Condition",
+    "open",
+}
+
+
+class SpawnSafetyChecker(Checker):
+    name = "spawnsafety"
+
+    def check_module(self, mod: SourceModule) -> None:
+        aliases = import_aliases(mod.tree)
+        nested = _nested_function_names(mod.tree)
+        hostile_locals = _fork_hostile_locals(mod.tree, aliases)
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            self._check_process_target(mod, node, aliases, nested)
+            self._check_fork_context(mod, node, aliases)
+            if mod.zone == "fleet":
+                self._check_queue_put(mod, node, nested, hostile_locals)
+        if mod.zone == "fleet":
+            self._check_wire_dataclasses(mod, aliases)
+
+    # -- Process(target=...) -------------------------------------------------
+
+    def _check_process_target(
+        self,
+        mod: SourceModule,
+        call: ast.Call,
+        aliases: dict[str, str],
+        nested: set[str],
+    ) -> None:
+        callee = expand_name(call.func, aliases)
+        if callee is None or not _is_process_ctor(callee):
+            return
+        target = next(
+            (kw.value for kw in call.keywords if kw.arg == "target"), None
+        )
+        if target is None and call.args:
+            target = call.args[0]
+        if target is None:
+            return
+        if isinstance(target, ast.Lambda):
+            mod.report(
+                self.name, "spawn-closure", target,
+                "Process target is a lambda; lambdas do not pickle under "
+                "the spawn start method — use a module-level function",
+            )
+        elif isinstance(target, ast.Name) and target.id in nested:
+            mod.report(
+                self.name, "spawn-closure", target,
+                f"Process target {target.id!r} is a nested function; "
+                f"closures do not pickle under spawn — hoist it to module "
+                f"level and pass its state as arguments",
+            )
+
+    def _check_fork_context(
+        self, mod: SourceModule, call: ast.Call, aliases: dict[str, str]
+    ) -> None:
+        callee = expand_name(call.func, aliases)
+        if callee is None:
+            return
+        if callee.endswith("get_context") and call.args:
+            arg = call.args[0]
+            if isinstance(arg, ast.Constant) and arg.value == "fork":
+                mod.report(
+                    self.name, "fork-start", call,
+                    "multiprocessing fork context: forking a process that "
+                    "may hold threads deadlocks the child on inherited "
+                    "lock state — the fleet standardized on spawn",
+                )
+        elif callee in ("multiprocessing.Process", "mp.Process"):
+            mod.report(
+                self.name, "fork-start", call,
+                "bare multiprocessing.Process uses the platform-default "
+                "start method (fork on POSIX); use an explicit "
+                "get_context('spawn') context",
+            )
+
+    # -- queue puts ----------------------------------------------------------
+
+    def _check_queue_put(
+        self,
+        mod: SourceModule,
+        call: ast.Call,
+        nested: set[str],
+        hostile_locals: dict[str, str],
+    ) -> None:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr in ("put", "put_nowait")):
+            return
+        base = qualified_name(func.value)
+        if base is None or not _looks_like_queue(base):
+            return
+        for arg in call.args[:1]:
+            if isinstance(arg, ast.Lambda):
+                mod.report(
+                    self.name, "queue-put-unpicklable", arg,
+                    f"lambda placed on queue {base!r}; lambdas do not "
+                    f"pickle across the process boundary",
+                )
+            elif isinstance(arg, ast.Name):
+                if arg.id in nested:
+                    mod.report(
+                        self.name, "queue-put-unpicklable", arg,
+                        f"nested function {arg.id!r} placed on queue "
+                        f"{base!r}; closures do not pickle across the "
+                        f"process boundary",
+                    )
+                elif arg.id in hostile_locals:
+                    mod.report(
+                        self.name, "queue-put-unpicklable", arg,
+                        f"{arg.id!r} (a {hostile_locals[arg.id]}) placed "
+                        f"on queue {base!r}; fork-hostile resources must "
+                        f"not cross the process boundary",
+                    )
+
+    # -- wire payload dataclasses --------------------------------------------
+
+    def _check_wire_dataclasses(
+        self, mod: SourceModule, aliases: dict[str, str]
+    ) -> None:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                ann = _annotation_text(stmt.annotation)
+                if ann is None:
+                    continue
+                hostile = _hostile_annotation(ann)
+                if hostile is not None:
+                    mod.report(
+                        self.name, "wire-unpicklable-field", stmt,
+                        f"dataclass {node.name}.{_target_name(stmt.target)} "
+                        f"is annotated {hostile!r}, which cannot pickle "
+                        f"across the shard boundary; wire payloads carry "
+                        f"plain data only",
+                    )
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _is_process_ctor(callee: str) -> bool:
+    return callee.endswith(".Process") or callee == "Process"
+
+
+def _looks_like_queue(base: str) -> bool:
+    tail = base.rsplit(".", 1)[-1].lower()
+    return "q" == tail or tail.endswith("_q") or "queue" in tail
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions (spawn-hostile)."""
+    names: set[str] = set()
+    for _cls, fn in iter_functions(tree):
+        for stmt in ast.walk(fn):
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt is not fn
+            ):
+                names.add(stmt.name)
+    return names
+
+
+def _fork_hostile_locals(
+    tree: ast.Module, aliases: dict[str, str]
+) -> dict[str, str]:
+    """Local name -> hostile ctor, for names bound to locks/files etc."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        callee = expand_name(node.value.func, aliases)
+        if callee is None:
+            continue
+        if callee in ("Lock", "RLock", "Event", "Condition"):
+            callee = f"threading.{callee}"
+        if callee in _FORK_HOSTILE_CTORS:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = callee
+    return out
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        name = qualified_name(
+            deco.func if isinstance(deco, ast.Call) else deco
+        )
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _annotation_text(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value  # stringized annotation
+    try:
+        return ast.unparse(node)
+    except (ValueError, RecursionError):  # pragma: no cover - malformed
+        return None
+
+
+def _hostile_annotation(ann: str) -> str | None:
+    # strip Optional/union wrappers crudely: check every dotted token
+    for token in ann.replace("|", " ").replace("[", " ").replace("]", " ") \
+            .replace(",", " ").split():
+        for hostile in _FORK_HOSTILE:
+            if token == hostile or token.endswith(f".{hostile}") or (
+                "." not in hostile and token.split(".")[-1] == hostile
+            ):
+                return token
+    return None
+
+
+def _target_name(node: ast.expr) -> str:
+    return node.id if isinstance(node, ast.Name) else ast.unparse(node)

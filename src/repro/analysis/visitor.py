@@ -1,0 +1,247 @@
+"""Shared visitor framework: module discovery, zones, and the checker base.
+
+Checkers operate on :class:`SourceModule` objects — parsed ASTs annotated
+with their dotted module name, lint-root-relative path, and *zone*.  Zones
+encode which invariants apply where:
+
+* ``walk`` — modules on the Markov-walk path (``repro.core``, ``repro.ir``,
+  ``repro.sim``, ``repro.perf``): bit-determinism per seed is load-bearing
+  (golden traces, RNG-parity chaos tests, the future learned-cost-model
+  trace corpus), so the :class:`~repro.analysis.determinism.DeterminismChecker`
+  applies its full rule set here.
+* ``fleet`` — modules whose objects cross the spawn/process boundary
+  (``repro.fleet``): everything placed on a shard queue must survive a
+  pickle round-trip, which is where the
+  :class:`~repro.analysis.spawnsafety.SpawnSafetyChecker` focuses.
+* ``shared`` — everything else; concurrency rules (lock order, broad
+  excepts) apply uniformly.
+
+The framework deliberately has no third-party dependencies: plain
+:mod:`ast` with a parent-link pass, so it runs anywhere the repo does.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, Suppressions
+
+__all__ = [
+    "Checker",
+    "SourceModule",
+    "call_name",
+    "discover_modules",
+    "expand_name",
+    "import_aliases",
+    "iter_functions",
+    "load_module",
+    "qualified_name",
+]
+
+#: top-level repro subpackages whose modules form the walk path.
+WALK_ZONE_PACKAGES = ("core", "ir", "sim", "perf")
+#: subpackages whose objects cross the multiprocessing spawn boundary.
+FLEET_ZONE_PACKAGES = ("fleet",)
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus everything checkers need to report on it."""
+
+    path: str  #: lint-root-relative POSIX path (the span prefix)
+    module: str  #: dotted module name (``repro.core.cache``)
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    zone: str = "shared"
+    #: findings accumulated by checkers (suppressed ones never land here).
+    findings: list[Finding] = field(default_factory=list)
+    #: count of findings silenced by ``# repro: ignore`` comments.
+    suppressed: int = 0
+
+    def report(
+        self,
+        checker: str,
+        rule: str,
+        node: ast.AST,
+        message: str,
+    ) -> None:
+        """Record one finding unless a suppression comment covers it."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressions.matches(rule, line):
+            self.suppressed += 1
+            return
+        self.findings.append(
+            Finding(
+                checker=checker,
+                rule=rule,
+                path=self.path,
+                line=line,
+                col=col,
+                message=message,
+            )
+        )
+
+
+class Checker:
+    """Base class: one repo-specific invariant family.
+
+    Single-module checkers override :meth:`check_module`; whole-program
+    checkers (the lock-order graph) additionally override :meth:`finalize`,
+    which runs after every module has been visited.
+    """
+
+    name = "checker"
+
+    def check_module(self, mod: SourceModule) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def finalize(self, modules: list[SourceModule]) -> None:
+        """Whole-program pass after all modules were visited (optional)."""
+
+
+# -- discovery ---------------------------------------------------------------
+
+
+def _zone_for(module: str) -> str:
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == "repro":
+        if parts[1] in WALK_ZONE_PACKAGES:
+            return "walk"
+        if parts[1] in FLEET_ZONE_PACKAGES:
+            return "fleet"
+    return "shared"
+
+
+def _module_name(rel: Path) -> str:
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else rel.stem
+
+
+def load_module(file_path: Path, root: Path) -> SourceModule:
+    """Parse one file into a :class:`SourceModule` (syntax errors raise)."""
+    rel = file_path.relative_to(root)
+    source = file_path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as exc:
+        raise ValueError(f"cannot lint {file_path}: {exc}") from exc
+    _link_parents(tree)
+    module = _module_name(rel)
+    return SourceModule(
+        path=rel.as_posix(),
+        module=module,
+        tree=tree,
+        source=source,
+        suppressions=Suppressions(source),
+        zone=_zone_for(module),
+    )
+
+
+def discover_modules(paths: Iterable[str | Path], root: Path) -> list[SourceModule]:
+    """Every ``.py`` file under ``paths``, parsed, sorted by relative path.
+
+    ``root`` anchors the relative spans (and baseline stability): pass the
+    directory that *contains* the ``repro`` package so paths read
+    ``repro/core/cache.py`` regardless of the working directory.
+    """
+    files: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            files.add(p)
+        else:
+            raise ValueError(f"not a Python file or directory: {p}")
+    return [
+        load_module(f, root)
+        for f in sorted(files)
+        if "__pycache__" not in f.parts
+    ]
+
+
+# -- AST helpers -------------------------------------------------------------
+
+
+def _link_parents(tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def parent(node: ast.AST) -> ast.AST | None:
+    return getattr(node, "_repro_parent", None)
+
+
+def qualified_name(node: ast.AST) -> str | None:
+    """Dotted name of a Name/Attribute chain (``np.random.default_rng``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = qualified_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, if it is a plain name chain."""
+    return qualified_name(node.func)
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted prefix, from the module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from threading import
+    Lock as L`` maps ``L -> threading.Lock`` — enough to canonicalize the
+    dotted callee names the checkers pattern-match on.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def expand_name(expr: ast.expr, aliases: dict[str, str]) -> str | None:
+    """A name chain's dotted form with its head expanded through imports."""
+    name = qualified_name(expr)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    expanded = aliases.get(head)
+    if expanded is not None:
+        name = f"{expanded}.{rest}" if rest else expanded
+    return name
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function/method with its enclosing class name (``None`` at
+    module level), including nested functions (attributed to the class of
+    their outermost enclosing method)."""
+
+    def walk(node: ast.AST, cls: str | None) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls, child
+                yield from walk(child, cls)
+            else:
+                yield from walk(child, cls)
+
+    yield from walk(tree, None)

@@ -1,0 +1,348 @@
+"""LockWitness: a runtime lock-order recorder — a mini-TSan for the fleet.
+
+The static :class:`~repro.analysis.lockorder.LockOrderChecker` proves what
+the *source* says about lock nesting; the witness records what actually
+happens.  When installed (``REPRO_LOCK_WITNESS=1`` under tests/chaos CI),
+``threading.Lock``/``RLock`` allocations made from inside the ``repro``
+package are wrapped so every acquisition appends to a per-thread held
+stack and every *nested* acquisition records an ordering edge between the
+two locks' allocation sites.  At session end the test harness asserts the
+observed graph is acyclic — any cycle is a latent deadlock the scheduler
+merely hasn't interleaved yet.
+
+Design constraints that shaped the implementation:
+
+* **Allocation-site identity.**  Locks are named by the ``file:line`` that
+  allocated them, so the hundreds of per-family locks minted by
+  ``CompileService._family_lock`` collapse into one node — matching the
+  static checker's factory-node granularity.
+* **Scope.**  Only allocations whose calling frame lives under the
+  ``repro`` package are wrapped; stdlib internals (queues, conditions
+  inside ``concurrent.futures``) keep raw primitives, so the witness
+  cannot perturb machinery it does not own.
+* **Reentrancy.**  An RLock re-acquired by its holder records no
+  self-edge; a plain Lock acquired twice from one thread *is* recorded
+  (that is exactly the self-deadlock case).
+* **Condition support.**  The wrappers expose the private protocol
+  ``threading.Condition`` relies on (``_is_owned``, ``_release_save``,
+  ``_acquire_restore``) by delegating to the wrapped primitive while
+  keeping the held-stack bookkeeping coherent across ``wait()``.
+* **The witness must not deadlock the witnessed.**  Internal state is
+  guarded by one raw (pre-patch) lock, only ever held for dict updates —
+  never while calling into a wrapped primitive.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "LockWitness",
+    "WitnessedLock",
+    "current_witness",
+    "install",
+    "uninstall",
+]
+
+_REPRO_ROOT = str(Path(__file__).resolve().parents[1])  # .../src/repro
+_WITNESS_FILE = str(Path(__file__).resolve())
+
+_installed: "LockWitness | None" = None
+
+
+class LockWitness:
+    """Observed lock-acquisition order graph, keyed by allocation site."""
+
+    def __init__(self) -> None:
+        # raw primitive captured before any patching can occur
+        self._guard = _RAW_LOCK()
+        #: edge (outer_site, inner_site) -> number of times observed
+        self._edges: dict[tuple[str, str], int] = {}
+        #: site -> number of wrapped locks allocated there
+        self._sites: dict[str, int] = {}
+        self._local = threading.local()
+
+    # -- bookkeeping called by WitnessedLock ---------------------------------
+
+    def _held_stack(self) -> list[tuple[str, "WitnessedLock"]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def note_allocation(self, site: str) -> None:
+        with self._guard:
+            self._sites[site] = self._sites.get(site, 0) + 1
+
+    def note_acquired(self, lock: "WitnessedLock") -> None:
+        stack = self._held_stack()
+        if lock.reentrant and any(held is lock for _, held in stack):
+            # RLock re-entry by its holder: no new edge, but keep the
+            # stack balanced so the matching release pops cleanly.
+            stack.append((lock.site, lock))
+            return
+        if stack:
+            outer_site = stack[-1][0]
+            if outer_site != lock.site or not lock.reentrant:
+                edge = (outer_site, lock.site)
+                with self._guard:
+                    self._edges[edge] = self._edges.get(edge, 0) + 1
+        stack.append((lock.site, lock))
+
+    def note_released(self, lock: "WitnessedLock") -> None:
+        stack = self._held_stack()
+        # releases are usually LIFO (with-blocks); tolerate out-of-order
+        # hand-built release patterns by removing the innermost match.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] is lock:
+                del stack[i]
+                return
+
+    # -- reporting -----------------------------------------------------------
+
+    def order_graph(self) -> dict[str, set[str]]:
+        """Adjacency: outer allocation site -> inner sites observed under it."""
+        with self._guard:
+            edges = list(self._edges)
+        graph: dict[str, set[str]] = {}
+        for outer, inner in edges:
+            graph.setdefault(outer, set()).add(inner)
+            graph.setdefault(inner, set())
+        return graph
+
+    def edge_counts(self) -> dict[tuple[str, str], int]:
+        with self._guard:
+            return dict(self._edges)
+
+    def sites(self) -> dict[str, int]:
+        with self._guard:
+            return dict(self._sites)
+
+    def cycles(self) -> list[list[str]]:
+        """Strongly connected components with >1 node, or observed self-edges."""
+        graph = self.order_graph()
+        out: list[list[str]] = []
+        for scc in _sccs(graph):
+            if len(scc) > 1:
+                out.append(sorted(scc))
+            elif scc[0] in graph.get(scc[0], set()):
+                out.append(scc)
+        return out
+
+    def assert_acyclic(self) -> None:
+        cycles = self.cycles()
+        if cycles:
+            lines = []
+            counts = self.edge_counts()
+            for cyc in cycles:
+                members = set(cyc)
+                involved = sorted(
+                    f"  {a} -> {b} (x{n})"
+                    for (a, b), n in counts.items()
+                    if a in members and b in members
+                )
+                lines.append(" <-> ".join(cyc))
+                lines.extend(involved)
+            raise AssertionError(
+                "lock witness observed a cyclic acquisition order "
+                "(latent deadlock):\n" + "\n".join(lines)
+            )
+
+
+class WitnessedLock:
+    """Wrapper around a real Lock/RLock that reports to the witness.
+
+    Implements the full context-manager + Condition private protocol so it
+    can substitute for the primitive anywhere inside ``repro``.
+    """
+
+    __slots__ = ("_inner", "site", "reentrant", "_witness")
+
+    def __init__(
+        self, inner, site: str, reentrant: bool, witness: LockWitness
+    ) -> None:
+        self._inner = inner
+        self.site = site
+        self.reentrant = reentrant
+        self._witness = witness
+        witness.note_allocation(site)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._witness.note_acquired(self)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._witness.note_released(self)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # -- threading.Condition private protocol --------------------------------
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        # plain Lock: Condition's fallback — owned iff we cannot re-acquire
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def _release_save(self):
+        # Condition.wait() fully releases an RLock (all recursion levels);
+        # drop every stack entry for this lock so held-state stays honest.
+        state = self._inner._release_save() if hasattr(
+            self._inner, "_release_save"
+        ) else (self._inner.release() or None)
+        stack = self._witness._held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] is self:
+                del stack[i]
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._witness.note_acquired(self)
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"<WitnessedLock {kind} @ {self.site}>"
+
+
+# -- installation ------------------------------------------------------------
+
+# captured at import time so the witness can mint raw primitives even
+# while the module-level names are patched.
+_RAW_LOCK = threading.Lock
+_RAW_RLOCK = threading.RLock
+
+
+def _allocation_site() -> str | None:
+    """``file:line`` of the nearest caller inside repro (None = foreign)."""
+    import sys
+
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != _WITNESS_FILE:
+            if filename.startswith(_REPRO_ROOT):
+                rel = os.path.relpath(filename, os.path.dirname(_REPRO_ROOT))
+                return f"{rel.replace(os.sep, '/')}:{frame.f_lineno}"
+            return None
+        frame = frame.f_back
+    return None
+
+
+def install() -> LockWitness:
+    """Patch ``threading.Lock``/``RLock`` to wrap repro-owned allocations.
+
+    Idempotent: a second install returns the active witness.  Only
+    affects locks allocated *after* installation, which is why the test
+    harness installs it at session start before importing service code
+    that mints module-level locks.
+    """
+    global _installed
+    if _installed is not None:
+        return _installed
+    witness = LockWitness()
+
+    def make_lock(*args, **kwargs):
+        site = _allocation_site()
+        inner = _RAW_LOCK(*args, **kwargs)
+        if site is None:
+            return inner
+        return WitnessedLock(inner, site, reentrant=False, witness=witness)
+
+    def make_rlock(*args, **kwargs):
+        site = _allocation_site()
+        inner = _RAW_RLOCK(*args, **kwargs)
+        if site is None:
+            return inner
+        return WitnessedLock(inner, site, reentrant=True, witness=witness)
+
+    threading.Lock = make_lock  # type: ignore[misc]
+    threading.RLock = make_rlock  # type: ignore[misc]
+    _installed = witness
+    return witness
+
+
+def uninstall() -> None:
+    """Restore the raw primitives (already-wrapped locks keep reporting)."""
+    global _installed
+    threading.Lock = _RAW_LOCK  # type: ignore[misc]
+    threading.RLock = _RAW_RLOCK  # type: ignore[misc]
+    _installed = None
+
+
+def current_witness() -> LockWitness | None:
+    return _installed
+
+
+# -- graph utilities ---------------------------------------------------------
+
+
+def _sccs(graph: dict[str, Iterable[str]]) -> list[list[str]]:
+    """Tarjan's SCCs, iterative (witness graphs are small but cycles may
+    route through many sites)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    out: list[list[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            succs = sorted(graph.get(node, ()))
+            for i in range(pi, len(succs)):
+                succ = succs[i]
+                if succ not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent_node = work[-1][0]
+                lowlink[parent_node] = min(lowlink[parent_node], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                out.append(scc)
+    return out

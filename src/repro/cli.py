@@ -334,6 +334,51 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os.path
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+
+    # Anchor spans at the directory containing the ``repro`` package so
+    # paths (and baseline fingerprints) read ``repro/core/cache.py``
+    # regardless of checkout location.  Explicit paths outside the
+    # package (fixture trees) anchor at their own common ancestor,
+    # hopping above any ``repro`` directory so zones still resolve.
+    if args.paths:
+        paths = [Path(p).resolve() for p in args.paths]
+        common = Path(os.path.commonpath([str(p) for p in paths]))
+        if common.is_file():
+            common = common.parent
+        root = common
+        for ancestor in (common, *common.parents):
+            if ancestor.name == "repro":
+                root = ancestor.parent
+                break
+    else:
+        root = Path(__file__).resolve().parents[1]
+        paths = [root / "repro"]
+    baseline = args.baseline
+    if baseline is None:
+        candidate = root.parent / "LINT_BASELINE.json"
+        baseline = candidate if candidate.exists() or args.update_baseline \
+            else None
+    report = run_lint(
+        paths,
+        root,
+        baseline=baseline,
+        update_baseline=args.update_baseline,
+    )
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    if args.update_baseline:
+        print(f"baseline written: {baseline}", file=sys.stderr)
+        return 0
+    return report.exit_code
+
+
 def _cmd_devices(_args: argparse.Namespace) -> int:
     for name, factory in _DEVICES.items():
         hw = factory()
@@ -476,6 +521,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--chrome", default=None, metavar="OUT.json",
                          help="also export a Chrome trace_event timeline")
     p_trace.set_defaults(fn=_cmd_trace_report)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific static checkers "
+             "(determinism, lock order, spawn safety)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files/dirs to lint (default: the installed repro package)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is schema-stable for CI consumption)",
+    )
+    p_lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON of accepted findings "
+             "(default: LINT_BASELINE.json next to the package, if present)",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_dev = sub.add_parser("devices", help="list simulated devices")
     p_dev.set_defaults(fn=_cmd_devices)

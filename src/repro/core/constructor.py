@@ -379,7 +379,7 @@ class Gensor:
                     results[w] = self._run_walker(
                         graph, compute, forbid, tracer, cancel, walker=w
                     )
-                except BaseException as exc:  # re-raised on the caller thread
+                except BaseException as exc:  # repro: ignore[broad-except] - transported, re-raised on the caller thread
                     errors.append(exc)
 
             return task

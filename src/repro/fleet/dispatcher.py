@@ -55,6 +55,7 @@ from repro.fleet.shard import (
     WireResponse,
     run_shard,
 )
+from repro.ir.compute import ComputeDef
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.serve.request import CompileRequest, ServeTicket
 from repro.serve.singleflight import SingleFlight
@@ -204,7 +205,7 @@ class FleetDispatcher:
 
     def submit(
         self,
-        compute,
+        compute: ComputeDef,
         deadline_s: float | None = None,
         priority: int = 0,
     ) -> ServeTicket:
@@ -243,7 +244,7 @@ class FleetDispatcher:
 
     def serve(
         self,
-        compute,
+        compute: ComputeDef,
         deadline_s: float | None = None,
         priority: int = 0,
         timeout: float | None = None,
@@ -308,7 +309,7 @@ class FleetDispatcher:
 
     # -- shard lifecycle ---------------------------------------------------------
 
-    def _spawn(self, shard: int):
+    def _spawn(self, shard: int) -> None:
         """Start a fresh incarnation: new queues, new collector, new process."""
         req_q = self._ctx.Queue()
         resp_q = self._ctx.Queue()

@@ -229,8 +229,10 @@ def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
         while not stop_replicator.wait(options.sync_interval_s):
             try:
                 publish()
-            except Exception:  # telemetry must never kill the shard
-                registry.counter("fleet_sync_errors_total").inc()
+            except Exception as exc:  # repro: ignore[broad-except] - telemetry must never kill the shard
+                registry.counter(
+                    "fleet_sync_errors_total", kind=type(exc).__name__
+                ).inc()
 
     replicator = threading.Thread(
         target=replicate, name=f"shard-{shard_index}-replicator", daemon=True
@@ -285,6 +287,10 @@ def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
         service.close()
         try:
             publish()  # final cache publication + stats
-        except Exception:
-            pass
+        except (OSError, ValueError) as exc:
+            # Best-effort on the way out: a failed final publish (cache
+            # path gone, queue closed) must not block the goodbye below.
+            registry.counter(
+                "fleet_sync_errors_total", kind=type(exc).__name__
+            ).inc()
         resp_q.put(ShardBye(shard=shard_index))

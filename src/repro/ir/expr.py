@@ -164,7 +164,7 @@ class _FrozenDict(dict):
             h = self._hash = hash(tuple(sorted(self.items())))
         return h
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[object, ...]:
         # dict subclass pickling reconstructs via __setitem__/update, which
         # the read-only guards below block; rebuild from a plain dict instead
         # (dict.__init__ bypasses the overrides).  Needed to ship ComputeDefs

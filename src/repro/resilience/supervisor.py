@@ -237,8 +237,9 @@ class SupervisedWorkerPool:
                 self._busy[me] = self._beats[me]
             try:
                 item.fn()
-            except Exception as exc:
-                # Item failures are the item's problem, not the worker's.
+            except Exception as exc:  # repro: ignore[broad-except] - pool contract: item failures stay with the item
+                # Item failures are the item's problem, not the worker's;
+                # counted on item_errors and surfaced via _on_item_error.
                 self.item_errors += 1
                 if self._on_item_error is not None:
                     self._on_item_error(exc)

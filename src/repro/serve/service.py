@@ -297,7 +297,13 @@ class CompileService:
             # request survives the crash.
             self._requeue_after_crash(key, ticket)
             raise
-        except Exception as exc:  # never kill a worker thread
+        except Exception as exc:  # repro: ignore[broad-except] - never kill a worker thread
+            # Deliberate safety net: any compile failure becomes a failed
+            # response instead of a dead worker.  Counted by kind so a
+            # surge of one exception class is visible on the registry.
+            self.registry.counter(
+                "serve_unhandled_errors_total", kind=type(exc).__name__
+            ).inc()
             response = CompileResponse(
                 request_id=request.request_id,
                 tier="failed",
@@ -374,7 +380,11 @@ class CompileService:
             except InjectedWorkerCrash:
                 breaker.record_failure()
                 raise
-            except (CompileCancelled, Exception) as exc:
+            except Exception as exc:  # repro: ignore[broad-except] - retry boundary; CompileCancelled included
+                # Any attempt failure (including CompileCancelled) feeds
+                # the breaker and the retry loop; counted as
+                # resilience_retries_total below, re-raised as a failed
+                # response when attempts are exhausted.
                 breaker.record_failure()
                 last_reason = f"{type(exc).__name__}: {exc}"
                 self.stats.record_retry()

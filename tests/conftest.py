@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
+# LockWitness must install before any repro module mints a lock (several
+# are module-level), so this runs ahead of every other repro import.
+if os.environ.get("REPRO_LOCK_WITNESS") == "1":
+    from repro.analysis import witness as _witness_mod
+
+    _WITNESS = _witness_mod.install()
+else:
+    _WITNESS = None
+
 import pytest
 
 from repro.hardware import generic_gpu, orin_nano, rtx4090
 from repro.ir import operators as ops
 from repro.ir.etir import ETIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_witness():
+    """Under REPRO_LOCK_WITNESS=1, assert the whole session's observed
+    lock-acquisition order stayed acyclic (a cycle is a latent deadlock)."""
+    yield _WITNESS
+    if _WITNESS is not None:
+        _WITNESS.assert_acyclic()
 
 
 @pytest.fixture(scope="session")

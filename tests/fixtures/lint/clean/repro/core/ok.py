@@ -1,0 +1,16 @@
+"""A clean walk-zone module: seeded RNG, sorted iteration, narrow excepts."""
+
+import numpy as np
+
+
+def pick_candidate(candidates, seed):
+    rng = np.random.default_rng(seed)
+    ordered = sorted(candidates)
+    return ordered[int(rng.integers(len(ordered)))]
+
+
+def safe_parse(text):
+    try:
+        return int(text)
+    except ValueError:
+        return None

@@ -1,0 +1,8 @@
+"""Planted violation: a walk-zone module drawing from the global RNG."""
+
+import random
+
+
+def pick_candidate(candidates):
+    # exactly one determinism:global-rng finding
+    return random.choice(candidates)

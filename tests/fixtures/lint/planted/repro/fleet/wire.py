@@ -1,0 +1,10 @@
+"""Planted violation: a wire payload carrying a fork-hostile resource."""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BadWirePayload:
+    request_id: int
+    guard: threading.Lock = field(default_factory=threading.Lock)

@@ -1,0 +1,136 @@
+"""``python -m repro lint``: exit codes, JSON schema, baseline round-trip."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.findings import SCHEMA_VERSION
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+PLANTED = FIXTURES / "planted"
+CLEAN = FIXTURES / "clean"
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+def test_clean_tree_exits_zero(capsys):
+    code, out = run_cli(capsys, str(CLEAN))
+    assert code == 0
+    assert "0 new finding(s)" in out
+
+
+def test_repo_source_tree_is_lint_clean(capsys):
+    """The shipped package itself must carry zero non-baselined findings."""
+    code, out = run_cli(capsys)
+    assert code == 0, out
+    assert "0 new finding(s)" in out
+
+
+def test_planted_fixture_yields_exactly_the_three_findings(capsys):
+    code, out = run_cli(capsys, str(PLANTED))
+    assert code == 2
+    assert "3 new finding(s)" in out
+    for rule, path in (
+        ("global-rng", "repro/core/walk_rng.py"),
+        ("lock-cycle", "repro/serve/pairlocks.py"),
+        ("wire-unpicklable-field", "repro/fleet/wire.py"),
+    ):
+        matching = [
+            line for line in out.splitlines() if rule in line and path in line
+        ]
+        assert matching, f"missing {rule} finding for {path}:\n{out}"
+
+
+def test_json_format_schema(capsys):
+    code, out = run_cli(capsys, str(PLANTED), "--format", "json")
+    assert code == 2
+    payload = json.loads(out)
+    assert payload["version"] == SCHEMA_VERSION
+    assert payload["checkers"] == ["determinism", "lockorder", "spawnsafety"]
+    assert payload["counts"] == {"new": 3, "baselined": 0, "suppressed": 0}
+    assert payload["files"] == 3
+    for record in payload["findings"]:
+        assert set(record) == {
+            "checker", "rule", "path", "line", "col", "message",
+            "fingerprint", "baselined",
+        }
+        assert record["baselined"] is False
+        assert record["line"] >= 1 and record["col"] >= 0
+
+
+def test_json_output_is_deterministic(capsys):
+    _, first = run_cli(capsys, str(PLANTED), "--format", "json")
+    _, second = run_cli(capsys, str(PLANTED), "--format", "json")
+    assert first == second
+
+
+def test_baseline_suppression_round_trips(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    # write the baseline from the planted findings...
+    code, _ = run_cli(
+        capsys, str(PLANTED), "--baseline", str(baseline), "--update-baseline"
+    )
+    assert code == 0
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == SCHEMA_VERSION
+    assert len(payload["findings"]) == 3
+    # ...then the same tree gates clean against it
+    code, out = run_cli(capsys, str(PLANTED), "--baseline", str(baseline))
+    assert code == 0
+    assert "0 new finding(s)" in out
+    assert "3 baselined" in out
+    assert out.count("[baselined]") == 3
+
+
+def test_new_finding_on_top_of_baseline_still_gates(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    run_cli(
+        capsys, str(PLANTED), "--baseline", str(baseline), "--update-baseline"
+    )
+    # drop one record from the baseline: that finding becomes "new" again
+    payload = json.loads(baseline.read_text())
+    payload["findings"] = [
+        r for r in payload["findings"] if r["rule"] != "global-rng"
+    ]
+    baseline.write_text(json.dumps(payload))
+    code, out = run_cli(capsys, str(PLANTED), "--baseline", str(baseline))
+    assert code == 2
+    assert "1 new finding(s)" in out
+    assert "2 baselined" in out
+
+
+def test_malformed_baseline_is_an_error_not_a_gate(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json")
+    code = main(["lint", str(CLEAN), "--baseline", str(baseline)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "malformed lint baseline" in captured.err
+
+
+def test_committed_baseline_matches_current_tree(capsys):
+    """LINT_BASELINE.json stays in sync with the source it inventories."""
+    committed = Path(__file__).resolve().parents[1] / "LINT_BASELINE.json"
+    assert committed.exists()
+    code, _ = run_cli(capsys, "--baseline", str(committed))
+    assert code == 0
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_update_baseline_exits_zero_regardless_of_findings(
+    tmp_path, capsys, fmt
+):
+    baseline = tmp_path / "b.json"
+    code, _ = run_cli(
+        capsys, str(PLANTED), "--baseline", str(baseline),
+        "--update-baseline", "--format", fmt,
+    )
+    assert code == 0
+    assert baseline.exists()

@@ -1,0 +1,220 @@
+"""DeterminismChecker rules, zone gating, and suppression comments."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import DeterminismChecker, run_lint
+
+
+def lint_source(tmp_path: Path, source: str, rel: str = "repro/core/mod.py"):
+    """Lint one synthetic module at ``rel`` (controls the zone)."""
+    file = tmp_path / rel
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source))
+    return run_lint([file], tmp_path, checkers=[DeterminismChecker()])
+
+
+def rules(report) -> list[str]:
+    return [f.rule for f in report.new]
+
+
+def test_global_rng_module_functions_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+        import numpy as np
+
+        def walk():
+            a = random.random()
+            b = np.random.rand(3)
+            random.shuffle([1, 2])
+            return a, b
+        """,
+    )
+    assert rules(report) == ["global-rng"] * 3
+
+
+def test_seeded_generators_allowed(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+        import numpy as np
+
+        def walk(seed):
+            rng = np.random.default_rng(seed)
+            legacy = random.Random(seed)
+            return rng, legacy
+        """,
+    )
+    assert report.new == []
+
+
+def test_unseeded_generators_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+        import numpy as np
+
+        def walk():
+            return np.random.default_rng(), random.Random()
+        """,
+    )
+    assert rules(report) == ["global-rng", "global-rng"]
+
+
+def test_wall_clock_flagged_monotonic_allowed(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def stamp():
+            t0 = time.monotonic()
+            t1 = time.perf_counter()
+            return time.time() - t0 - t1
+        """,
+    )
+    assert rules(report) == ["wall-clock"]
+
+
+def test_id_ordering_flagged_dict_key_allowed(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def rank(xs, memo):
+            memo[id(xs)] = 1          # identity-keyed lookup: fine
+            ordered = sorted(xs, key=lambda x: id(x))  # ordering: not fine
+            return ordered
+        """,
+    )
+    assert rules(report) == ["id-ordering"]
+
+
+def test_id_comparison_flagged_identity_test_allowed(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def cmp(a, b):
+            same = id(a) == id(b)     # equality: fine
+            return id(a) < id(b)      # ordering: both sides flagged
+        """,
+    )
+    assert rules(report) == ["id-ordering", "id-ordering"]
+
+
+def test_set_iteration_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def candidates(xs):
+            out = []
+            for x in set(xs):
+                out.append(x)
+            return out + [y for y in {1, 2, 3}]
+        """,
+    )
+    assert rules(report) == ["set-iteration", "set-iteration"]
+
+
+def test_walk_rules_do_not_apply_outside_walk_zone(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def jitter():
+            return random.random()
+        """,
+        rel="repro/serve/mod.py",
+    )
+    assert report.new == []
+
+
+def test_broad_except_flagged_in_every_zone(tmp_path):
+    source = """
+        def run(fn):
+            try:
+                return fn()
+            except Exception:
+                return None
+    """
+    for rel in ("repro/core/mod.py", "repro/serve/mod.py"):
+        report = lint_source(tmp_path, source, rel=rel)
+        assert rules(report) == ["broad-except"], rel
+
+
+def test_broad_except_with_reraise_allowed(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def run(fn):
+            try:
+                return fn()
+            except Exception:
+                raise
+        """,
+        rel="repro/serve/mod.py",
+    )
+    assert report.new == []
+
+
+def test_suppression_comment_silences_matching_rule(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def walk():
+            return random.random()  # repro: ignore[global-rng]
+        """,
+    )
+    assert report.new == []
+    assert report.suppressed == 1
+
+
+def test_suppression_comment_wrong_rule_does_not_silence(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def walk():
+            return random.random()  # repro: ignore[wall-clock]
+        """,
+    )
+    assert rules(report) == ["global-rng"]
+
+
+def test_bare_suppression_silences_any_rule(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def walk():
+            return random.random()  # repro: ignore
+        """,
+    )
+    assert report.new == []
+
+
+@pytest.mark.parametrize("alias", ["import numpy as np", "import numpy"])
+def test_numpy_alias_normalization(tmp_path, alias):
+    prefix = "np" if "as np" in alias else "numpy"
+    report = lint_source(
+        tmp_path,
+        f"""
+        {alias}
+
+        def walk():
+            return {prefix}.random.randint(10)
+        """,
+    )
+    assert rules(report) == ["global-rng"]

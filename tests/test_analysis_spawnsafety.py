@@ -1,0 +1,201 @@
+"""SpawnSafetyChecker rules plus runtime pickle round-trips of the wire."""
+
+from __future__ import annotations
+
+import pickle
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import SpawnSafetyChecker, run_lint
+from repro.fleet.shard import (
+    ShardBye,
+    ShardOptions,
+    ShardReady,
+    ShardStats,
+    WireControl,
+    WireRequest,
+    WireResponse,
+)
+from repro.ir import operators as ops
+
+
+def lint_source(tmp_path: Path, source: str, rel: str = "repro/fleet/mod.py"):
+    file = tmp_path / rel
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source))
+    return run_lint([file], tmp_path, checkers=[SpawnSafetyChecker()])
+
+
+def rules(report) -> list[str]:
+    return [f.rule for f in report.new]
+
+
+def test_lambda_process_target_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import multiprocessing as mp
+
+        def start():
+            ctx = mp.get_context("spawn")
+            p = ctx.Process(target=lambda: 1)
+            p.start()
+        """,
+    )
+    assert rules(report) == ["spawn-closure"]
+
+
+def test_nested_function_target_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import multiprocessing as mp
+
+        def start():
+            def work():
+                return 1
+            ctx = mp.get_context("spawn")
+            p = ctx.Process(target=work)
+            p.start()
+        """,
+    )
+    assert rules(report) == ["spawn-closure"]
+
+
+def test_module_level_target_allowed(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import multiprocessing as mp
+
+        def work():
+            return 1
+
+        def start():
+            ctx = mp.get_context("spawn")
+            p = ctx.Process(target=work)
+            p.start()
+        """,
+    )
+    assert report.new == []
+
+
+def test_fork_context_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import multiprocessing as mp
+
+        def start():
+            return mp.get_context("fork")
+        """,
+    )
+    assert rules(report) == ["fork-start"]
+
+
+def test_bare_process_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import multiprocessing as mp
+
+        def work():
+            return 1
+
+        def start():
+            return mp.Process(target=work)
+        """,
+    )
+    assert rules(report) == ["fork-start"]
+
+
+def test_queue_put_lambda_flagged_in_fleet_zone_only(tmp_path):
+    source = """
+        def send(req_q):
+            req_q.put(lambda: 1)
+    """
+    fleet = lint_source(tmp_path, source, rel="repro/fleet/a.py")
+    assert rules(fleet) == ["queue-put-unpicklable"]
+    serve = lint_source(tmp_path, source, rel="repro/serve/a.py")
+    assert serve.new == []
+
+
+def test_queue_put_lock_local_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import threading
+
+        def send(resp_q):
+            guard = threading.Lock()
+            resp_q.put(guard)
+        """,
+    )
+    assert rules(report) == ["queue-put-unpicklable"]
+
+
+def test_wire_dataclass_lock_field_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import threading
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Payload:
+            request_id: int
+            guard: threading.Lock = field(default_factory=threading.Lock)
+        """,
+    )
+    assert rules(report) == ["wire-unpicklable-field"]
+
+
+def test_wire_dataclass_plain_data_allowed(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Payload:
+            request_id: int
+            family: str
+            deadline_s: float | None
+        """,
+    )
+    assert report.new == []
+
+
+# -- runtime round-trips: the static rule's ground truth ----------------------
+
+
+def wire_payloads():
+    compute = ops.matmul(32, 24, 40, "wire_rt")
+    return [
+        WireRequest(request_id=1, compute=compute, deadline_s=1.0, priority=0),
+        WireControl(kind="sync"),
+        ShardReady(shard=0, pid=4242),
+        ShardStats(shard=0, metrics={}, cache_size=0, workers=1),
+        ShardBye(shard=0),
+        ShardOptions(device="generic_gpu"),
+    ]
+
+
+@pytest.mark.parametrize(
+    "payload", wire_payloads(), ids=lambda p: type(p).__name__
+)
+def test_wire_payload_pickle_round_trip(payload):
+    blob = pickle.dumps(payload)
+    clone = pickle.loads(blob)
+    assert type(clone) is type(payload)
+
+
+def test_wire_response_round_trip_with_schedule():
+    # WireResponse carries the portable CachedSchedule payload; build one
+    # through the dataclass directly so the round-trip covers the real
+    # wire shape without a full compile.
+    resp = WireResponse(shard=0, request_id=7, tier="warm", ok=True)
+    clone = pickle.loads(pickle.dumps(resp))
+    assert clone.request_id == 7 and clone.tier == "warm"

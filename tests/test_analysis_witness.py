@@ -1,0 +1,179 @@
+"""LockWitness: runtime lock-order recording, cycles, Condition protocol."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.analysis import witness as witness_mod
+from repro.analysis.witness import LockWitness, WitnessedLock
+
+#: the install/uninstall tests manage the global patch themselves, which
+#: would tear down the session-wide witness the chaos CI conftest installs.
+needs_own_witness = pytest.mark.skipif(
+    os.environ.get("REPRO_LOCK_WITNESS") == "1",
+    reason="a session-wide LockWitness is already installed",
+)
+
+
+@pytest.fixture
+def fresh_witness():
+    """An isolated witness with hand-wrapped locks (no global patching)."""
+    return LockWitness()
+
+
+def wrap(witness: LockWitness, site: str, reentrant: bool = False):
+    inner = threading.RLock() if reentrant else threading.Lock()
+    return WitnessedLock(inner, site, reentrant=reentrant, witness=witness)
+
+
+def test_nested_acquisition_records_edge(fresh_witness):
+    a = wrap(fresh_witness, "a.py:1")
+    b = wrap(fresh_witness, "b.py:1")
+    with a:
+        with b:
+            pass
+    assert fresh_witness.order_graph()["a.py:1"] == {"b.py:1"}
+    assert fresh_witness.cycles() == []
+    fresh_witness.assert_acyclic()
+
+
+def test_opposite_orders_are_a_cycle(fresh_witness):
+    a = wrap(fresh_witness, "a.py:1")
+    b = wrap(fresh_witness, "b.py:1")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert fresh_witness.cycles() == [["a.py:1", "b.py:1"]]
+    with pytest.raises(AssertionError, match="cyclic acquisition order"):
+        fresh_witness.assert_acyclic()
+
+
+def test_rlock_reentry_no_self_edge(fresh_witness):
+    r = wrap(fresh_witness, "r.py:1", reentrant=True)
+    with r:
+        with r:
+            pass
+    assert fresh_witness.cycles() == []
+    assert fresh_witness.edge_counts() == {}
+
+
+def test_same_site_plain_locks_record_self_edge(fresh_witness):
+    # two distinct Locks minted at one site (a factory that should have
+    # been per-key but isn't): nesting them is a real self-deadlock risk
+    l1 = wrap(fresh_witness, "f.py:9")
+    l2 = wrap(fresh_witness, "f.py:9")
+    with l1:
+        with l2:
+            pass
+    assert fresh_witness.cycles() == [["f.py:9"]]
+
+
+def test_sibling_acquisition_order_across_threads(fresh_witness):
+    a = wrap(fresh_witness, "a.py:1")
+    b = wrap(fresh_witness, "b.py:1")
+    seen = []
+
+    def worker():
+        with b:
+            seen.append("b")
+
+    t = threading.Thread(target=worker)
+    with a:
+        t.start()
+        t.join()
+    # the other thread held nothing: no a->b edge
+    assert fresh_witness.edge_counts() == {}
+    assert seen == ["b"]
+
+
+def test_condition_wait_keeps_stack_balanced(fresh_witness):
+    lock = wrap(fresh_witness, "c.py:1", reentrant=True)
+    cond = threading.Condition(lock)
+    fired = threading.Event()
+
+    def notifier():
+        fired.wait(5.0)
+        with cond:
+            cond.notify()
+
+    t = threading.Thread(target=notifier)
+    t.start()
+    with cond:
+        fired.set()
+        assert cond.wait(timeout=5.0)
+    t.join()
+    fresh_witness.assert_acyclic()
+    # stack drained: a fresh acquisition records no spurious edges
+    other = wrap(fresh_witness, "d.py:1")
+    with other:
+        pass
+    assert ("c.py:1", "d.py:1") not in fresh_witness.edge_counts()
+
+
+@needs_own_witness
+def test_install_wraps_repro_allocations_only(tmp_path):
+    assert witness_mod.current_witness() is None
+    w = witness_mod.install()
+    try:
+        assert witness_mod.current_witness() is w
+        # an allocation from this test file (outside src/repro) stays raw
+        raw = threading.Lock()
+        assert not isinstance(raw, WitnessedLock)
+        # an allocation from inside the repro package gets wrapped
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = registry.counter("witness_smoke_total")
+        counter.inc()
+        assert any(
+            "repro/obs/metrics.py" in site for site in w.sites()
+        ), w.sites()
+        w.assert_acyclic()
+    finally:
+        witness_mod.uninstall()
+    assert witness_mod.current_witness() is None
+    assert threading.Lock is witness_mod._RAW_LOCK
+
+
+@needs_own_witness
+def test_install_is_idempotent():
+    w1 = witness_mod.install()
+    try:
+        assert witness_mod.install() is w1
+    finally:
+        witness_mod.uninstall()
+
+
+def test_witnessed_service_stays_acyclic():
+    """Integration: a real serve workload under the witness is acyclic."""
+    already = witness_mod.current_witness()
+    w = already if already is not None else witness_mod.install()
+    try:
+        from repro.core.constructor import GensorConfig
+        from repro.hardware import generic_gpu
+        from repro.ir import operators as ops
+        from repro.serve.service import CompileService
+
+        cfg = GensorConfig(seed=0, num_chains=2, max_iterations_per_chain=8)
+        svc = CompileService(
+            generic_gpu(), cfg, workers=2, warm_polish_steps=2
+        )
+        try:
+            for i in range(3):
+                resp = svc.serve(
+                    ops.matmul(32 + 8 * i, 24, 40, f"wit{i}"), timeout=60
+                )
+                assert resp.ok
+        finally:
+            svc.close()
+        assert w.sites(), "witness saw no repro lock allocations"
+        w.assert_acyclic()
+    finally:
+        if already is None:
+            witness_mod.uninstall()

@@ -288,13 +288,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     payload = run_walk_bench(hw, seed=args.seed, quick=args.quick, repeats=repeats)
     out = write_bench(payload, args.out)
     speedup = payload["speedup_states_per_sec"]
+    soa_speedup = payload["soa_speedup_states_per_sec"]
     scaling = payload["walker_scaling"]["scaling"]
     memo = payload["memo"]
     print(f"walk bench on {payload['device']} "
           f"({'quick, ' if args.quick else ''}{len(payload['suite'])} ops)")
     print(f"states/sec: scalar {payload['scalar']['states_per_sec']:.0f}, "
           f"batched {payload['batched']['states_per_sec']:.0f} "
-          f"({speedup:.2f}x)")
+          f"({speedup:.2f}x), "
+          f"soa {payload['soa']['states_per_sec']:.0f} "
+          f"({soa_speedup:.2f}x)")
     print(f"walker scaling ({'v'.join(map(str, payload['walker_scaling']['counts'][::-1]))}): "
           f"{scaling:.2f}x")
     print(f"memo: {memo['hits']} hits / {memo['misses']} misses "
@@ -308,6 +311,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.min_speedup is not None and speedup < args.min_speedup:
         failed.append(
             f"batched speedup {speedup:.2f}x < required {args.min_speedup}x"
+        )
+    if args.min_soa_speedup is not None and soa_speedup < args.min_soa_speedup:
+        failed.append(
+            f"soa speedup {soa_speedup:.2f}x < required {args.min_soa_speedup}x"
         )
     if args.min_walker_scaling is not None and scaling < args.min_walker_scaling:
         failed.append(
@@ -503,10 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default="BENCH_walk.json",
                          metavar="OUT.json")
     p_bench.add_argument("--repeats", type=int, default=None,
-                         help="best-of-N wall per measurement "
+                         help="best-of-N wall per measurement, each repeat "
+                              "on its own deterministic seed substream "
                               "(default: 3 for --quick, 1 otherwise)")
     p_bench.add_argument("--min-speedup", type=float, default=None,
                          help="exit 1 if batched/scalar states-per-sec "
+                              "falls below this")
+    p_bench.add_argument("--min-soa-speedup", type=float, default=None,
+                         help="exit 1 if soa/scalar states-per-sec "
                               "falls below this")
     p_bench.add_argument("--min-walker-scaling", type=float, default=None,
                          help="exit 1 if 4-vs-1 walker throughput scaling "

@@ -190,19 +190,39 @@ class Gensor:
             if cfg.enable_vthread
             else frozenset({ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN})
         )
-        graph = ConstructionGraph(
-            self.hw,
-            multi_objective=cfg.multi_objective,
-            batch_scoring=cfg.batch_scoring,
+        engine = None
+        if cfg.batch_scoring:
+            from repro.perf.soa import SoAWalkEngine, soa_walk_enabled
+
+            if soa_walk_enabled():
+                # The SoA walk core: bit-identical frontiers, benefits, and
+                # RNG stream to the object path below (see repro.perf.soa).
+                engine = SoAWalkEngine(
+                    compute,
+                    self.hw,
+                    multi_objective=cfg.multi_objective,
+                    num_levels=self.hw.num_cache_levels,
+                )
+        graph = (
+            None
+            if engine is not None
+            else ConstructionGraph(
+                self.hw,
+                multi_objective=cfg.multi_objective,
+                batch_scoring=cfg.batch_scoring,
+            )
         )
         if n_walkers == 1:
             candidates, total_iterations = self._run_walker(
-                graph, compute, forbid, tracer, cancel, walker=0
+                graph, compute, forbid, tracer, cancel, walker=0, engine=engine
             )
         else:
             candidates, total_iterations = self._run_walkers(
-                graph, compute, forbid, tracer, cancel, n_walkers
+                graph, compute, forbid, tracer, cancel, n_walkers, engine=engine
             )
+        states_visited = (
+            engine.num_nodes if engine is not None else graph.num_nodes
+        )
 
         # Algorithm 1 receives dim_configs as input: canonical dimension
         # configurations seed the pool alongside the walked states, so the
@@ -226,7 +246,7 @@ class Gensor:
                 {
                     "compute": compute.name,
                     "iterations": total_iterations,
-                    "states_visited": graph.num_nodes,
+                    "states_visited": states_visited,
                     "shortlist": len(shortlist),
                     "best_latency_s": best_metrics.latency_s,
                     "chains": cfg.num_chains,
@@ -238,7 +258,7 @@ class Gensor:
             best_metrics=best_metrics,
             top_results=shortlist,
             iterations=total_iterations,
-            states_visited=graph.num_nodes,
+            states_visited=states_visited,
             compile_wall_s=wall,
             simulated_measure_s=measurer.simulated_seconds - measured_before,
         )
@@ -247,12 +267,13 @@ class Gensor:
 
     def _run_walker(
         self,
-        graph: ConstructionGraph,
+        graph: ConstructionGraph | None,
         compute: ComputeDef,
         forbid: frozenset[str],
         tracer: Tracer,
         cancel: CancelToken | None,
         walker: int,
+        engine=None,
     ) -> tuple[dict[tuple, ETIR], int]:
         """Run one walker's ``num_chains`` annealed chains; return its
         candidate pool (insertion-ordered) and iteration count.
@@ -263,6 +284,11 @@ class Gensor:
         Walkers ``w > 0`` draw their chains from ``SeedSequence.spawn``
         substreams of a walker-labeled seed — independent of walker 0 and
         of each other by construction.
+
+        When ``engine`` (a :class:`repro.perf.soa.SoAWalkEngine`) is given
+        the chain body runs on the structure-of-arrays core instead of the
+        object graph; the RNG draws, trace events, and candidate pool are
+        bit-identical between the two paths.
         """
         cfg = self.config
         substreams = (
@@ -281,6 +307,12 @@ class Gensor:
             else:
                 rng = substreams[chain]
             tid = walker * cfg.num_chains + chain
+            if engine is not None:
+                total_iterations += engine.run_chain(
+                    cfg, rng, forbid, tracer, cancel, tid, candidates
+                )
+                continue
+            assert graph is not None
             policy = TransitionPolicy(graph, rng)
             state = ETIR.initial(compute, num_levels=self.hw.num_cache_levels)
             temperature = cfg.initial_temperature
@@ -352,12 +384,13 @@ class Gensor:
 
     def _run_walkers(
         self,
-        graph: ConstructionGraph,
+        graph: ConstructionGraph | None,
         compute: ComputeDef,
         forbid: frozenset[str],
         tracer: Tracer,
         cancel: CancelToken | None,
         n_walkers: int,
+        engine=None,
     ) -> tuple[dict[tuple, ETIR], int]:
         """Run ``n_walkers`` independent walkers concurrently and merge.
 
@@ -377,7 +410,8 @@ class Gensor:
             def task() -> None:
                 try:
                     results[w] = self._run_walker(
-                        graph, compute, forbid, tracer, cancel, walker=w
+                        graph, compute, forbid, tracer, cancel, walker=w,
+                        engine=engine,
                     )
                 except BaseException as exc:  # repro: ignore[broad-except] - transported, re-raised on the caller thread
                     errors.append(exc)
@@ -425,6 +459,18 @@ class Gensor:
         cache entries with a reduced step budget instead of a full walk.
         """
         tracer = tracer if tracer is not None else self.tracer
+        if self.config.batch_scoring:
+            from repro.perf.soa import SoAWalkEngine, soa_walk_enabled
+
+            if soa_walk_enabled():
+                engine = SoAWalkEngine(
+                    state.compute,
+                    self.hw,
+                    multi_objective=self.config.multi_objective,
+                )
+                return engine.polish(
+                    state, max_steps, forbid, tracer=tracer, cancel=cancel
+                )
         t0 = time.perf_counter() if tracer.enabled else 0.0
         current = state
         start_lat = current_lat = self._model_latency(current)

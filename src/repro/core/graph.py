@@ -129,6 +129,32 @@ class ConstructionGraph:
         self._maybe_evict()
         return edges
 
+    def expansion_oracle(
+        self, state: ETIR
+    ) -> "list[tuple[Action, ETIR | None, float]]":
+        """Slot-level scalar expansion for the differential SoA harness.
+
+        One ``(action, next_state, benefit)`` triple per enumerated action
+        template — structurally illegal ones included (``next_state`` is
+        ``None`` and the benefit 0.0), memory-check failures carry benefit
+        0.0.  Priced through the per-edge *scalar* benefit path and touching
+        none of the graph's memos, so it stays an independent oracle for
+        :class:`repro.perf.soa.DifferentialWalker` even after ``expand`` has
+        cached the same state.
+        """
+        slots: list[tuple[Action, ETIR | None, float]] = []
+        for action in enumerate_actions(state):
+            if action.kind in self.forbid:
+                continue
+            nxt = action.apply(state)
+            benefit = (
+                action_benefit(action, state, nxt, self.hw, self.multi_objective)
+                if nxt is not None
+                else 0.0
+            )
+            slots.append((action, nxt, benefit))
+        return slots
+
     def _maybe_evict(self) -> None:
         cap = self.max_cached_states
         if cap <= 0:

@@ -79,6 +79,7 @@ def build_transition_matrix(
     max_nodes: int = 500,
     self_loop_sinks: bool = True,
     laziness: float = 0.02,
+    soa_check: bool = False,
 ) -> TransitionMatrix:
     """Materialize the reachable subgraph and normalize benefits row-wise.
 
@@ -92,10 +93,28 @@ def build_transition_matrix(
     which is also what makes it aperiodic on power-of-two tile lattices
     (where every tiling cycle otherwise has even length).  Set it to 0 to
     analyze the strict always-move chain.
+
+    ``soa_check=True`` additionally runs the structure-of-arrays
+    differential harness (:class:`repro.perf.soa.DifferentialWalker`) over
+    every materialized state, raising
+    :class:`~repro.perf.soa.SoAParityError` if the packed walk core's
+    expansion diverges from the graph's at any node of the analyzed
+    subgraph — a convergence analysis then provably covers both paths.
     """
     if not (0.0 <= laziness < 1.0):
         raise ValueError(f"laziness must be in [0, 1), got {laziness}")
     graph.explore(start, max_nodes=max_nodes)
+    if soa_check:
+        from repro.perf.soa import DifferentialWalker
+
+        diff = DifferentialWalker(
+            start.compute,
+            graph.hw,
+            multi_objective=graph.multi_objective,
+            forbid=graph.forbid,
+        )
+        for state in list(graph.nodes.values()):
+            diff.compare_state(state, forbid=graph.forbid)
     keys = sorted(graph.nodes.keys())
     index = {k: i for i, k in enumerate(keys)}
     n = len(keys)

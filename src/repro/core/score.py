@@ -21,7 +21,7 @@ from repro.hardware.spec import HardwareSpec
 from repro.ir.etir import ETIR
 from repro.utils.caching import HOT_PATH_CACHING
 
-__all__ = ["quick_latency", "quick_latency_batch", "quick_score"]
+__all__ = ["quick_latency", "quick_latency_batch", "quick_pipe", "quick_score"]
 
 #: below this frontier size the numpy array setup costs more than it saves,
 #: so the batch entry points run the scalar loop instead.  Safe at any
@@ -131,6 +131,20 @@ def quick_latency_batch(
         return out
 
     cols = np.asarray(feats, dtype=np.float64).T
+    out[rows] = quick_pipe(cols, hw)
+    return out
+
+
+def quick_pipe(cols: np.ndarray, hw: HardwareSpec) -> np.ndarray:
+    """The roofline arithmetic of :func:`quick_latency` over feature columns.
+
+    ``cols`` is a ``(8, n)`` float64 array with rows ``(threads, blocks,
+    inner_work, coalesce, conflict, dram_q, smem_q, flops)``.  Operations
+    run in the exact scalar order, so the result is bit-identical to the
+    scalar path element-wise.  Shared by :func:`quick_latency_batch` and the
+    SoA walk core (:mod:`repro.perf.soa`), which builds the same columns
+    without materializing ETIR objects.
+    """
     threads, blocks, inner_work, coalesce, conflict, dram_q, smem_q, flops = cols
 
     ilp_eff = inner_work / (inner_work + 6.0)
@@ -145,9 +159,7 @@ def quick_latency_batch(
     )
     dram_time = dram_q * coalesce / hw.dram.bandwidth_bytes_per_s
     smem_time = smem_q * conflict / hw.smem.bandwidth_bytes_per_s
-    lat = np.maximum(np.maximum(compute_time, dram_time), smem_time)
-    out[rows] = lat
-    return out
+    return np.maximum(np.maximum(compute_time, dram_time), smem_time)
 
 
 def _coalescing(state: ETIR, hw: HardwareSpec) -> float:

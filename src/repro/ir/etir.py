@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Iterator, Mapping
 
+import numpy as np
+
 from repro.hardware.spec import HardwareSpec
 from repro.ir.access import tile_footprint_bytes, tile_traffic_bytes
 from repro.ir.compute import ComputeDef
@@ -216,6 +218,44 @@ class ETIR:
             vts.append(1 if ax.is_reduce else int(vthreads.get(ax.name, 1)))
         config = TileConfig(tiles=tuple(tiles), vthreads=tuple(vts))
         return cls(compute, config, cur_level=1, num_levels=num_levels)
+
+    # -- SoA packing boundary (repro.perf.soa) -----------------------------------
+
+    def config_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stable packed view of the tile config for the SoA walk core.
+
+        Returns ``(tiles, vthreads)`` where ``tiles`` is an ``(A, L)`` int64
+        array — ``tiles[a, l - 1]`` is axis ``a``'s tile at level ``l``,
+        innermost first, matching :class:`TileConfig` — and ``vthreads`` is
+        an ``(A,)`` int64 array.  Fresh arrays every call; callers own them.
+        """
+        return (
+            np.array(self.config.tiles, dtype=np.int64),
+            np.array(self.config.vthreads, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        compute: ComputeDef,
+        tiles: np.ndarray,
+        vthreads: np.ndarray,
+        cur_level: int,
+        num_levels: int,
+    ) -> "ETIR":
+        """Inverse of :meth:`config_arrays` — the SoA decode boundary.
+
+        Array entries are converted back to plain Python ints (state keys
+        and golden fixtures are JSON-serialized, so ``np.int64`` must never
+        leak into configs) and every ETIR invariant is re-validated.
+        """
+        config = TileConfig(
+            tiles=tuple(
+                tuple(row) for row in np.asarray(tiles, dtype=np.int64).tolist()
+            ),
+            vthreads=tuple(np.asarray(vthreads, dtype=np.int64).tolist()),
+        )
+        return cls(compute, config, cur_level=int(cur_level), num_levels=int(num_levels))
 
     # -- identity -----------------------------------------------------------------
 

@@ -10,4 +10,35 @@ trajectory.
 
 from repro.perf.memo import MetricsMemo, get_memo, reset_memo
 
-__all__ = ["MetricsMemo", "get_memo", "reset_memo"]
+__all__ = [
+    "MetricsMemo",
+    "get_memo",
+    "reset_memo",
+    "SOA_WALK",
+    "SoAWalkEngine",
+    "DifferentialWalker",
+    "soa_walk_enabled",
+    "soa_walk_disabled",
+    "soa_walk_forced",
+]
+
+_SOA_NAMES = frozenset(
+    {
+        "SOA_WALK",
+        "SoAWalkEngine",
+        "DifferentialWalker",
+        "soa_walk_enabled",
+        "soa_walk_disabled",
+        "soa_walk_forced",
+    }
+)
+
+
+def __getattr__(name: str):
+    # Lazy: repro.perf.soa pulls in numpy-heavy machinery the memo-only
+    # consumers (serve, fleet) never need.
+    if name in _SOA_NAMES:
+        from repro.perf import soa
+
+        return getattr(soa, name)
+    raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")

@@ -36,7 +36,7 @@ from repro.ir.etir import ETIR
 from repro.sim.metrics import KernelMetrics
 from repro.utils.caching import HOT_PATH_CACHING
 
-__all__ = ["CostModel", "INFEASIBLE"]
+__all__ = ["CostModel", "INFEASIBLE", "pipe_metrics"]
 
 #: frontier size at or below which ``evaluate_batch`` runs the scalar loop
 #: (numpy setup dominates tiny batches; both paths are bit-identical).
@@ -214,89 +214,18 @@ class CostModel:
 
         cols = np.asarray(feats, dtype=np.float64).T
         (
-            tpb,
-            bps,
-            nblk,
-            padded_flops,
-            inner_work,
-            vthreads,
-            coalesce,
-            dram_q,
-            unique_bytes,
-            conflict,
-            smem_q,
-            reduce_chunks,
-            smem_fp,
-            useful_flops,
-        ) = cols
-
-        # --- residency & occupancy (mirrors evaluate) ---------------------------
-        occupancy = np.minimum(1.0, bps * tpb / hw.max_threads_per_sm)
-        concurrent = np.minimum(nblk, bps * hw.num_sms)
-        waves = nblk / np.maximum(1.0, bps * hw.num_sms)
-        ceil_waves = np.ceil(waves)
-        wave_eff = np.where(
-            waves > 0, waves / np.maximum(ceil_waves, 1.0), 1.0
-        )
-        sm_utilization = np.minimum(1.0, concurrent / hw.num_sms) * wave_eff
-
-        # --- compute pipe -------------------------------------------------------
-        ilp_eff = inner_work / (inner_work + _ILP_HALF)
-        lat_hiding = occupancy / (occupancy + _OCC_HALF)
-        warp_eff = tpb / (np.ceil(tpb / hw.warp_size) * hw.warp_size)
-        vthread_overhead = 1.0 + 0.01 * (vthreads - 1.0)
-        compute_rate = (
-            hw.peak_flops * sm_utilization * ilp_eff * lat_hiding * warp_eff
-        )
-        compute_time = (
-            padded_flops * vthread_overhead / np.maximum(compute_rate, 1.0)
-        )
-
-        # --- DRAM / L2 pipe -----------------------------------------------------
-        l2_requests = dram_q * coalesce
-        safe_l2 = np.where(l2_requests > 0, l2_requests, 1.0)
-        reuse_fraction = np.maximum(0.0, 1.0 - unique_bytes / safe_l2)
-        wave_set = concurrent * smem_fp
-        capture = np.minimum(1.0, hw.l2.capacity_bytes / np.maximum(wave_set, 1.0))
-        hit = _L2_BASE_HIT + (1.0 - _L2_BASE_HIT) * reuse_fraction * capture
-        l2_hit = np.where(
-            l2_requests <= 0,
-            0.0,
-            np.minimum(0.999, hit * np.minimum(1.0, reuse_fraction * 4.0 + 0.2)),
-        )
-        dram_bytes = np.maximum(
-            unique_bytes * np.minimum(1.0, coalesce), l2_requests * (1.0 - l2_hit)
-        )
-        dram_time = dram_bytes / hw.dram.bandwidth_bytes_per_s
-        l2_time = l2_requests / hw.l2.bandwidth_bytes_per_s
-
-        # --- shared-memory pipe -------------------------------------------------
-        compute_time = compute_time * (1.0 + _CONFLICT_STALL * (conflict - 1.0))
-        smem_bytes = smem_q * conflict
-        smem_bw = hw.smem.bandwidth_bytes_per_s * np.minimum(
-            1.0, concurrent / hw.num_sms
-        )
-        smem_time = smem_bytes / np.maximum(smem_bw, 1.0)
-
-        # --- staging latency ----------------------------------------------------
-        stage_serial = ceil_waves * reduce_chunks * hw.dram.latency_s
-        stage_time = stage_serial / np.maximum(1.0, bps * lat_hiding * 4.0)
-
-        # --- combine ------------------------------------------------------------
-        bound = np.maximum(
-            np.maximum(compute_time, dram_time), np.maximum(l2_time, smem_time)
-        )
-        pipe_sum = compute_time + dram_time + l2_time + smem_time
-        latency = (
-            hw.kernel_launch_overhead_s
-            + bound
-            + _OVERLAP * (pipe_sum - bound)
-            + stage_time
-        )
-        achieved = useful_flops / latency
-        throughput = np.minimum(1.0, achieved / hw.peak_flops)
-        sm_occ = occupancy * sm_utilization
-        mem_busy = np.minimum(1.0, dram_time / latency)
+            latency,
+            achieved,
+            throughput,
+            sm_occ,
+            mem_busy,
+            l2_hit,
+            dram_bytes,
+            smem_bytes,
+            waves,
+        ) = pipe_metrics(cols, hw)
+        bps = cols[1]
+        conflict = cols[9]
 
         for j, i in enumerate(rows):
             results[i] = KernelMetrics(
@@ -452,3 +381,116 @@ class CostModel:
             if ax.is_reduce:
                 chunks *= math.ceil(ax.extent / state.tile(idx, state.num_levels))
         return chunks
+
+
+def pipe_metrics(
+    cols: np.ndarray, hw: HardwareSpec
+) -> tuple[np.ndarray, ...]:
+    """The float64 pipe arithmetic of :meth:`CostModel.evaluate_batch`.
+
+    ``cols`` is a ``(14, n)`` float64 array with rows ``(tpb, bps, nblk,
+    padded_flops, inner_work, vthreads, coalesce, dram_q, unique_bytes,
+    conflict, smem_q, reduce_chunks, smem_fp, useful_flops)`` — exactly the
+    feature tuple ``evaluate_batch`` extracts per state.  Operations run in
+    the scalar :meth:`CostModel.evaluate` order, so every element is
+    bit-identical to the scalar result.  Returns ``(latency, achieved,
+    throughput, sm_occ, mem_busy, l2_hit, dram_bytes, smem_bytes, waves)``.
+    Shared by :meth:`CostModel.evaluate_batch` and the SoA walk core
+    (:mod:`repro.perf.soa`), which builds the same columns without
+    materializing ETIR objects.
+    """
+    (
+        tpb,
+        bps,
+        nblk,
+        padded_flops,
+        inner_work,
+        vthreads,
+        coalesce,
+        dram_q,
+        unique_bytes,
+        conflict,
+        smem_q,
+        reduce_chunks,
+        smem_fp,
+        useful_flops,
+    ) = cols
+
+    # --- residency & occupancy (mirrors evaluate) ---------------------------
+    occupancy = np.minimum(1.0, bps * tpb / hw.max_threads_per_sm)
+    concurrent = np.minimum(nblk, bps * hw.num_sms)
+    waves = nblk / np.maximum(1.0, bps * hw.num_sms)
+    ceil_waves = np.ceil(waves)
+    wave_eff = np.where(
+        waves > 0, waves / np.maximum(ceil_waves, 1.0), 1.0
+    )
+    sm_utilization = np.minimum(1.0, concurrent / hw.num_sms) * wave_eff
+
+    # --- compute pipe -------------------------------------------------------
+    ilp_eff = inner_work / (inner_work + _ILP_HALF)
+    lat_hiding = occupancy / (occupancy + _OCC_HALF)
+    warp_eff = tpb / (np.ceil(tpb / hw.warp_size) * hw.warp_size)
+    vthread_overhead = 1.0 + 0.01 * (vthreads - 1.0)
+    compute_rate = (
+        hw.peak_flops * sm_utilization * ilp_eff * lat_hiding * warp_eff
+    )
+    compute_time = (
+        padded_flops * vthread_overhead / np.maximum(compute_rate, 1.0)
+    )
+
+    # --- DRAM / L2 pipe -----------------------------------------------------
+    l2_requests = dram_q * coalesce
+    safe_l2 = np.where(l2_requests > 0, l2_requests, 1.0)
+    reuse_fraction = np.maximum(0.0, 1.0 - unique_bytes / safe_l2)
+    wave_set = concurrent * smem_fp
+    capture = np.minimum(1.0, hw.l2.capacity_bytes / np.maximum(wave_set, 1.0))
+    hit = _L2_BASE_HIT + (1.0 - _L2_BASE_HIT) * reuse_fraction * capture
+    l2_hit = np.where(
+        l2_requests <= 0,
+        0.0,
+        np.minimum(0.999, hit * np.minimum(1.0, reuse_fraction * 4.0 + 0.2)),
+    )
+    dram_bytes = np.maximum(
+        unique_bytes * np.minimum(1.0, coalesce), l2_requests * (1.0 - l2_hit)
+    )
+    dram_time = dram_bytes / hw.dram.bandwidth_bytes_per_s
+    l2_time = l2_requests / hw.l2.bandwidth_bytes_per_s
+
+    # --- shared-memory pipe -------------------------------------------------
+    compute_time = compute_time * (1.0 + _CONFLICT_STALL * (conflict - 1.0))
+    smem_bytes = smem_q * conflict
+    smem_bw = hw.smem.bandwidth_bytes_per_s * np.minimum(
+        1.0, concurrent / hw.num_sms
+    )
+    smem_time = smem_bytes / np.maximum(smem_bw, 1.0)
+
+    # --- staging latency ----------------------------------------------------
+    stage_serial = ceil_waves * reduce_chunks * hw.dram.latency_s
+    stage_time = stage_serial / np.maximum(1.0, bps * lat_hiding * 4.0)
+
+    # --- combine ------------------------------------------------------------
+    bound = np.maximum(
+        np.maximum(compute_time, dram_time), np.maximum(l2_time, smem_time)
+    )
+    pipe_sum = compute_time + dram_time + l2_time + smem_time
+    latency = (
+        hw.kernel_launch_overhead_s
+        + bound
+        + _OVERLAP * (pipe_sum - bound)
+        + stage_time
+    )
+    achieved = useful_flops / latency
+    throughput = np.minimum(1.0, achieved / hw.peak_flops)
+    sm_occ = occupancy * sm_utilization
+    mem_busy = np.minimum(1.0, dram_time / latency)
+    return (
+        latency,
+        achieved,
+        throughput,
+        sm_occ,
+        mem_busy,
+        l2_hit,
+        dram_bytes,
+        smem_bytes,
+        waves,
+    )

@@ -14,7 +14,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["new_rng", "spawn_rng", "spawn_substreams"]
+__all__ = ["new_rng", "spawn_rng", "spawn_seed_ints", "spawn_substreams"]
 
 
 def new_rng(seed: int | None = 0) -> np.random.Generator:
@@ -52,6 +52,21 @@ def spawn_substreams(
     """
     root = np.random.SeedSequence(_label_seed(seed, *labels))
     return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+def spawn_seed_ints(seed: int, *labels: str | int, n: int) -> list[int]:
+    """``n`` deterministic child *seed integers* from a labeled spawn tree.
+
+    Like :func:`spawn_substreams` but returning plain ints instead of
+    generators, for call sites that pass seeds onward (e.g. into
+    :class:`~repro.core.constructor.GensorConfig`) rather than drawing
+    directly.  Same root anchoring, so the family is stable across runs
+    and platforms and never collides with a ``spawn_rng`` stream.
+    """
+    root = np.random.SeedSequence(_label_seed(seed, *labels))
+    return [
+        int(child.generate_state(1, np.uint64)[0]) for child in root.spawn(n)
+    ]
 
 
 def _label_seed(seed: int, *labels: str | int) -> int:

@@ -22,6 +22,7 @@ import pytest
 from repro.core import Gensor, GensorConfig
 from repro.ir import operators as ops
 from repro.obs import RecordingTracer
+from repro.perf.soa import soa_walk_disabled, soa_walk_forced
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -113,3 +114,26 @@ def test_signature_is_stable_across_runs(hw):
     """Two in-process runs agree — rules out hidden global state."""
     compute = WORKLOADS["golden_trace_matmul.json"]
     assert walk_signature(hw, compute()) == walk_signature(hw, compute())
+
+
+@pytest.mark.parametrize("fixture_name", sorted(WORKLOADS))
+def test_golden_trace_byte_identical_on_both_walk_paths(hw, fixture_name):
+    """The SoA walk core replays every golden fixture byte-for-byte.
+
+    Each workload runs once under the forced SoA path and once under the
+    object path; both serialized signatures must equal the stored fixture
+    *bytes*.  Nothing is regenerated here — a parity drift on either path
+    (or any fixture churn) fails loudly instead of being papered over.
+    """
+    path = FIXTURES / fixture_name
+    assert path.exists(), (
+        f"missing golden fixture {path} — run test_golden_trace with "
+        "REPRO_REGEN_GOLDEN=1 to create it"
+    )
+    expected_bytes = path.read_text()
+    with soa_walk_forced():
+        soa_bytes = _dump(walk_signature(hw, WORKLOADS[fixture_name]()))
+    with soa_walk_disabled():
+        object_bytes = _dump(walk_signature(hw, WORKLOADS[fixture_name]()))
+    assert soa_bytes == expected_bytes, "SoA path drifted from the fixture"
+    assert object_bytes == expected_bytes, "object path drifted from the fixture"

@@ -1,0 +1,160 @@
+"""Gate plumbing for the SoA walk core: env parsing, toggle nesting,
+constructor dispatch, cross-gate compile agreement, and the planted
+divergence that proves the differential oracle actually bites.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.core import Gensor, GensorConfig
+from repro.ir import operators as ops
+from repro.perf.soa import (
+    DifferentialWalker,
+    SoAParityError,
+    SoAWalkEngine,
+    _env_enabled,
+    soa_walk_disabled,
+    soa_walk_enabled,
+    soa_walk_forced,
+)
+from repro.utils.caching import hot_path_caching_disabled
+
+
+# -- REPRO_SOA_WALK parsing ----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("value", "expected"),
+    [
+        (None, True),  # unset: default on
+        ("", True),
+        ("1", True),
+        ("true", True),
+        ("anything", True),
+        ("0", False),
+        ("false", False),
+        ("False", False),
+        ("OFF", False),
+        ("  no  ", False),
+    ],
+)
+def test_env_parsing(monkeypatch, value, expected):
+    if value is None:
+        monkeypatch.delenv("REPRO_SOA_WALK", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_SOA_WALK", value)
+    assert _env_enabled() is expected
+
+
+def test_toggle_nesting_restores():
+    assert soa_walk_enabled()
+    with soa_walk_disabled():
+        assert not soa_walk_enabled()
+        with soa_walk_forced():
+            assert soa_walk_enabled()
+            with soa_walk_disabled():
+                assert not soa_walk_enabled()
+            assert soa_walk_enabled()
+        assert not soa_walk_enabled()
+    assert soa_walk_enabled()
+
+
+def test_toggle_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with soa_walk_disabled():
+            raise RuntimeError("boom")
+    assert soa_walk_enabled()
+
+
+# -- constructor dispatch ------------------------------------------------------
+
+
+def _quick_cfg(**overrides):
+    base = dict(
+        seed=0,
+        num_chains=1,
+        top_k=2,
+        polish_steps=0,
+        max_iterations_per_chain=8,
+    )
+    base.update(overrides)
+    return GensorConfig(**base)
+
+
+def test_compile_dispatch_follows_gate(monkeypatch, hw):
+    """The engine is constructed iff batch_scoring is on AND the gate is on."""
+    import repro.perf.soa as soa_mod
+
+    built = []
+    real = soa_mod.SoAWalkEngine
+
+    class Spy(real):
+        def __init__(self, *args, **kwargs):
+            built.append(1)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(soa_mod, "SoAWalkEngine", Spy)
+    compute = ops.matmul(32, 24, 40, "soa_dispatch")
+
+    Gensor(hw, _quick_cfg()).compile(compute)
+    assert built, "default-on gate must route compile through the engine"
+
+    built.clear()
+    with soa_walk_disabled():
+        Gensor(hw, _quick_cfg()).compile(compute)
+    assert not built, "soa_walk_disabled() must restore the object path"
+
+    Gensor(hw, _quick_cfg(batch_scoring=False)).compile(compute)
+    assert not built, "the scalar (non-batch) path never uses the engine"
+
+
+# -- cross-gate compile agreement ----------------------------------------------
+
+
+def test_compile_agrees_across_gate_combinations(hw):
+    """All four soa x hot-path-caching combinations produce one answer.
+
+    Same best schedule key, same iteration count, same monotone node
+    count, same best latency bits — the gates select implementations, not
+    behaviors.
+    """
+    compute = ops.matmul(64, 32, 48, "soa_gate_mm")
+    cfg = GensorConfig(
+        seed=11, num_chains=2, top_k=3, polish_steps=6, max_iterations_per_chain=40
+    )
+
+    results = {}
+    for soa_ctx in (soa_walk_forced, soa_walk_disabled):
+        for hot_ctx in (contextlib.nullcontext, hot_path_caching_disabled):
+            with soa_ctx(), hot_ctx():
+                r = Gensor(hw, cfg).compile(compute)
+            results[(soa_ctx.__name__, hot_ctx.__name__)] = (
+                r.best.key(),
+                r.iterations,
+                r.states_visited,
+                float(r.best_metrics.latency_s).hex(),
+            )
+    assert len(set(results.values())) == 1, results
+
+
+# -- the planted divergence ----------------------------------------------------
+
+
+def test_planted_divergence_is_detected(monkeypatch):
+    """Perturbing one SoA benefit by 1 ulp-scale factor must trip the oracle.
+
+    This is the test of the test: if the DifferentialWalker let this
+    through, every parity assertion above would be vacuous.
+    """
+    from repro.hardware import rtx4090
+
+    original = SoAWalkEngine._tiling_ratio
+
+    def perturbed(self, q_old, f_old, q_new, f_new):
+        return original(self, q_old, f_old, q_new, f_new) * (1.0 + 1e-12)
+
+    monkeypatch.setattr(SoAWalkEngine, "_tiling_ratio", perturbed)
+    diff = DifferentialWalker(ops.matmul(64, 48, 80, "soa_plant"), rtx4090())
+    with pytest.raises(SoAParityError, match="benefit"):
+        diff.walk(seed=0, chains=1, max_iterations=10)

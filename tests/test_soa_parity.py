@@ -1,0 +1,260 @@
+"""Differential parity of the SoA walk core against the object-path oracle.
+
+The structure-of-arrays engine (repro.perf.soa) claims *bit-faithfulness*:
+every benefit, probability, chosen edge, latency, and node count must be
+byte-identical to what ConstructionGraph + TransitionPolicy produce.  This
+harness attacks that claim from every angle the contract names — randomized
+frontiers (hypothesis), annealed lockstep walks, the encode/decode
+boundary, forbidden-action filtering, polish, and the raw latency kernels
+— on both devices, including states the cost model rejects as INFEASIBLE.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Gensor, GensorConfig
+from repro.core.actions import ActionKind
+from repro.core.graph import ConstructionGraph
+from repro.core.markov import build_transition_matrix
+from repro.core.score import quick_latency
+from repro.hardware import orin_nano, rtx4090
+from repro.ir import operators as ops
+from repro.ir.etir import ETIR, TileConfig
+from repro.obs import RecordingTracer
+from repro.perf.soa import (
+    DifferentialWalker,
+    SoAFrontier,
+    SoAWalkEngine,
+    soa_walk_disabled,
+)
+from repro.sim.costmodel import CostModel
+
+DEVICES = {"rtx4090": rtx4090(), "orin_nano": orin_nano()}
+
+OPS = {
+    "mm": ops.matmul(64, 48, 80, "soa_mm"),
+    "conv": ops.conv2d(1, 8, 14, 14, 16, 3, 3, 1, "soa_conv"),
+}
+
+COMBOS = [(d, o) for d in sorted(DEVICES) for o in sorted(OPS)]
+
+# Walkers/engines shared across hypothesis examples: memo reuse is part of
+# the contract under test (memoized answers must equal fresh ones), and it
+# keeps example throughput high.
+_WALKERS: dict[tuple[str, str], DifferentialWalker] = {}
+_ENGINES: dict[tuple[str, str], SoAWalkEngine] = {}
+
+
+def _walker(device: str, op: str) -> DifferentialWalker:
+    key = (device, op)
+    if key not in _WALKERS:
+        _WALKERS[key] = DifferentialWalker(OPS[op], DEVICES[device])
+    return _WALKERS[key]
+
+
+def _engine(device: str, op: str) -> SoAWalkEngine:
+    key = (device, op)
+    if key not in _ENGINES:
+        _ENGINES[key] = SoAWalkEngine(OPS[op], DEVICES[device])
+    return _ENGINES[key]
+
+
+def _tile_choices(extent: int) -> list[int]:
+    """Powers of two up to the extent, plus the (possibly odd) extent."""
+    vals = []
+    v = 1
+    while v <= extent:
+        vals.append(v)
+        v *= 2
+    if extent not in vals:
+        vals.append(extent)
+    return vals
+
+
+@st.composite
+def states_for(draw, compute, num_levels=2):
+    """A random *valid* ETIR: nested tiles, vThreads only on spatial axes.
+
+    Spans the whole config lattice, not just walk-reachable states — the
+    parity contract is per-state, so unreachable corners must agree too
+    (including ones whose block tile blows the smem budget).
+    """
+    tiles = []
+    vthreads = []
+    for ax in compute.axes:
+        choices = _tile_choices(ax.extent)
+        block = draw(st.sampled_from(choices))
+        thread = draw(st.sampled_from([c for c in choices if c <= block]))
+        mids = [c for c in choices if thread <= c <= block]
+        per_level = [thread] + [draw(st.sampled_from(mids)) for _ in range(num_levels - 2)] + [block]
+        tiles.append(tuple(sorted(per_level)))
+        if ax.is_reduce:
+            vthreads.append(1)
+        else:
+            vthreads.append(draw(st.sampled_from(_tile_choices(thread))))
+    cur_level = draw(st.integers(1, num_levels))
+    config = TileConfig(tiles=tuple(tiles), vthreads=tuple(vthreads))
+    return ETIR(compute, config, cur_level=cur_level, num_levels=num_levels)
+
+
+# -- randomized frontier parity (the hypothesis sweep) ------------------------
+
+
+@pytest.mark.parametrize(("device", "op"), COMBOS)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_randomized_state_parity(device, op, data):
+    """Slots, edges, and probabilities agree on arbitrary valid states."""
+    state = data.draw(states_for(OPS[op]))
+    _walker(device, op).compare_state(state)
+
+
+@pytest.mark.parametrize("device", sorted(DEVICES))
+def test_infeasible_states_still_compared(device):
+    """States past the smem budget (cost model: INFEASIBLE) stay in parity.
+
+    The relaxed memory check fails, every benefit must be exactly 0.0 on
+    both paths, and the full latency must be inf on both.
+    """
+    hw = DEVICES[device]
+    compute = ops.matmul(256, 256, 256, f"soa_big_{device}")
+    state = ETIR.from_tiles(
+        compute,
+        {"i": 256, "j": 256, "k": 256},
+        {"i": 4, "j": 4, "k": 4},
+    )
+    assert not state.memory_ok(hw, strict=False)
+    assert CostModel(hw).evaluate(state).latency_s == math.inf
+    diff = DifferentialWalker(compute, hw)
+    diff.compare_state(state)
+    tiles, vthreads = state.config_arrays()
+    assert float(diff.engine._full_latencies(tiles[None], vthreads[None])[0]) == math.inf
+
+
+# -- lockstep annealed walks ---------------------------------------------------
+
+
+@pytest.mark.parametrize(("device", "op"), COMBOS)
+def test_differential_walk(device, op):
+    diff = DifferentialWalker(OPS[op], DEVICES[device])
+    report = diff.walk(seed=3, chains=2, max_iterations=40)
+    assert report["iterations"] > 0
+    assert report["states_compared"] > report["chains"]
+    assert report["nodes"] == diff.engine.num_nodes == diff.graph.num_nodes
+
+
+@pytest.mark.parametrize(
+    "forbid",
+    [
+        frozenset({ActionKind.CACHE}),
+        frozenset({ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN}),
+    ],
+    ids=["no-cache", "no-vthread"],
+)
+def test_differential_walk_with_forbid(forbid):
+    diff = DifferentialWalker(OPS["mm"], DEVICES["rtx4090"], forbid=forbid)
+    report = diff.walk(seed=1, chains=1, max_iterations=30, forbid=forbid)
+    assert report["states_compared"] > 0
+
+
+# -- the encode/decode boundary ------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_frontier_roundtrip(data):
+    compute = OPS["mm"]
+    states = [
+        data.draw(states_for(compute))
+        for _ in range(data.draw(st.integers(1, 4)))
+    ]
+    frontier = SoAFrontier.encode(states)
+    assert len(frontier) == len(states)
+    decoded = frontier.decode()
+    assert [s.key() for s in decoded] == [s.key() for s in states]
+    for s in decoded:
+        # Plain Python ints all the way down: keys are JSON-serialized
+        # (golden fixtures, persistent caches), where np.int64 would raise.
+        json.dumps(s.key())
+
+
+def test_frontier_rejects_empty_and_mixed():
+    with pytest.raises(ValueError, match="empty"):
+        SoAFrontier.encode([])
+    a = ETIR.initial(OPS["mm"], num_levels=2)
+    b = ETIR.initial(OPS["conv"], num_levels=2)
+    with pytest.raises(ValueError, match="mixes"):
+        SoAFrontier.encode([a, b])
+
+
+# -- latency kernels, bit-compared ---------------------------------------------
+
+
+@pytest.mark.parametrize(("device", "op"), COMBOS)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_latency_bit_parity(device, op, data):
+    """engine quick/full latencies == score.quick_latency / CostModel, bitwise."""
+    hw = DEVICES[device]
+    state = data.draw(states_for(OPS[op]))
+    engine = _engine(device, op)
+    tiles, vthreads = state.config_arrays()
+    quick = float(engine._quick_latencies(tiles[None], vthreads[None])[0])
+    ref_quick = quick_latency(state, hw, strict=False)
+    assert float(quick).hex() == float(ref_quick).hex()
+    full = float(engine._full_latencies(tiles[None], vthreads[None])[0])
+    ref_full = CostModel(hw).evaluate(state).latency_s
+    assert float(full).hex() == float(ref_full).hex()
+
+
+# -- polish ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(("device", "op"), COMBOS)
+def test_polish_parity(device, op):
+    """engine.polish lands on the object path's state with the same trace."""
+    hw = DEVICES[device]
+    compute = OPS[op]
+    state = ETIR.initial(compute, num_levels=hw.num_cache_levels)
+
+    soa_tracer = RecordingTracer()
+    soa = SoAWalkEngine(compute, hw).polish(state, 12, tracer=soa_tracer)
+
+    obj_tracer = RecordingTracer()
+    with soa_walk_disabled():
+        obj = Gensor(hw, GensorConfig(seed=0), tracer=obj_tracer).polish(
+            state, 12, tracer=obj_tracer
+        )
+
+    assert soa.key() == obj.key()
+    (se,) = soa_tracer.by_name("polish")
+    (oe,) = obj_tracer.by_name("polish")
+    for field in ("compute", "steps", "max_steps"):
+        assert se.args[field] == oe.args[field]
+    for field in ("latency_before_s", "latency_after_s"):
+        assert float(se.args[field]).hex() == float(oe.args[field]).hex()
+
+
+# -- markov cross-check ----------------------------------------------------------
+
+
+def test_markov_soa_check_covers_subgraph(hw):
+    compute = ops.matmul(32, 24, 40, "soa_markov")
+    graph = ConstructionGraph(hw, batch_scoring=True)
+    start = ETIR.initial(compute, num_levels=hw.num_cache_levels)
+    tm = build_transition_matrix(graph, start, max_nodes=40, soa_check=True)
+    assert tm.n > 0
+    tm.validate()

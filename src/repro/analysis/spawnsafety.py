@@ -18,8 +18,10 @@ machine-checked:
     fork-hostile resource (lock, file handle, tracer) onto a queue in a
     fleet-zone module.
 ``wire-unpicklable-field``
-    A field of a fleet-zone dataclass (the wire payload classes) whose
-    annotation names a type that cannot cross the boundary:
+    A field of a fleet-zone dataclass (the wire payload classes) — or of
+    any ``*Checkpoint`` dataclass in any zone, since checkpoints ride
+    the fleet wire and land on disk — whose annotation names a type
+    that cannot cross the boundary:
     ``threading.Lock``/``RLock``/``Event``/``Condition``, file/IO
     handles, tracers.  Wire payloads carry plain data — schedules travel
     as ``CachedSchedule``, never as live ETIR states or service objects.
@@ -89,8 +91,7 @@ class SpawnSafetyChecker(Checker):
             self._check_fork_context(mod, node, aliases)
             if mod.zone == "fleet":
                 self._check_queue_put(mod, node, nested, hostile_locals)
-        if mod.zone == "fleet":
-            self._check_wire_dataclasses(mod, aliases)
+        self._check_wire_dataclasses(mod, aliases)
 
     # -- Process(target=...) -------------------------------------------------
 
@@ -193,6 +194,12 @@ class SpawnSafetyChecker(Checker):
     ) -> None:
         for node in ast.walk(mod.tree):
             if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            # In the fleet zone every dataclass is presumed wire-bound.
+            # Elsewhere, only checkpoint classes are: a ``*Checkpoint``
+            # rides the fleet wire and lands in the on-disk store no
+            # matter where it is defined, so it obeys wire rules too.
+            if mod.zone != "fleet" and not node.name.endswith("Checkpoint"):
                 continue
             for stmt in node.body:
                 if not isinstance(stmt, ast.AnnAssign):

@@ -376,8 +376,15 @@ class ScheduleCache:
         """Move an unreadable cache file aside and start empty."""
         qdir = path.parent / ".quarantine"
         qdir.mkdir(exist_ok=True)
+        # Unique target per incident (same probe discipline as
+        # _quarantine_entry): a cache corrupted twice leaves two records.
+        target = qdir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = qdir / f"{path.name}.{n}"
         try:
-            os.replace(path, qdir / path.name)
+            os.replace(path, target)
         except OSError:  # cross-device or permission trouble: leave in place
             pass
         self.quarantined.append(f"{path.name}: {reason}")
@@ -396,10 +403,15 @@ class ScheduleCache:
         qdir.mkdir(exist_ok=True)
         digest = hashlib.sha256(key.encode()).hexdigest()[:8]
         record = {"cache": path.name, "key": key, "reason": reason, "entry": data}
+        # Unique target per incident: the same key corrupted twice must
+        # leave two records behind, not overwrite the first (forensics).
+        target = qdir / f"{path.name}.{digest}.json"
+        n = 0
+        while target.exists():
+            n += 1
+            target = qdir / f"{path.name}.{digest}.{n}.json"
         try:
-            (qdir / f"{path.name}.{digest}.json").write_text(
-                json.dumps(record, indent=2, default=str)
-            )
+            target.write_text(json.dumps(record, indent=2, default=str))
         except OSError:
             pass
         self.quarantined.append(f"{key}: {reason}")

@@ -35,7 +35,7 @@ from repro.perf.memo import MetricsMemo, get_memo
 from repro.resilience.deadline import CancelToken
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 from repro.sim.metrics import KernelMetrics
-from repro.utils.rng import spawn_rng, spawn_substreams
+from repro.utils.rng import restore_rng, spawn_rng, spawn_substreams
 
 __all__ = ["GensorConfig", "GensorResult", "Gensor"]
 
@@ -152,6 +152,8 @@ class Gensor:
         tracer: Tracer | None = None,
         cancel: CancelToken | None = None,
         walkers: int | None = None,
+        resume_from=None,
+        checkpointer=None,
     ) -> GensorResult:
         """Construct an optimized schedule for ``compute``.
 
@@ -169,12 +171,32 @@ class Gensor:
         graph on the worker pool and merges their candidate pools in
         walker order (deterministic regardless of thread scheduling);
         ``1`` consumes exactly the historical single-walker RNG stream.
+
+        ``resume_from`` restarts the walk mid-anneal from a
+        :class:`~repro.resilience.checkpoint.WalkCheckpoint`: completed
+        chains are skipped, the interrupted chain continues from its
+        snapshotted state and exact RNG bit state, and the result is
+        byte-identical (schedule, trace suffix, RNG consumption, node
+        counts) to the uninterrupted walk.  ``checkpointer`` (a
+        :class:`~repro.resilience.checkpoint.Checkpointer`) snapshots the
+        walk on its policy's cadence so a later attempt can resume.  Both
+        require the effective single-walker path — multi-walker walks are
+        deliberately not checkpointed (their merge couples substreams).
         """
         t_start = time.perf_counter()
         cfg = self.config
         n_walkers = cfg.walkers if walkers is None else int(walkers)
         if n_walkers < 1:
             raise ValueError(f"walkers must be >= 1, got {n_walkers}")
+        if n_walkers > 1:
+            if resume_from is not None:
+                raise ValueError(
+                    "resume_from requires a single walker; multi-walker "
+                    "walks are not checkpointed"
+                )
+            checkpointer = None
+        if resume_from is not None:
+            resume_from.require(compute, cfg)
         tracer = tracer if tracer is not None else self.tracer
         measurer = measurer or Measurer(
             self.hw,
@@ -214,7 +236,9 @@ class Gensor:
         )
         if n_walkers == 1:
             candidates, total_iterations = self._run_walker(
-                graph, compute, forbid, tracer, cancel, walker=0, engine=engine
+                graph, compute, forbid, tracer, cancel, walker=0,
+                engine=engine, resume_from=resume_from,
+                checkpointer=checkpointer,
             )
         else:
             candidates, total_iterations = self._run_walkers(
@@ -274,6 +298,8 @@ class Gensor:
         cancel: CancelToken | None,
         walker: int,
         engine=None,
+        resume_from=None,
+        checkpointer=None,
     ) -> tuple[dict[tuple, ETIR], int]:
         """Run one walker's ``num_chains`` annealed chains; return its
         candidate pool (insertion-ordered) and iteration count.
@@ -289,6 +315,16 @@ class Gensor:
         the chain body runs on the structure-of-arrays core instead of the
         object graph; the RNG draws, trace events, and candidate pool are
         bit-identical between the two paths.
+
+        ``resume_from`` (walker 0 only) rebuilds the mid-walk view its
+        checkpoint froze — the candidate pool in insertion order (ranking
+        tie-breaks depend on it), the node bookkeeping (membership drives
+        future ``num_nodes`` increments), the completed-chain iteration
+        total — then skips the completed chains and continues the
+        interrupted one from its snapshotted state, temperature, and
+        exact RNG bit state.  Later chains spawn their generators
+        normally, so they consume the streams the uninterrupted walk
+        would have.
         """
         cfg = self.config
         substreams = (
@@ -301,22 +337,78 @@ class Gensor:
         )
         candidates: dict[tuple, ETIR] = {}
         total_iterations = 0
-        for chain in range(cfg.num_chains):
-            if substreams is None:
+        start_chain = 0
+        if resume_from is not None and walker == 0:
+            from repro.resilience.checkpoint import config_to_state
+
+            start_chain = resume_from.chain
+            total_iterations = resume_from.total_steps - resume_from.iteration
+            for state_cfg in resume_from.candidates:
+                state = config_to_state(
+                    compute, state_cfg, resume_from.num_levels
+                )
+                candidates[state.key()] = state
+            if engine is not None:
+                engine.restore_nodes(
+                    resume_from.node_keys, resume_from.nodes_seen
+                )
+            else:
+                assert graph is not None
+                graph.restore_nodes(
+                    resume_from.node_keys, resume_from.nodes_seen, compute
+                )
+            if checkpointer is not None:
+                checkpointer.start_from(resume_from)
+        for chain in range(start_chain, cfg.num_chains):
+            resuming = (
+                resume_from is not None
+                and walker == 0
+                and chain == resume_from.chain
+            )
+            if resuming:
+                rng = restore_rng(resume_from.rng_state)
+            elif substreams is None:
                 rng = spawn_rng(cfg.seed, "gensor", compute.name, chain)
             else:
                 rng = substreams[chain]
             tid = walker * cfg.num_chains + chain
             if engine is not None:
+                resume = None
+                if resuming:
+                    r_tiles, r_vthreads, r_level = resume_from.state
+                    resume = (
+                        np.array(r_tiles, dtype=np.int64),
+                        np.array(r_vthreads, dtype=np.int64),
+                        int(r_level),
+                        resume_from.temperature,
+                        resume_from.iteration,
+                    )
                 total_iterations += engine.run_chain(
-                    cfg, rng, forbid, tracer, cancel, tid, candidates
+                    cfg, rng, forbid, tracer, cancel, tid, candidates,
+                    checkpointer=checkpointer, base_steps=total_iterations,
+                    resume=resume,
                 )
                 continue
             assert graph is not None
             policy = TransitionPolicy(graph, rng)
-            state = ETIR.initial(compute, num_levels=self.hw.num_cache_levels)
-            temperature = cfg.initial_temperature
-            iteration = 0
+            if resuming:
+                r_tiles, r_vthreads, r_level = resume_from.state
+                state = ETIR.from_arrays(
+                    compute,
+                    np.array(r_tiles, dtype=np.int64),
+                    np.array(r_vthreads, dtype=np.int64),
+                    int(r_level),
+                    resume_from.num_levels,
+                )
+                temperature = resume_from.temperature
+                iteration = resume_from.iteration
+            else:
+                state = ETIR.initial(
+                    compute, num_levels=self.hw.num_cache_levels
+                )
+                temperature = cfg.initial_temperature
+                iteration = 0
+            base_steps = total_iterations
             while (
                 temperature > cfg.threshold
                 and iteration < cfg.max_iterations_per_chain
@@ -366,6 +458,15 @@ class Gensor:
                     )
                 temperature *= cfg.cooling
                 iteration += 1
+                if checkpointer is not None:
+                    checkpointer.on_step(
+                        cancel,
+                        lambda: self._walk_checkpoint(
+                            compute, cfg, chain, iteration,
+                            base_steps + iteration, temperature, state, rng,
+                            candidates, graph,
+                        ),
+                    )
             candidates[state.key()] = state
             total_iterations += iteration
             if tracer.enabled:
@@ -381,6 +482,44 @@ class Gensor:
                     tid=tid,
                 )
         return candidates, total_iterations
+
+    def _walk_checkpoint(
+        self,
+        compute: ComputeDef,
+        cfg: GensorConfig,
+        chain: int,
+        iteration: int,
+        total_steps: int,
+        temperature: float,
+        state: ETIR,
+        rng: np.random.Generator,
+        candidates: dict[tuple, ETIR],
+        graph: ConstructionGraph,
+    ):
+        """Assemble an object-path walk checkpoint (cadence-gated; the
+        builder only runs on steps that actually snapshot)."""
+        from repro.resilience.checkpoint import build_walk_checkpoint
+
+        node_keys, nodes_seen = graph.export_nodes()
+        return build_walk_checkpoint(
+            compute,
+            cfg,
+            num_levels=self.hw.num_cache_levels,
+            chain=chain,
+            iteration=iteration,
+            total_steps=total_steps,
+            temperature=temperature,
+            state_config=(
+                state.config.tiles, state.config.vthreads, state.cur_level
+            ),
+            rng=rng,
+            candidate_configs=[
+                (s.config.tiles, s.config.vthreads, s.cur_level)
+                for s in candidates.values()
+            ],
+            node_keys=node_keys,
+            nodes_seen=nodes_seen,
+        )
 
     def _run_walkers(
         self,
@@ -447,6 +586,7 @@ class Gensor:
         forbid: frozenset[str] = frozenset(),
         tracer: Tracer | None = None,
         cancel: CancelToken | None = None,
+        resume_from=None,
     ) -> ETIR:
         """Deterministic greedy refinement under the analytical value.
 
@@ -457,8 +597,23 @@ class Gensor:
 
         Public API: warm-started and degraded serving paths refine adapted
         cache entries with a reduced step budget instead of a full walk.
+
+        ``resume_from`` continues an interrupted polish from a
+        polish-phase checkpoint
+        (:meth:`~repro.resilience.checkpoint.WalkCheckpoint.for_polish`):
+        greedy refinement is memoryless, so restarting from the
+        checkpointed state with the remaining budget yields the exact
+        state the uninterrupted polish would have reached.
         """
         tracer = tracer if tracer is not None else self.tracer
+        if resume_from is not None:
+            from repro.resilience.checkpoint import config_to_state
+
+            resume_from.require_polish(state.compute)
+            state = config_to_state(
+                state.compute, resume_from.state, resume_from.num_levels
+            )
+            max_steps = max(0, max_steps - resume_from.iteration)
         if self.config.batch_scoring:
             from repro.perf.soa import SoAWalkEngine, soa_walk_enabled
 

@@ -123,11 +123,17 @@ class DynamicGensor:
         measurer: Measurer | None = None,
         tracer: Tracer | None = None,
         cancel: CancelToken | None = None,
+        resume_from=None,
+        checkpointer=None,
     ) -> DynamicCompileResult:
         """Serve one shape: cache hit, warm start, or cold construction.
 
         ``cancel`` is forwarded into the polish/construction loops so the
         serving layer's per-attempt timeouts can reclaim a hung compile.
+        ``resume_from``/``checkpointer`` apply to the cold path only — the
+        hit and warm tiers never run the annealed walk, so there is
+        nothing to checkpoint or resume there (a stale checkpoint simply
+        rides along unused when the cache answers first).
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         measurer = measurer or Measurer(
@@ -209,7 +215,14 @@ class DynamicGensor:
                 return DynamicCompileResult(result, source="warm")
 
         self.stats.count("cold")
-        result = self.gensor.compile(compute, measurer, tracer=tracer, cancel=cancel)
+        result = self.gensor.compile(
+            compute,
+            measurer,
+            tracer=tracer,
+            cancel=cancel,
+            resume_from=resume_from,
+            checkpointer=checkpointer,
+        )
         self.cache.put(result.best, result.best_metrics.latency_s)
         self._trace(tracer, compute, "cold", time.perf_counter() - t0)
         return DynamicCompileResult(result, source="cold")

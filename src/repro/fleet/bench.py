@@ -178,6 +178,7 @@ def _replay(
         wall = time.perf_counter() - t0
         respawns = fleet.respawns
         assignments = fleet.router.assignments()
+        merged = fleet.fleet_metrics()
     latencies = [r.service_latency_s for r in responses]
     tiers: dict[str, int] = {}
     for r in responses:
@@ -199,6 +200,16 @@ def _replay(
         "shard_requests": shard_requests,
         "families": dict(sorted(assignments.items())),
         "shard_respawns": respawns,
+        # Resilience telemetry merged across shard processes: walk steps
+        # re-done past the last checkpoint, checkpoints taken, and
+        # dispatcher-side checkpoint resumes after shard crashes.
+        "resilience": {
+            "wasted_states": merged.total("resilience_wasted_states_total"),
+            "checkpoints": merged.total("resilience_checkpoints_total"),
+            "checkpoint_resumes": merged.total(
+                "fleet_checkpoint_resumes_total"
+            ),
+        },
     }
     return run, responses
 
@@ -383,7 +394,9 @@ def run_fleet_bench(
             run_dir = scratch / f"p{processes}"
             run_dir.mkdir(parents=True, exist_ok=True)
             run_opts = replace(
-                options, cache_path=str(run_dir / "fleet_cache.json")
+                options,
+                cache_path=str(run_dir / "fleet_cache.json"),
+                checkpoint_path=str(run_dir / "checkpoints"),
             )
             run, _ = _replay(
                 trace, run_opts, processes, window, routing=routing

@@ -38,6 +38,7 @@ import queue as queue_mod
 import threading
 import time
 from dataclasses import dataclass, replace
+from typing import cast
 
 from repro.core.cache import (
     CachedSchedule,
@@ -57,6 +58,7 @@ from repro.fleet.shard import (
 )
 from repro.ir.compute import ComputeDef
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.resilience.checkpoint import CheckpointStore
 from repro.serve.request import CompileRequest, ServeTicket
 from repro.serve.singleflight import SingleFlight
 
@@ -145,6 +147,13 @@ class FleetDispatcher:
         # crashed shard is respawned, and forking a threaded process can
         # deadlock the child on inherited lock state.
         self._ctx = mp.get_context("spawn")
+        # Dispatcher-side view of the shards' shared checkpoint store: a
+        # crashed shard's replacement resumes stranded walks from here.
+        self._ckpt_store: CheckpointStore | None = (
+            CheckpointStore(options.checkpoint_path, registry=self.registry)
+            if options.checkpoint_path
+            else None
+        )
         self._router = FamilyRouter(processes, routing)
         self._flight = SingleFlight()
         self._lock = threading.Lock()
@@ -373,6 +382,20 @@ class FleetDispatcher:
                 )
                 continue
             resent = replace(wire, resends=wire.resends + 1)
+            if self._ckpt_store is not None:
+                # Resume, don't restart: attach the crashed incarnation's
+                # last persisted checkpoint so the replacement shard
+                # continues the walk (wasted recompute is bounded by one
+                # checkpoint interval instead of the whole walk so far).
+                checkpoint = self._ckpt_store.load(
+                    self.options.device,
+                    shape_fingerprint(cast(ComputeDef, wire.compute)),
+                )
+                if checkpoint is not None:
+                    resent = replace(resent, checkpoint=checkpoint)
+                    self.registry.counter(
+                        "fleet_checkpoint_resumes_total"
+                    ).inc()
             with self._lock:
                 if wire.request_id in self._inflight:
                     self._inflight[wire.request_id] = replace(

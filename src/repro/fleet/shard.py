@@ -31,12 +31,19 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import cast
 
-from repro.core.cache import CachedSchedule, ScheduleCache
+from repro.core.cache import CachedSchedule, ScheduleCache, shape_fingerprint
 from repro.core.constructor import GensorConfig
 from repro.fleet.autoscale import AutoscalePolicy, Autoscaler
 from repro.hardware import generic_gpu, orin_nano, rtx4090
+from repro.ir.compute import ComputeDef
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience.checkpoint import (
+    CheckpointPolicy,
+    CheckpointStore,
+    WalkCheckpoint,
+)
 from repro.serve.service import CompileService
 from repro.sim.measure import MICROBENCH_SECONDS, Measurer
 
@@ -80,6 +87,15 @@ class ShardOptions:
     sync_interval_s: float = 1.0
     #: worker autoscaling policy; ``None`` keeps the roster fixed.
     autoscale: AutoscalePolicy | None = None
+    #: shared on-disk CheckpointStore directory; shards persist mid-walk
+    #: checkpoints here so the dispatcher can resume a crashed shard's
+    #: in-flight walks in its replacement.  ``None`` disables persistence
+    #: (in-process crash requeues still resume from memory).
+    checkpoint_path: str | None = None
+    #: walk-step cadence of mid-walk checkpoints; ``None`` keeps the
+    #: service default.  Tests and short construction budgets tighten it
+    #: so snapshots actually fire within a tiny walk.
+    checkpoint_every: int | None = None
 
 
 @dataclass(frozen=True)
@@ -92,6 +108,10 @@ class WireRequest:
     priority: int = 0
     #: times the dispatcher re-sent this request after a shard crash.
     resends: int = 0
+    #: WalkCheckpoint from a crashed incarnation (typed loosely like
+    #: ``compute``); the receiving shard's service resumes the walk from
+    #: it after validation.
+    checkpoint: object | None = None
 
 
 @dataclass(frozen=True)
@@ -190,6 +210,21 @@ def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
         # Warm boot: adopt whatever siblings (or a previous life of this
         # shard) already published.
         cache.refresh(options.cache_path)
+    ckpt_store: CheckpointStore | None = None
+    if options.checkpoint_path:
+        ckpt_store = CheckpointStore(options.checkpoint_path, registry=registry)
+
+    def persist_checkpoint(request, checkpoint: WalkCheckpoint) -> None:
+        # Persisting is best-effort: a full disk must degrade resume back
+        # to restart-from-scratch, never kill the walk it snapshots.
+        assert ckpt_store is not None
+        try:
+            ckpt_store.save(options.device, checkpoint)
+        except OSError as exc:
+            registry.counter(
+                "fleet_checkpoint_errors_total", kind=type(exc).__name__
+            ).inc()
+
     service = CompileService(
         hw,
         options.config,
@@ -205,6 +240,12 @@ def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
             noise_sigma=0.0,
             seconds_per_measurement=MICROBENCH_SECONDS,
             time_scale=options.time_scale,
+        ),
+        checkpoint_sink=persist_checkpoint if ckpt_store is not None else None,
+        checkpoint_policy=(
+            CheckpointPolicy(every_steps=options.checkpoint_every)
+            if options.checkpoint_every is not None
+            else None
         ),
     )
 
@@ -244,8 +285,24 @@ def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
             service.pool, registry, options.autoscale
         ).start()
 
-    def forward(wire_id: int, ticket) -> None:
+    def forward(message: WireRequest, ticket) -> None:
+        wire_id = message.request_id
+
         def on_done(response) -> None:
+            if response.ok and ckpt_store is not None:
+                # The walk landed: its persisted checkpoint is spent.
+                # Dropping it keeps a later crash of the *same shape* from
+                # resuming a finished walk's stale snapshot.
+                try:
+                    ckpt_store.discard(
+                        options.device,
+                        shape_fingerprint(cast("ComputeDef", message.compute)),
+                    )
+                except OSError as exc:
+                    registry.counter(
+                        "fleet_checkpoint_errors_total",
+                        kind=type(exc).__name__,
+                    ).inc()
             resp_q.put(_encode(shard_index, wire_id, response))
             with drained:
                 outstanding.discard(wire_id)
@@ -268,11 +325,14 @@ def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
             with drained:
                 outstanding.add(message.request_id)
             forward(
-                message.request_id,
+                message,
                 service.submit(
                     message.compute,
                     deadline_s=message.deadline_s,
                     priority=message.priority,
+                    checkpoint=cast(
+                        "WalkCheckpoint | None", message.checkpoint
+                    ),
                 ),
             )
     finally:

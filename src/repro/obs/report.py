@@ -39,6 +39,8 @@ def summarize_walk(events: Iterable[TraceEvent]) -> dict:
     respawns: TallyCounter[str] = TallyCounter()
     crashes = 0
     quarantines = 0
+    wasted_states = 0
+    checkpoints = 0
     for event in events:
         if event.name == "walk_step":
             steps += 1
@@ -82,6 +84,9 @@ def summarize_walk(events: Iterable[TraceEvent]) -> dict:
             crashes += 1
         elif event.name == "quarantine":
             quarantines += 1
+        elif event.name == "wasted_recompute":
+            wasted_states += int(event.args.get("states", 0))
+            checkpoints += 1
     convergence = sorted(last_cache_step.values())
     return {
         "steps": steps,
@@ -109,6 +114,8 @@ def summarize_walk(events: Iterable[TraceEvent]) -> dict:
             "worker_respawns": dict(sorted(respawns.items())),
             "worker_crashes": crashes,
             "quarantines": quarantines,
+            "wasted_states": wasted_states,
+            "wasted_attempts": checkpoints,
         },
     }
 
@@ -161,6 +168,8 @@ def render_report(summary: dict, title: str = "trace report") -> str:
             table.add_row("worker crashes", res["worker_crashes"])
         if res.get("quarantines"):
             table.add_row("cache quarantines", res["quarantines"])
+        if res.get("wasted_states"):
+            table.add_row("wasted walk states", res["wasted_states"])
     return table.render()
 
 

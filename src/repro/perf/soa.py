@@ -584,6 +584,90 @@ class SoAWalkEngine:
             eitems = list(self._edges.items())
             self._edges = dict(eitems[len(eitems) // 2 :])
 
+    # -- checkpoint support ----------------------------------------------------
+
+    def export_nodes(self) -> tuple[list[tuple], int]:
+        """Portable node identities for a :class:`WalkCheckpoint`.
+
+        Mirrors ``ConstructionGraph.export_nodes``: the cached node keys
+        as insertion-ordered ``(tiles, vthreads, level)`` tuples plus the
+        monotone ``_nodes_seen`` counter.  Membership matters, not just
+        the count — ``_add_node`` only increments for unseen keys, so a
+        resumed walk's future ``num_nodes`` depends on exactly which keys
+        the snapshot preserved.  Edge memos are deliberately not exported
+        (expansion is deterministic; resumed recomputation is
+        value-identical).
+        """
+        a_count = self.pack.num_axes
+        configs: list[tuple] = []
+        for tiles_b, vthreads_b, level in self._nodes:
+            tiles = np.frombuffer(tiles_b, dtype=np.int64).reshape(a_count, -1)
+            vthreads = np.frombuffer(vthreads_b, dtype=np.int64)
+            configs.append(
+                (
+                    tuple(tuple(row) for row in tiles.tolist()),
+                    tuple(vthreads.tolist()),
+                    int(level),
+                )
+            )
+        return configs, self._nodes_seen
+
+    def restore_nodes(self, configs: "Iterable[tuple]", nodes_seen: int) -> None:
+        """Rebuild the node memo a checkpoint exported (insertion order kept)."""
+        nodes: dict[tuple, bool] = {}
+        for tiles, vthreads, level in configs:
+            key = (
+                np.array(tiles, dtype=np.int64).tobytes(),
+                np.array(vthreads, dtype=np.int64).tobytes(),
+                int(level),
+            )
+            nodes[key] = True
+        self._nodes = nodes
+        self._nodes_seen = int(nodes_seen)
+
+    def _build_checkpoint(
+        self,
+        cfg: "GensorConfig",
+        chain: int,
+        iteration: int,
+        total_steps: int,
+        temperature: float,
+        tiles: np.ndarray,
+        vthreads: np.ndarray,
+        level: int,
+        rng: np.random.Generator,
+        candidates: dict[tuple, ETIR],
+    ):
+        """Assemble a walk checkpoint from the chain's packed state.
+
+        Runs only on the (rare) steps the cadence fires, at the iteration
+        boundary — never inside the scored hot loop.
+        """
+        from repro.resilience.checkpoint import build_walk_checkpoint
+
+        node_keys, nodes_seen = self.export_nodes()
+        return build_walk_checkpoint(
+            self.compute,
+            cfg,
+            num_levels=self.num_levels,
+            chain=chain,
+            iteration=iteration,
+            total_steps=total_steps,
+            temperature=temperature,
+            state_config=(
+                tuple(tuple(row) for row in tiles.tolist()),
+                tuple(vthreads.tolist()),
+                int(level),
+            ),
+            rng=rng,
+            candidate_configs=[
+                (s.config.tiles, s.config.vthreads, s.cur_level)
+                for s in candidates.values()
+            ],
+            node_keys=node_keys,
+            nodes_seen=nodes_seen,
+        )
+
     # -- expansion -------------------------------------------------------------
 
     def expand(
@@ -1242,6 +1326,10 @@ class SoAWalkEngine:
         cancel: "CancelToken | None",
         tid: int,
         candidates: dict[tuple, ETIR],
+        *,
+        checkpointer=None,
+        base_steps: int = 0,
+        resume: tuple | None = None,
     ) -> int:
         """One annealed chain on the packed representation.
 
@@ -1249,14 +1337,28 @@ class SoAWalkEngine:
         (one ``choice`` + one ``random`` per step, nothing at a sink), same
         candidate-pool keys and overwrite order, same ``walk_step`` /
         ``chain_end`` events.  Returns the iteration count.
+
+        ``resume`` restarts the chain mid-anneal from a checkpoint's
+        ``(tiles, vthreads, level, temperature, iteration)`` — the caller
+        restores the RNG bit state into ``rng`` — and ``checkpointer``
+        (with ``base_steps``, the iterations completed by earlier chains)
+        snapshots at the cadence its policy dictates, at iteration
+        boundaries only.
         """
         compute_name = self.compute.name
         a_count = self.pack.num_axes
-        tiles = np.ones((a_count, self.num_levels), dtype=np.int64)
-        vthreads = np.ones(a_count, dtype=np.int64)
-        level = self.num_levels
-        temperature = cfg.initial_temperature
-        iteration = 0
+        if resume is not None:
+            tiles, vthreads, level, temperature, iteration = resume
+            tiles = np.asarray(tiles, dtype=np.int64)
+            vthreads = np.asarray(vthreads, dtype=np.int64)
+            level = int(level)
+            iteration = int(iteration)
+        else:
+            tiles = np.ones((a_count, self.num_levels), dtype=np.int64)
+            vthreads = np.ones(a_count, dtype=np.int64)
+            level = self.num_levels
+            temperature = cfg.initial_temperature
+            iteration = 0
         while (
             temperature > cfg.threshold
             and iteration < cfg.max_iterations_per_chain
@@ -1302,6 +1404,22 @@ class SoAWalkEngine:
                 )
             temperature *= cfg.cooling
             iteration += 1
+            if checkpointer is not None:
+                checkpointer.on_step(
+                    cancel,
+                    lambda: self._build_checkpoint(
+                        cfg,
+                        tid,
+                        iteration,
+                        base_steps + iteration,
+                        temperature,
+                        tiles,
+                        vthreads,
+                        level,
+                        rng,
+                        candidates,
+                    ),
+                )
         state = self._decode(tiles, vthreads, level)
         candidates[state.key()] = state
         if tracer.enabled:

@@ -19,10 +19,21 @@ degraded tiers to shed into.
   (closed → open → half-open) shedding poisoned families to the
   degraded tiers;
 * :mod:`repro.resilience.supervisor` — :class:`SupervisedWorkerPool`
-  with heartbeats, crash detection, and respawn.
+  with heartbeats, crash detection, and respawn;
+* :mod:`repro.resilience.checkpoint` — crash-consistent
+  :class:`WalkCheckpoint` snapshots of mid-walk state with byte-identical
+  resume, persisted by :class:`CheckpointStore` with the schedule cache's
+  journal+CRC discipline, so every recovery path above continues from
+  the last checkpoint instead of step zero.
 """
 
 from repro.resilience.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+from repro.resilience.checkpoint import (
+    CheckpointPolicy,
+    CheckpointStore,
+    Checkpointer,
+    WalkCheckpoint,
+)
 from repro.resilience.deadline import CancelToken, CompileCancelled
 from repro.resilience.faults import (
     FAULT_KINDS,
@@ -41,6 +52,9 @@ __all__ = [
     "BreakerBoard",
     "BreakerConfig",
     "CancelToken",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "Checkpointer",
     "CircuitBreaker",
     "CompileCancelled",
     "FAULT_KINDS",
@@ -52,5 +66,6 @@ __all__ = [
     "InjectedWorkerCrash",
     "RetryPolicy",
     "SupervisedWorkerPool",
+    "WalkCheckpoint",
     "apply_fault",
 ]

@@ -48,6 +48,24 @@ class CancelToken:
             return cls(None)
         return cls(time.monotonic() + seconds)
 
+    @classmethod
+    def after_bounded(
+        cls, seconds: float | None, cap_s: float | None
+    ) -> "CancelToken":
+        """A token expiring at the *sooner* of ``seconds`` and ``cap_s``.
+
+        The serving layer caps the fixed per-attempt timeout by the
+        request's remaining deadline: a request with 2s of budget left
+        must not buy a 30s attempt.  Either bound may be ``None``
+        (unlimited on that side); both ``None`` yields an unlimited
+        token.
+        """
+        if seconds is None:
+            return cls.after(cap_s)
+        if cap_s is None:
+            return cls.after(seconds)
+        return cls.after(min(seconds, cap_s))
+
     def cancel(self) -> None:
         """Trip the token immediately (idempotent, thread-safe)."""
         self._cancelled.set()

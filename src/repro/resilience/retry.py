@@ -55,16 +55,41 @@ class RetryPolicy:
         if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
             raise ValueError("attempt_timeout_s must be positive or None")
 
-    def backoff_s(self, attempt: int, seed: int = 0, family: str = "") -> float:
+    def backoff_s(
+        self,
+        attempt: int,
+        seed: int = 0,
+        family: str = "",
+        remaining_s: float | None = None,
+    ) -> float:
         """Sleep before retrying after failed attempt number ``attempt``.
 
         Deterministic in ``(seed, family, attempt)``: the jittered
         fraction comes from its own spawned stream, never the walk's.
+        ``remaining_s`` caps the result by the request's remaining
+        deadline — sleeping past the deadline would turn a still-servable
+        request into a guaranteed miss.  The jitter stream is consumed
+        identically with or without the cap, so chaos runs stay
+        reproducible.
         """
         raw = min(
             self.base_backoff_s * self.multiplier**attempt, self.max_backoff_s
         )
-        if self.jitter == 0.0 or raw == 0.0:
-            return raw
-        rng = spawn_rng(seed, "retry", family, attempt)
-        return raw * (1.0 - self.jitter + self.jitter * float(rng.random()))
+        if self.jitter != 0.0 and raw != 0.0:
+            rng = spawn_rng(seed, "retry", family, attempt)
+            raw = raw * (1.0 - self.jitter + self.jitter * float(rng.random()))
+        if remaining_s is not None:
+            raw = min(raw, max(0.0, remaining_s))
+        return raw
+
+    def attempt_timeout_for(self, remaining_s: float | None) -> float | None:
+        """The per-attempt timeout capped by the request's remaining deadline.
+
+        ``None`` on both sides means unlimited; otherwise the sooner
+        bound wins, so an attempt never outlives the request it serves.
+        """
+        if self.attempt_timeout_s is None:
+            return remaining_s
+        if remaining_s is None:
+            return self.attempt_timeout_s
+        return min(self.attempt_timeout_s, remaining_s)

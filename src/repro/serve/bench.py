@@ -213,6 +213,9 @@ def run_serve_bench(
         (len(responses) - failed) / len(responses) if responses else 1.0
     )
     snap = service.stats.snapshot(wall_s=wall)
+    wasted_states = registry.total("resilience_wasted_states_total")
+    checkpoints = registry.total("resilience_checkpoints_total")
+    checkpoint_resumes = registry.total("resilience_checkpoint_loads_total")
     resilience = {
         "faults_injected": len(injector.log) if injector is not None else 0,
         "retries": snap["retries"],
@@ -222,6 +225,12 @@ def run_serve_bench(
         "workers_abandoned": abandoned,
         "quarantined": quarantined,
         "availability": availability,
+        # Walk steps re-done because an attempt failed past its last
+        # checkpoint; with checkpointing on this stays bounded by one
+        # checkpoint interval per failure (the chaos CI gate).
+        "wasted_states": wasted_states,
+        "checkpoints": checkpoints,
+        "checkpoint_resumes": checkpoint_resumes,
     }
     title = (
         f"serve-bench — {model} x{num_requests} "

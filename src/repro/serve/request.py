@@ -56,6 +56,14 @@ class CompileRequest:
     #: times this request's worker died mid-serve and the ticket was
     #: requeued (bounded by the service's crash-requeue cap).
     crashes: int = 0
+    #: last mid-walk checkpoint taken while serving this request — seeded
+    #: at submission when the caller resumes earlier work, refreshed by the
+    #: service's checkpointer sink, and carried across crash requeues (the
+    #: same request object is resubmitted) so a retried attempt continues
+    #: the walk instead of restarting it.
+    checkpoint: object | None = None
+    #: walk steps the last checkpoint had banked (resilience accounting).
+    progress_steps: int = 0
 
     def remaining_s(self, now: float | None = None) -> float | None:
         """Deadline budget still available, or ``None`` when unconstrained."""

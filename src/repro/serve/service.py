@@ -43,6 +43,11 @@ from repro.ir.compute import ComputeDef
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.resilience.breaker import BreakerBoard, BreakerConfig
+from repro.resilience.checkpoint import (
+    Checkpointer,
+    CheckpointPolicy,
+    WalkCheckpoint,
+)
 from repro.resilience.deadline import CancelToken, CompileCancelled
 from repro.resilience.faults import (
     FaultInjector,
@@ -94,6 +99,16 @@ class CompileService:
             per compile attempt (``serve-bench --faults``).
         stall_timeout_s: supervised-pool heartbeat staleness after which a
             busy worker is declared stuck, abandoned, and replaced.
+        checkpointing: when True (default), cold construction walks run
+            under a :class:`~repro.resilience.checkpoint.Checkpointer` so
+            a crashed or timed-out attempt resumes from its last
+            checkpoint instead of restarting the walk.
+        checkpoint_policy: cadence of mid-walk checkpoints (defaults to
+            :class:`~repro.resilience.checkpoint.CheckpointPolicy`).
+        checkpoint_sink: optional callable ``(request, checkpoint)``
+            invoked on every checkpoint — fleet shards persist them to a
+            shared :class:`~repro.resilience.checkpoint.CheckpointStore`
+            here so a checkpoint survives losing the whole process.
     """
 
     def __init__(
@@ -115,6 +130,9 @@ class CompileService:
         breaker: BreakerConfig | None = None,
         fault_injector: FaultInjector | None = None,
         stall_timeout_s: float = 30.0,
+        checkpointing: bool = True,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        checkpoint_sink=None,
     ) -> None:
         self.hw = hardware
         self.dynamic = DynamicGensor(
@@ -145,6 +163,12 @@ class CompileService:
             breaker, on_transition=self._on_breaker_transition
         )
         self._injector = fault_injector
+        self._checkpointing = checkpointing
+        self._ckpt_policy = (
+            checkpoint_policy if checkpoint_policy is not None
+            else CheckpointPolicy()
+        )
+        self._ckpt_sink = checkpoint_sink
         self._pool = SupervisedWorkerPool(
             workers=workers,
             capacity=queue_capacity,
@@ -190,11 +214,21 @@ class CompileService:
         compute: ComputeDef,
         deadline_s: float | None = None,
         priority: int = 0,
+        checkpoint: WalkCheckpoint | None = None,
     ) -> ServeTicket:
         """Admit one request; always returns a ticket (rejections resolve
-        immediately with ``tier="rejected"`` and a reason)."""
+        immediately with ``tier="rejected"`` and a reason).
+
+        ``checkpoint`` seeds the request with a walk checkpoint from an
+        earlier incarnation (fleet shard respawn) — the first cold attempt
+        resumes from it instead of restarting, after validating it against
+        this service's compute/config.
+        """
         request = CompileRequest(
-            compute=compute, deadline_s=deadline_s, priority=priority
+            compute=compute,
+            deadline_s=deadline_s,
+            priority=priority,
+            checkpoint=checkpoint,
         )
         ticket = ServeTicket(request)
         self.stats.record_submitted()
@@ -374,11 +408,28 @@ class CompileService:
                 shed_by_breaker = True
                 self.registry.counter("resilience_breaker_shed_total").inc()
                 break
-            token = CancelToken.after(self._retry.attempt_timeout_s)
+            remaining = request.remaining_s()
+            if remaining is not None and remaining <= 0.0:
+                # The deadline died between attempts (usually eaten by a
+                # backoff sleep the cap could not shrink to zero soon
+                # enough, or a slow failed attempt).  Retrying would serve
+                # a guaranteed miss — fail fast into the degraded tiers.
+                last_reason = "deadline_exhausted"
+                self.registry.counter(
+                    "resilience_deadline_exhausted_total", family=family
+                ).inc()
+                break
+            # The fixed per-attempt timeout is capped by the request's
+            # remaining deadline: an attempt never outlives its request.
+            token = CancelToken.after_bounded(
+                self._retry.attempt_timeout_s, remaining
+            )
+            checkpointer = self._make_checkpointer(request)
             try:
-                response = self._attempt(request, attempt, token)
+                response = self._attempt(request, attempt, token, checkpointer)
             except InjectedWorkerCrash:
                 breaker.record_failure()
+                self._note_wasted(request, checkpointer)
                 raise
             except Exception as exc:  # repro: ignore[broad-except] - retry boundary; CompileCancelled included
                 # Any attempt failure (including CompileCancelled) feeds
@@ -386,6 +437,7 @@ class CompileService:
                 # resilience_retries_total below, re-raised as a failed
                 # response when attempts are exhausted.
                 breaker.record_failure()
+                self._note_wasted(request, checkpointer)
                 last_reason = f"{type(exc).__name__}: {exc}"
                 self.stats.record_retry()
                 self.registry.counter(
@@ -394,7 +446,10 @@ class CompileService:
                 backoff = 0.0
                 if attempt + 1 < self._retry.max_attempts:
                     backoff = self._retry.backoff_s(
-                        attempt, seed=self.dynamic.config.seed, family=family
+                        attempt,
+                        seed=self.dynamic.config.seed,
+                        family=family,
+                        remaining_s=request.remaining_s(),
                     )
                 if self.tracer.enabled:
                     self.tracer.emit(
@@ -440,12 +495,81 @@ class CompileService:
             deadline_s=request.deadline_s,
         )
 
+    # -- checkpoint plumbing -----------------------------------------------------
+
+    def _make_checkpointer(
+        self, request: CompileRequest
+    ) -> Checkpointer | None:
+        """A fresh per-attempt checkpointer feeding ``request.checkpoint``."""
+        if not self._checkpointing:
+            return None
+        return Checkpointer(
+            self._ckpt_policy,
+            sink=lambda cp: self._on_checkpoint(request, cp),
+        )
+
+    def _on_checkpoint(
+        self, request: CompileRequest, checkpoint: WalkCheckpoint
+    ) -> None:
+        """Bank a mid-walk checkpoint on the request it serves.
+
+        The request object itself carries the checkpoint across crash
+        requeues (``_requeue_after_crash`` resubmits the same object), so
+        in-process recovery needs no store; the optional sink persists it
+        for process-loss recovery (fleet shards).
+        """
+        request.checkpoint = checkpoint
+        request.progress_steps = checkpoint.total_steps
+        self.registry.counter("resilience_checkpoints_total").inc()
+        if self._ckpt_sink is not None:
+            self._ckpt_sink(request, checkpoint)
+
+    def _note_wasted(
+        self, request: CompileRequest, checkpointer: Checkpointer | None
+    ) -> None:
+        """Account walk steps lost to a failed/crashed attempt.
+
+        Wasted = steps the attempt walked past its last checkpoint — the
+        recompute a resume must repay.  Bounded by one checkpoint interval
+        per failure when checkpointing is on; equal to the whole attempt
+        when it is off.
+        """
+        if checkpointer is None or checkpointer.steps_seen == 0:
+            return
+        wasted = checkpointer.wasted_states()
+        if wasted <= 0:
+            return
+        self.registry.counter("resilience_wasted_states_total").inc(wasted)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wasted_recompute",
+                {"request_id": request.request_id, "states": wasted},
+            )
+
     def _attempt(
-        self, request: CompileRequest, attempt: int, token: CancelToken
+        self,
+        request: CompileRequest,
+        attempt: int,
+        token: CancelToken,
+        checkpointer: Checkpointer | None = None,
     ) -> CompileResponse:
         """One compile attempt (the pre-resilience serve-tier logic)."""
         compute = request.compute
         measurer = self._measurer_factory()
+        resume: WalkCheckpoint | None = None
+        cp = request.checkpoint
+        if cp is not None and isinstance(cp, WalkCheckpoint):
+            if cp.matches(compute, self.dynamic.config):
+                resume = cp
+                if checkpointer is not None:
+                    checkpointer.start_from(cp)
+            else:
+                # Stale or foreign checkpoint (config drift, wrong shape):
+                # drop it and restart clean rather than resume wrongly.
+                request.checkpoint = None
+                self.registry.counter(
+                    "resilience_checkpoint_rejected_total"
+                ).inc()
         if self._injector is not None:
             spec = self._injector.draw(
                 family_fingerprint(compute),
@@ -487,9 +611,21 @@ class CompileService:
             # DynamicGensor re-checks the cache once the lock is held, so
             # waiters land on the warm path.
             with self._family_lock(family_fingerprint(compute)):
-                dyn = self.dynamic.compile(compute, measurer, cancel=token)
+                dyn = self.dynamic.compile(
+                    compute,
+                    measurer,
+                    cancel=token,
+                    resume_from=resume,
+                    checkpointer=checkpointer,
+                )
         else:
-            dyn = self.dynamic.compile(compute, measurer, cancel=token)
+            dyn = self.dynamic.compile(
+                compute,
+                measurer,
+                cancel=token,
+                resume_from=resume,
+                checkpointer=checkpointer,
+            )
         if dyn.source == "cold":
             self._observe_cold(time.perf_counter() - t0)
         return CompileResponse(

@@ -199,3 +199,66 @@ def test_wire_response_round_trip_with_schedule():
     resp = WireResponse(shard=0, request_id=7, tier="warm", ok=True)
     clone = pickle.loads(pickle.dumps(resp))
     assert clone.request_id == 7 and clone.tier == "warm"
+
+
+# -- checkpoint payloads: wire rules apply in every zone ----------------------
+
+
+def test_checkpoint_dataclass_hostile_field_flagged_outside_fleet(tmp_path):
+    # *Checkpoint dataclasses are wire payloads wherever they live: they
+    # cross the dispatcher/shard process boundary and the on-disk store.
+    report = lint_source(
+        tmp_path,
+        """
+        import threading
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class WalkCheckpoint:
+            iteration: int
+            guard: threading.Lock = field(default_factory=threading.Lock)
+        """,
+        rel="repro/resilience/mod.py",
+    )
+    assert rules(report) == ["wire-unpicklable-field"]
+
+
+def test_plain_dataclass_outside_fleet_not_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import threading
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class WorkerState:
+            iteration: int
+            guard: threading.Lock = field(default_factory=threading.Lock)
+        """,
+        rel="repro/resilience/mod.py",
+    )
+    assert report.new == []
+
+
+def test_walk_checkpoint_pickle_round_trip():
+    from repro.resilience.checkpoint import WalkCheckpoint
+    from repro.utils.rng import spawn_rng
+
+    rng = spawn_rng(0, "gensor", "wire_rt", 0)
+    rng.random(3)
+    checkpoint = WalkCheckpoint(
+        compute_key="k",
+        config_digest="d",
+        num_levels=3,
+        chain=0,
+        iteration=4,
+        total_steps=4,
+        temperature=0.9,
+        state=((4, 4), (2, 2), 0),
+        rng_state=rng.bit_generator.state,
+        candidates=(((4, 4), (2, 2), 0),),
+        node_keys=(((4, 4), (2, 2), 0),),
+        nodes_seen=7,
+    )
+    clone = pickle.loads(pickle.dumps(checkpoint))
+    assert clone == checkpoint

@@ -273,3 +273,45 @@ class TestConcurrentSaveChaos:
         cache.save(path)
         merged = json.loads(path.read_text())
         assert set(payload["entries"]) <= set(merged["entries"])
+
+
+class TestRepeatedCorruption:
+    """Satellite contract: every corruption incident leaves its own
+    quarantine record — repeats must not overwrite earlier forensics —
+    and the healthy entries keep loading warm each time."""
+
+    def test_file_incidents_get_unique_quarantine_names(self, hw, tmp_path):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            path = saved_cache(hw, tmp_path)
+            path.write_text(path.read_text()[:40])  # crash mid-write
+            loaded = ScheduleCache.load(path, hw, registry=registry)
+            assert len(loaded) == 0 and len(loaded.quarantined) == 1
+        records = list((tmp_path / ".quarantine").iterdir())
+        assert len(records) == 3
+        assert len({p.name for p in records}) == 3
+        assert registry.counter("cache_quarantined_total").value == 3
+
+    def test_entry_incidents_keep_warm_siblings_loading(self, hw, tmp_path):
+        warm = make_state()
+        warm_key = shape_fingerprint(warm.compute)
+        victim = make_state(1024, 256, 512, "victim")
+        victim_key = shape_fingerprint(victim.compute)
+        registry = MetricsRegistry()
+        for round_no in range(1, 4):
+            path = saved_cache(hw, tmp_path, states=[warm, victim])
+            payload = json.loads(path.read_text())
+            payload["entries"][victim_key]["latency_s"] *= 2  # stale crc
+            path.write_text(json.dumps(payload))
+            loaded = ScheduleCache.load(path, hw, registry=registry)
+            # the warm sibling still serves; only the victim quarantined
+            assert loaded.get(warm.compute) is not None
+            assert loaded.get(victim.compute) is None
+            records = [
+                p
+                for p in (tmp_path / ".quarantine").iterdir()
+                if ".json." in p.name or p.name.endswith(".json")
+            ]
+            assert len(records) == round_no
+            assert len({p.name for p in records}) == round_no
+        assert registry.counter("cache_quarantined_total").value == 3

@@ -1,0 +1,269 @@
+"""Unit tests for repro.resilience.checkpoint: the WalkCheckpoint wire
+format, the cadence policy, the Checkpointer accounting, and the
+crash-safe CheckpointStore (including quarantine of corrupt records)."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.constructor import Gensor, GensorConfig
+from repro.ir import operators as ops
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.checkpoint import (
+    CheckpointPolicy,
+    CheckpointStore,
+    Checkpointer,
+    WalkCheckpoint,
+    build_walk_checkpoint,
+    config_to_state,
+    state_config,
+    walk_config_digest,
+)
+from repro.resilience.deadline import CancelToken
+from repro.utils.rng import restore_rng, rng_state, spawn_rng
+
+
+def gemm(name="ckpt_op"):
+    return ops.matmul(64, 48, 80, name)
+
+
+def make_checkpoint(hw, compute=None, chain=0, iteration=9, total=9):
+    compute = compute if compute is not None else gemm()
+    cfg = GensorConfig(seed=3)
+    state = Gensor(hw, cfg).seed_states(compute)[0]
+    rng = spawn_rng(cfg.seed, "gensor", compute.name, chain)
+    rng.random(5)  # consume a bit so the stream position is non-trivial
+    return build_walk_checkpoint(
+        compute,
+        cfg,
+        num_levels=hw.num_cache_levels,
+        chain=chain,
+        iteration=iteration,
+        total_steps=total,
+        temperature=0.42,
+        state_config=state_config(state),
+        rng=rng,
+        candidate_configs=[state_config(state)],
+        node_keys=[state_config(state)],
+        nodes_seen=17,
+    ), cfg
+
+
+class TestWalkCheckpoint:
+    def test_json_round_trip_is_lossless(self, hw):
+        ck, _ = make_checkpoint(hw)
+        # through an actual JSON string, like the on-disk store does
+        back = WalkCheckpoint.from_json(json.loads(json.dumps(ck.to_json())))
+        assert back == ck
+
+    def test_rng_state_survives_json_and_continues_stream(self, hw):
+        ck, _ = make_checkpoint(hw)
+        back = WalkCheckpoint.from_json(json.loads(json.dumps(ck.to_json())))
+        a = restore_rng(ck.rng_state)
+        b = restore_rng(back.rng_state)
+        assert a.random(16).tobytes() == b.random(16).tobytes()
+        assert a.choice(97, size=8).tolist() == b.choice(97, size=8).tolist()
+
+    def test_pickle_round_trip(self, hw):
+        ck, _ = make_checkpoint(hw)
+        assert pickle.loads(pickle.dumps(ck)) == ck
+
+    def test_matches_and_require(self, hw):
+        ck, cfg = make_checkpoint(hw)
+        assert ck.matches(gemm(), cfg)
+        ck.require(gemm(), cfg)
+        # different shape
+        assert not ck.matches(ops.matmul(32, 32, 32, "other"), cfg)
+        # walk-relevant config drift invalidates
+        drifted = GensorConfig(seed=4)
+        assert not ck.matches(gemm(), drifted)
+        with pytest.raises(ValueError):
+            ck.require(gemm(), drifted)
+
+    def test_digest_ignores_post_walk_knobs(self):
+        base = GensorConfig(seed=3)
+        assert walk_config_digest(base) == walk_config_digest(
+            GensorConfig(seed=3, top_k=7, polish_steps=99)
+        )
+        assert walk_config_digest(base) != walk_config_digest(
+            GensorConfig(seed=3, cooling=0.5)
+        )
+
+    def test_state_config_round_trip(self, hw):
+        compute = gemm()
+        state = Gensor(hw, GensorConfig()).seed_states(compute)[1]
+        rebuilt = config_to_state(
+            compute, state_config(state), state.num_levels
+        )
+        assert rebuilt.key() == state.key()
+
+    def test_polish_checkpoint_matches_only_polish(self, hw):
+        compute = gemm()
+        state = Gensor(hw, GensorConfig()).seed_states(compute)[0]
+        ck = WalkCheckpoint.for_polish(compute, state, steps_done=5)
+        assert ck.matches_polish(compute)
+        assert not ck.matches(compute, GensorConfig())
+        with pytest.raises(ValueError):
+            ck.require(compute, GensorConfig())
+
+
+class TestCheckpointPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(every_steps=0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(near_every_steps=0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(near_deadline_s=-1.0)
+
+    def test_interval_far_from_deadline(self):
+        policy = CheckpointPolicy(
+            every_steps=64, near_deadline_s=1.0, near_every_steps=8
+        )
+        assert policy.interval_for(None) == 64
+        assert policy.interval_for(CancelToken(None)) == 64  # unlimited
+        assert policy.interval_for(CancelToken.after(100.0)) == 64
+
+    def test_interval_tightens_near_deadline(self):
+        policy = CheckpointPolicy(
+            every_steps=64, near_deadline_s=1.0, near_every_steps=8
+        )
+        assert policy.interval_for(CancelToken.after(0.5)) == 8
+        cancelled = CancelToken(None)
+        cancelled.cancel()
+        assert policy.interval_for(cancelled) == 8
+
+    def test_never_loosens(self):
+        policy = CheckpointPolicy(
+            every_steps=4, near_deadline_s=1.0, near_every_steps=8
+        )
+        assert policy.interval_for(CancelToken.after(0.5)) == 4
+
+
+class TestCheckpointer:
+    def test_cadence_and_wasted_accounting(self, hw):
+        ck, _ = make_checkpoint(hw)
+        saved = []
+        cp = Checkpointer(CheckpointPolicy(every_steps=5), sink=saved.append)
+        for step in range(1, 13):
+            cp.on_step(None, lambda: ck)
+        # fired at steps 5 and 10; steps 11-12 are at risk
+        assert cp.saved == 2
+        assert saved == [ck, ck]
+        assert cp.steps_seen == 12
+        assert cp.wasted_states() == 12 - ck.total_steps
+
+    def test_builder_runs_only_when_due(self):
+        calls = []
+        cp = Checkpointer(CheckpointPolicy(every_steps=100))
+
+        def builder():
+            calls.append(1)
+            raise AssertionError("must not build before the cadence fires")
+
+        for _ in range(99):
+            cp.on_step(None, builder)
+        assert calls == []
+
+    def test_start_from_seeds_offsets(self, hw):
+        ck, _ = make_checkpoint(hw, total=40)
+        cp = Checkpointer(CheckpointPolicy(every_steps=64))
+        cp.start_from(ck)
+        assert cp.last is ck
+        assert cp.steps_seen == 40
+        assert cp.wasted_states() == 0
+        cp.on_step(None, lambda: ck)
+        assert cp.wasted_states() == 1
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, hw, tmp_path):
+        ck, _ = make_checkpoint(hw)
+        registry = MetricsRegistry()
+        store = CheckpointStore(tmp_path, registry=registry)
+        store.save("rtx4090", ck)
+        assert store.load("rtx4090", ck.compute_key) == ck
+        assert registry.counter("resilience_checkpoint_saves_total").value == 1
+        assert registry.counter("resilience_checkpoint_loads_total").value == 1
+
+    def test_missing_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, registry=MetricsRegistry())
+        assert store.load("rtx4090", "nope") is None
+
+    def test_discard_removes_record(self, hw, tmp_path):
+        ck, _ = make_checkpoint(hw)
+        store = CheckpointStore(tmp_path, registry=MetricsRegistry())
+        store.save("rtx4090", ck)
+        store.discard("rtx4090", ck.compute_key)
+        assert store.load("rtx4090", ck.compute_key) is None
+        store.discard("rtx4090", ck.compute_key)  # idempotent
+
+    def test_wrong_device_quarantined(self, hw, tmp_path):
+        ck, _ = make_checkpoint(hw)
+        store = CheckpointStore(tmp_path, registry=MetricsRegistry())
+        store.save("rtx4090", ck)
+        # same path digest only for the same device, so force the payload
+        path = store.path_for("rtx4090", ck.compute_key)
+        payload = json.loads(path.read_text())
+        payload["device"] = "orin_nano"
+        path.write_text(json.dumps(payload))
+        assert store.load("rtx4090", ck.compute_key) is None
+        assert (tmp_path / ".quarantine" / path.name).exists()
+
+    def test_corruption_quarantines_with_unique_names(self, hw, tmp_path):
+        """Repeated corruption of one key leaves one record per incident."""
+        ck, _ = make_checkpoint(hw)
+        registry = MetricsRegistry()
+        store = CheckpointStore(tmp_path, registry=registry)
+        path = store.path_for("rtx4090", ck.compute_key)
+        for _ in range(3):
+            store.save("rtx4090", ck)
+            raw = path.read_text()
+            path.write_text(raw[: len(raw) // 2])  # truncate mid-record
+            assert store.load("rtx4090", ck.compute_key) is None
+        qdir = tmp_path / ".quarantine"
+        records = [
+            p for p in qdir.iterdir() if not p.name.endswith(".reason")
+        ]
+        assert len(records) == 3
+        assert len({p.name for p in records}) == 3
+        assert (
+            registry.counter("resilience_checkpoint_corrupt_total").value == 3
+        )
+
+    def test_flipped_bit_detected_by_crc(self, hw, tmp_path):
+        ck, _ = make_checkpoint(hw)
+        store = CheckpointStore(tmp_path, registry=MetricsRegistry())
+        store.save("rtx4090", ck)
+        path = store.path_for("rtx4090", ck.compute_key)
+        payload = json.loads(path.read_text())
+        payload["checkpoint"]["iteration"] += 1  # bit flip, stale CRC
+        path.write_text(json.dumps(payload))
+        assert store.load("rtx4090", ck.compute_key) is None
+
+    def test_save_leaves_no_journal_droppings(self, hw, tmp_path):
+        ck, _ = make_checkpoint(hw)
+        store = CheckpointStore(tmp_path, registry=MetricsRegistry())
+        store.save("rtx4090", ck)
+        leftovers = [
+            p for p in tmp_path.iterdir() if ".journal." in p.name
+        ]
+        assert leftovers == []
+
+
+class TestRngHelpers:
+    def test_rng_state_restore_is_exact(self):
+        gen = spawn_rng(7, "x", "y", 2)
+        gen.random(11)
+        clone = restore_rng(rng_state(gen))
+        assert clone.random(64).tobytes() == gen.random(64).tobytes()
+
+    def test_restored_generator_is_independent(self):
+        gen = spawn_rng(7, "x")
+        clone = restore_rng(rng_state(gen))
+        gen.random(5)
+        before = clone.bit_generator.state
+        assert before == restore_rng(before).bit_generator.state
+        assert isinstance(np.asarray(clone.random(3)), np.ndarray)

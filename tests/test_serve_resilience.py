@@ -124,7 +124,7 @@ class TestWorkerCrash:
         calls = []
         lock = threading.Lock()
 
-        def crashy(compute, measurer=None, cancel=None):
+        def crashy(compute, measurer=None, cancel=None, **kwargs):
             with lock:
                 calls.append(compute)
                 first = len(calls) == 1

@@ -65,7 +65,7 @@ class TestSingleFlightDedup:
         started = threading.Event()
         gate = threading.Event()
 
-        def fake_compile(compute, measurer=None, cancel=None):
+        def fake_compile(compute, measurer=None, cancel=None, **kwargs):
             calls.append(compute)
             started.set()
             assert gate.wait(5.0)
@@ -99,7 +99,7 @@ class TestAdmissionControl:
         started = threading.Event()
         gate = threading.Event()
 
-        def fake_compile(compute, measurer=None, cancel=None):
+        def fake_compile(compute, measurer=None, cancel=None, **kwargs):
             started.set()
             assert gate.wait(5.0)
             return SimpleNamespace(source="cold", result=None)
@@ -159,7 +159,7 @@ class TestServeTiers:
         service = make_service(hw)
         calls: list = []
 
-        def boom(compute, measurer=None, cancel=None):
+        def boom(compute, measurer=None, cancel=None, **kwargs):
             calls.append(compute)
             raise RuntimeError("kaboom")
 
@@ -173,7 +173,7 @@ class TestServeTiers:
         assert len(calls) >= 3  # all retry attempts ran
         assert service.stats.snapshot()["retries"] >= 3
         # the worker survived the exceptions and still serves
-        service.dynamic.compile = lambda c, m=None, cancel=None: (
+        service.dynamic.compile = lambda c, m=None, cancel=None, **kw: (
             SimpleNamespace(source="cold", result=None)
         )
         assert service.submit(gemm(128, 32, 64)).result(timeout=5.0).ok

@@ -18,9 +18,12 @@ machine-checked:
     fork-hostile resource (lock, file handle, tracer) onto a queue in a
     fleet-zone module.
 ``wire-unpicklable-field``
-    A field of a fleet-zone dataclass (the wire payload classes) — or of
-    any ``*Checkpoint`` dataclass in any zone, since checkpoints ride
-    the fleet wire and land on disk — whose annotation names a type
+    A field of a fleet-zone dataclass (the wire payload classes) — or, in
+    any zone, of a ``*Checkpoint`` dataclass (checkpoints ride the fleet
+    wire and land on disk) or a program-compilation payload
+    (``CompiledProgram``/``CompiledGroup``/``ProgramRequest``/
+    ``ProgramResponse``, which cross the dispatcher/shard boundary in
+    whole-graph serving) — whose annotation names a type
     that cannot cross the boundary:
     ``threading.Lock``/``RLock``/``Event``/``Condition``, file/IO
     handles, tracers.  Wire payloads carry plain data — schedules travel
@@ -75,6 +78,22 @@ _FORK_HOSTILE_CTORS = {
     "threading.Condition",
     "open",
 }
+
+#: dataclasses outside the fleet zone that are wire payloads anyway:
+#: program-compilation records travel dispatcher <-> shard and inside
+#: serve/fleet responses, so they obey wire rules wherever they live.
+_WIRE_CLASS_NAMES = frozenset(
+    {
+        "CompiledProgram",
+        "CompiledGroup",
+        "ProgramRequest",
+        "ProgramResponse",
+    }
+)
+
+
+def _is_wire_class(name: str) -> bool:
+    return name.endswith("Checkpoint") or name in _WIRE_CLASS_NAMES
 
 
 class SpawnSafetyChecker(Checker):
@@ -196,10 +215,12 @@ class SpawnSafetyChecker(Checker):
             if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
                 continue
             # In the fleet zone every dataclass is presumed wire-bound.
-            # Elsewhere, only checkpoint classes are: a ``*Checkpoint``
+            # Elsewhere, only known wire classes are: a ``*Checkpoint``
             # rides the fleet wire and lands in the on-disk store no
-            # matter where it is defined, so it obeys wire rules too.
-            if mod.zone != "fleet" and not node.name.endswith("Checkpoint"):
+            # matter where it is defined, and the program-compilation
+            # payloads cross the dispatcher/shard boundary in whole-graph
+            # serving — both obey wire rules too.
+            if mod.zone != "fleet" and not _is_wire_class(node.name):
                 continue
             for stmt in node.body:
                 if not isinstance(stmt, ast.AnnAssign):

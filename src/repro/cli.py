@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Seven subcommands::
+Subcommands::
 
     python -m repro compile --op gemm --shape 4096x4096x4096 --method gensor
+    python -m repro compile-graph --model bert_small --batch 1
     python -m repro experiment fig06 [--full]
     python -m repro serve-bench --model bert --requests 200 --workers 8
     python -m repro fleet-bench --processes 4 [--quick]
@@ -14,6 +15,10 @@ Seven subcommands::
 winning schedule, predicted metrics, generated kernel (with ``--emit``),
 and compile cost; ``--trace out.jsonl`` records the full Markov walk
 (per-step actions, probabilities, temperature) for gensor/dynamic.
+``compile-graph`` compiles a whole model as one program — fusion groups
+planned over the graph, each group's walk exploring fuse/unfuse alongside
+tiling — and prints the program's groups plus its latency against the
+per-op compilation baseline.
 ``experiment`` regenerates one of the paper's tables/figures by name.
 ``serve-bench`` replays a synthetic dynamic-shape request trace through
 the concurrent compile service, prints its stats table, and writes
@@ -162,6 +167,74 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
         print()
         print(emit_cuda(lower_etir(result.best), compute))
+    return 0
+
+
+_MODELS = ("bert_small", "resnet50", "mobilenetv2", "gpt2")
+
+
+def _build_model(name: str, batch: int, seq: int):
+    from repro.models import bert_small, gpt2, mobilenet_v2, resnet50
+
+    if name == "bert_small":
+        return bert_small(batch=batch, seq=seq)
+    if name == "resnet50":
+        return resnet50(batch=batch)
+    if name == "mobilenetv2":
+        return mobilenet_v2(batch=batch)
+    if name == "gpt2":
+        return gpt2(batch=batch, seq=seq)
+    raise ValueError(f"unknown model {name!r}")
+
+
+def _cmd_compile_graph(args: argparse.Namespace) -> int:
+    from repro.models.runner import compile_and_time
+
+    hw = _DEVICES[args.device]()
+    graph = _build_model(args.model, args.batch, args.seq)
+    cfg = (
+        GensorConfig(seed=args.seed)
+        if args.full
+        else GensorConfig(
+            seed=args.seed, num_chains=3, top_k=6, polish_steps=60
+        )
+    )
+    fusion = not args.no_fusion
+    per_op = compile_and_time(graph, Gensor(hw, cfg), "gensor")
+    prog_run = compile_and_time(
+        graph, Gensor(hw, cfg), "gensor", program=True, fusion=fusion
+    )
+    program = prog_run.program
+    print(f"model:     {graph.name} (batch {graph.batch}) on {hw.name}")
+    print(f"fusion:    {'on' if fusion else 'off'}")
+    print("groups:")
+    for g in program.groups:
+        chain = ""
+        if g.epilogue_names:
+            fused_names = g.epilogue_names[:g.fused]
+            pending = g.epilogue_names[g.fused:]
+            chain = " + " + " + ".join(fused_names) if fused_names else ""
+            if pending:
+                chain += f"  (unfused: {', '.join(pending)})"
+        print(f"  {g.anchor_label}{chain}  x{g.count}  "
+              f"{g.latency_s * 1e6:.2f}us")
+    print(f"program:    {program.latency_s * 1e3:.4f} ms/inference, "
+          f"{program.num_kernels} kernel launches "
+          f"({program.num_fused_ops} fused away)")
+    print(f"per-op sum: {per_op.latency_s * 1e3:.4f} ms/inference")
+    win = 0.0
+    if per_op.latency_s > 0:
+        win = 1.0 - program.latency_s / per_op.latency_s
+        print(f"fusion win: {win:+.1%} vs per-op compilation")
+    print(f"compile:    {prog_run.compile_seconds:.2f}s program, "
+          f"{per_op.compile_seconds:.2f}s per-op")
+    if args.min_win is not None and win < args.min_win:
+        print(
+            f"FAIL: fusion win {win:+.1%} below the required "
+            f"{args.min_win:+.1%} gate",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -421,6 +494,27 @@ def build_parser() -> argparse.ArgumentParser:
                            help="record the construction walk as JSONL "
                                 "events (gensor/dynamic only)")
     p_compile.set_defaults(fn=_cmd_compile)
+
+    p_graph = sub.add_parser(
+        "compile-graph",
+        help="compile a whole model as one fusion-aware program",
+    )
+    p_graph.add_argument("--model", default="bert_small", choices=_MODELS)
+    p_graph.add_argument("--batch", type=int, default=1)
+    p_graph.add_argument("--seq", type=int, default=128,
+                         help="sequence length (bert_small/gpt2 only)")
+    p_graph.add_argument("--device", default="rtx4090", choices=list(_DEVICES))
+    p_graph.add_argument("--seed", type=int, default=0)
+    p_graph.add_argument("--no-fusion", action="store_true",
+                         help="plan one group per op (the per-op baseline "
+                              "expressed in program form)")
+    p_graph.add_argument("--full", action="store_true",
+                         help="paper-scale construction budget")
+    p_graph.add_argument("--min-win", type=float, default=None,
+                         help="exit nonzero unless the program beats the "
+                              "per-op latency sum by this fraction "
+                              "(CI gate, e.g. 0.0 or 0.10)")
+    p_graph.set_defaults(fn=_cmd_compile_graph)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(

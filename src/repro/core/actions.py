@@ -46,8 +46,17 @@ class ActionKind:
     CACHE = "cache"
     VTHREAD_UP = "vthread_up"
     VTHREAD_DOWN = "vthread_down"
+    FUSE = "fuse"
+    UNFUSE = "unfuse"
 
-    ALL = (TILE_UP, TILE_DOWN, CACHE, VTHREAD_UP, VTHREAD_DOWN)
+    ALL = (TILE_UP, TILE_DOWN, CACHE, VTHREAD_UP, VTHREAD_DOWN, FUSE, UNFUSE)
+
+
+#: kinds whose benefit is used bare, without the roofline acceleration
+#: term: level changes don't move the roofline, and fusion toggles are
+#: priced at program level (the per-kernel roofline would punish a fused
+#: kernel for doing the epilogue's work).
+_NO_ACCEL = (ActionKind.CACHE, ActionKind.FUSE, ActionKind.UNFUSE)
 
 
 @dataclass(frozen=True)
@@ -77,11 +86,21 @@ class Action:
             if v <= 1:
                 return None
             return state.with_vthread(self.axis_idx, v // 2)
+        if self.kind == ActionKind.FUSE:
+            return state.with_fuse()
+        if self.kind == ActionKind.UNFUSE:
+            return state.with_unfuse()
         raise ValueError(f"unknown action kind {self.kind!r}")
 
     def describe(self, state: ETIR) -> str:
         if self.kind == ActionKind.CACHE:
             return f"cache(level {state.cur_level} -> {state.cur_level - 1})"
+        if self.kind == ActionKind.FUSE:
+            pending = state.pending_epilogues
+            return f"fuse({pending[0].name})" if pending else "fuse()"
+        if self.kind == ActionKind.UNFUSE:
+            fused = state.epilogues
+            return f"unfuse({fused[-1].name})" if fused else "unfuse()"
         ax = state.compute.axes[self.axis_idx]
         return f"{self.kind}({ax.name})"
 
@@ -97,6 +116,13 @@ def enumerate_actions(state: ETIR) -> list[Action]:
             actions.append(Action(ActionKind.VTHREAD_DOWN, idx))
     if state.cur_level > 1:
         actions.append(Action(ActionKind.CACHE))
+    # Guarded on the pool so single-op walks enumerate exactly the
+    # historical action list (RNG-stream parity).
+    if state.epilogue_pool:
+        if state.fused < len(state.epilogue_pool):
+            actions.append(Action(ActionKind.FUSE))
+        if state.fused > 0:
+            actions.append(Action(ActionKind.UNFUSE))
     return actions
 
 
@@ -133,12 +159,15 @@ def action_benefit(
         formula = _caching_benefit(state, hw)
     elif action.kind in (ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN):
         formula = _vthread_benefit(action, state, next_state, hw)
+    elif action.kind in (ActionKind.FUSE, ActionKind.UNFUSE):
+        formula = _fusion_benefit(state, next_state, hw)
     else:
         raise ValueError(f"unknown action kind {action.kind!r}")
-    if action.kind == ActionKind.CACHE or not multi_objective:
+    if action.kind in _NO_ACCEL or not multi_objective:
         # Level changes re-anchor which tiles the walk tunes; the roofline
         # is unchanged by them, so only the formula (with its annealing
-        # schedule, applied by the policy) decides the transition.
+        # schedule, applied by the policy) decides the transition.  Fusion
+        # toggles carry their own program-level ratio.
         return formula
     return formula * _predicted_acceleration(state, next_state, hw)
 
@@ -184,10 +213,12 @@ def action_benefits(
             formula = _caching_benefit(state, hw)
         elif action.kind in (ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN):
             formula = _vthread_benefit(action, state, next_state, hw)
+        elif action.kind in (ActionKind.FUSE, ActionKind.UNFUSE):
+            formula = _fusion_benefit(state, next_state, hw)
         else:
             raise ValueError(f"unknown action kind {action.kind!r}")
         benefits[i] = formula
-        if action.kind != ActionKind.CACHE and multi_objective:
+        if action.kind not in _NO_ACCEL and multi_objective:
             needs_accel.append(i)
     if not needs_accel:
         return benefits
@@ -225,6 +256,49 @@ def action_benefits(
             accel = min(16.0, before / after)
         benefits[i] = benefits[i] * accel
     return benefits
+
+
+def _fused_epilogue_s(ep, hw: HardwareSpec) -> float:
+    """Marginal cost an epilogue adds once fused into the anchor kernel:
+    its extra inputs stream from DRAM and its FLOPs run, but the
+    intermediate never round-trips and no launch is paid."""
+    extra = sum(inp.tensor.nbytes for inp in ep.inputs[1:])
+    return extra / hw.dram.bandwidth_bytes_per_s + ep.total_flops / hw.peak_flops
+
+
+def _group_time_s(state: ETIR, hw: HardwareSpec) -> float:
+    """Closed-form program time of the whole fusion group at ``state``:
+    the anchor kernel plus fused epilogues in-kernel plus pending
+    epilogues as standalone kernels."""
+    from repro.core.score import epilogue_standalone_s
+
+    compute = state.compute
+    t = (
+        hw.kernel_launch_overhead_s
+        + compute.total_io_bytes() / hw.dram.bandwidth_bytes_per_s
+        + compute.total_flops / hw.peak_flops
+    )
+    for ep in state.epilogues:
+        t += _fused_epilogue_s(ep, hw)
+    for ep in state.pending_epilogues:
+        t += epilogue_standalone_s(ep, hw)
+    return t
+
+
+def _fusion_benefit(state: ETIR, next_state: ETIR, hw: HardwareSpec) -> float:
+    """Program-time ratio of a fuse/unfuse toggle.
+
+    Fusing an epilogue trades its standalone kernel (launch + full IO
+    round-trip) for in-kernel marginal cost (extra inputs + FLOPs), so
+    fuse benefits exceed 1 exactly when fusion saves program time; unfuse
+    is the inverse ratio — below 1 but positive, preserving the walk's
+    reversibility.
+    """
+    t_src = _group_time_s(state, hw)
+    t_dst = _group_time_s(next_state, hw)
+    if t_dst <= 0:
+        return 0.0
+    return t_src / t_dst
 
 
 def _predicted_acceleration(state: ETIR, next_state: ETIR, hw: HardwareSpec) -> float:

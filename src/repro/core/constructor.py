@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.actions import ActionKind
 from repro.core.graph import ConstructionGraph
 from repro.core.policy import TransitionPolicy, append_probability
-from repro.core.score import quick_latency
+from repro.core.score import pending_penalty_s, quick_latency
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.ir.etir import ETIR
@@ -154,8 +154,17 @@ class Gensor:
         walkers: int | None = None,
         resume_from=None,
         checkpointer=None,
+        epilogues: "tuple[ComputeDef, ...]" = (),
     ) -> GensorResult:
         """Construct an optimized schedule for ``compute``.
+
+        ``epilogues`` is the fusable-epilogue pool of a program fusion
+        group (see :mod:`repro.models.program`): the walk gains
+        fuse/unfuse edges toggling how many pool ops run inside the anchor
+        kernel, and candidates are ranked by *program* cost (kernel
+        latency plus the standalone cost of every epilogue left unfused).
+        Empty (the default) leaves the single-op walk — actions, RNG
+        stream, ranking — byte-identical to the historical path.
 
         ``measurer`` provides the final top-k profiling; when omitted a
         fresh noise-free measurer on the constructor's device is used.
@@ -185,6 +194,12 @@ class Gensor:
         """
         t_start = time.perf_counter()
         cfg = self.config
+        epilogues = tuple(epilogues)
+        if epilogues and (resume_from is not None or checkpointer is not None):
+            raise ValueError(
+                "checkpoint/resume is not supported for fused program "
+                "groups; compile them without a checkpointer"
+            )
         n_walkers = cfg.walkers if walkers is None else int(walkers)
         if n_walkers < 1:
             raise ValueError(f"walkers must be >= 1, got {n_walkers}")
@@ -213,7 +228,10 @@ class Gensor:
             else frozenset({ActionKind.VTHREAD_UP, ActionKind.VTHREAD_DOWN})
         )
         engine = None
-        if cfg.batch_scoring:
+        # The SoA core packs states as (tiles, vthreads, level) arrays with
+        # no epilogue dimension; fused walks take the object path, whose
+        # parity obligation is only for unfused programs.
+        if cfg.batch_scoring and not epilogues:
             from repro.perf.soa import SoAWalkEngine, soa_walk_enabled
 
             if soa_walk_enabled():
@@ -238,11 +256,12 @@ class Gensor:
             candidates, total_iterations = self._run_walker(
                 graph, compute, forbid, tracer, cancel, walker=0,
                 engine=engine, resume_from=resume_from,
-                checkpointer=checkpointer,
+                checkpointer=checkpointer, epilogues=epilogues,
             )
         else:
             candidates, total_iterations = self._run_walkers(
-                graph, compute, forbid, tracer, cancel, n_walkers, engine=engine
+                graph, compute, forbid, tracer, cancel, n_walkers,
+                engine=engine, epilogues=epilogues,
             )
         states_visited = (
             engine.num_nodes if engine is not None else graph.num_nodes
@@ -251,7 +270,7 @@ class Gensor:
         # Algorithm 1 receives dim_configs as input: canonical dimension
         # configurations seed the pool alongside the walked states, so the
         # refinement stage always starts from at least one sane anchor.
-        for seed_state in self.seed_states(compute):
+        for seed_state in self.seed_states(compute, epilogues=epilogues):
             candidates.setdefault(seed_state.key(), seed_state)
         shortlist = self._rank(candidates.values())[: cfg.top_k]
         if cfg.polish_steps > 0:
@@ -287,6 +306,29 @@ class Gensor:
             simulated_measure_s=measurer.simulated_seconds - measured_before,
         )
 
+    def compile_graph(
+        self,
+        model_graph,
+        fusion: bool = True,
+        measurer: Measurer | None = None,
+        tracer: Tracer | None = None,
+    ):
+        """Compile a whole :class:`~repro.models.graph.ModelGraph` as one
+        program and return a
+        :class:`~repro.models.program.CompiledProgram`.
+
+        The graph is greedily partitioned into fusion groups (anchor +
+        elementwise epilogue chain); each group compiles through
+        :meth:`compile` with its epilogue pool, so the walk decides
+        fusion.  ``fusion=False`` compiles every op as its own group —
+        byte-identical RNG streams to per-op compilation.
+        """
+        from repro.models.program import compile_program
+
+        return compile_program(
+            self, model_graph, fusion=fusion, measurer=measurer, tracer=tracer
+        )
+
     # -- the annealed walk -------------------------------------------------------
 
     def _run_walker(
@@ -300,6 +342,7 @@ class Gensor:
         engine=None,
         resume_from=None,
         checkpointer=None,
+        epilogues: "tuple[ComputeDef, ...]" = (),
     ) -> tuple[dict[tuple, ETIR], int]:
         """Run one walker's ``num_chains`` annealed chains; return its
         candidate pool (insertion-ordered) and iteration count.
@@ -404,7 +447,9 @@ class Gensor:
                 iteration = resume_from.iteration
             else:
                 state = ETIR.initial(
-                    compute, num_levels=self.hw.num_cache_levels
+                    compute,
+                    num_levels=self.hw.num_cache_levels,
+                    epilogues=epilogues,
                 )
                 temperature = cfg.initial_temperature
                 iteration = 0
@@ -530,6 +575,7 @@ class Gensor:
         cancel: CancelToken | None,
         n_walkers: int,
         engine=None,
+        epilogues: "tuple[ComputeDef, ...]" = (),
     ) -> tuple[dict[tuple, ETIR], int]:
         """Run ``n_walkers`` independent walkers concurrently and merge.
 
@@ -550,7 +596,7 @@ class Gensor:
                 try:
                     results[w] = self._run_walker(
                         graph, compute, forbid, tracer, cancel, walker=w,
-                        engine=engine,
+                        engine=engine, epilogues=epilogues,
                     )
                 except BaseException as exc:  # repro: ignore[broad-except] - transported, re-raised on the caller thread
                     errors.append(exc)
@@ -614,7 +660,7 @@ class Gensor:
                 state.compute, resume_from.state, resume_from.num_levels
             )
             max_steps = max(0, max_steps - resume_from.iteration)
-        if self.config.batch_scoring:
+        if self.config.batch_scoring and not state.epilogue_pool:
             from repro.perf.soa import SoAWalkEngine, soa_walk_enabled
 
             if soa_walk_enabled():
@@ -628,7 +674,14 @@ class Gensor:
                 )
         t0 = time.perf_counter() if tracer.enabled else 0.0
         current = state
+        # Program groups refine under the program objective (kernel latency
+        # plus the standalone cost of unfused epilogues); single-op states
+        # keep the bare latency, bit-identical to the historical path.
+        program = bool(state.epilogue_pool)
         start_lat = current_lat = self._model_latency(current)
+        if program:
+            current_lat += pending_penalty_s(current, self.hw)
+            start_lat = current_lat
         vthread_allowed = ActionKind.VTHREAD_UP not in forbid
         steps = 0
         batch = self.config.batch_scoring
@@ -645,6 +698,11 @@ class Gensor:
                 if not neighbors:
                     break
                 lats = self._model_latency_batch(neighbors)
+                if program:
+                    lats = lats + np.array(
+                        [pending_penalty_s(n, self.hw) for n in neighbors],
+                        dtype=np.float64,
+                    )
                 j = int(np.argmin(lats))
                 if not lats[j] < current_lat:
                     break
@@ -654,6 +712,8 @@ class Gensor:
                 best_lat = current_lat
                 for nxt in self._all_level_neighbors(current, vthread_allowed):
                     lat = self._model_latency(nxt)
+                    if program:
+                        lat += pending_penalty_s(nxt, self.hw)
                     if lat < best_lat:
                         best_next, best_lat = nxt, lat
                 if best_next is None:
@@ -674,15 +734,24 @@ class Gensor:
             )
         return current
 
-    def seed_states(self, compute: ComputeDef) -> list[ETIR]:
+    def seed_states(
+        self,
+        compute: ComputeDef,
+        epilogues: "tuple[ComputeDef, ...]" = (),
+    ) -> list[ETIR]:
         """Canonical dim_configs: square-ish thread tiles with block tiles a
         power-of-two multiple, reduce axes staged in warp-wide chunks.
 
         Public API: the cheapest serving tier picks the best seed when a
         deadline leaves no room for construction or refinement.
+
+        With an epilogue pool, every canonical tiling is seeded twice —
+        fully unfused and fully fused — so program ranking always compares
+        both fusion extremes even if the walk undersamples one.
         """
         spatial = [ax for ax in compute.axes if not ax.is_reduce]
         reduce_axes = [ax for ax in compute.axes if ax.is_reduce]
+        epilogues = tuple(epilogues)
         seeds: list[ETIR] = []
         for t_sp in (8, 4, 2, 1):
             for blk_mult in (16, 8, 4):
@@ -698,8 +767,25 @@ class Gensor:
                     state = ETIR.from_tiles(compute, block, thread)
                 except ValueError:
                     continue
+                if epilogues:
+                    state = ETIR(
+                        compute,
+                        state.config,
+                        state.cur_level,
+                        state.num_levels,
+                        epilogue_pool=epilogues,
+                    )
                 if state.memory_ok(self.hw):
                     seeds.append(state)
+                if epilogues:
+                    fused = state
+                    while fused.fused < len(epilogues):
+                        nxt = fused.with_fuse()
+                        if nxt is None:  # pragma: no cover - loop-bounded
+                            break
+                        fused = nxt
+                    if fused.memory_ok(self.hw):
+                        seeds.append(fused)
         return seeds
 
     # -- internals ---------------------------------------------------------------
@@ -719,6 +805,10 @@ class Gensor:
                         nxt = state.with_vthread(idx, nv)
                         if nxt is not None:
                             yield nxt
+        if state.epilogue_pool:
+            for nxt in (state.with_fuse(), state.with_unfuse()):
+                if nxt is not None:
+                    yield nxt
 
     def _rank(self, states) -> list[ETIR]:
         """Order candidates by the internal analytical model (best first).
@@ -736,6 +826,16 @@ class Gensor:
             ]
         else:
             scored = [(self._model_latency(s), i, s) for i, s in feasible]
+        # Program groups rank on program cost: unfused epilogues cost their
+        # own kernels.  Single-op pools (no epilogue pool) are untouched.
+        scored = [
+            (
+                lat + pending_penalty_s(s, self.hw) if s.epilogue_pool else lat,
+                i,
+                s,
+            )
+            for lat, i, s in scored
+        ]
         scored.sort(key=lambda item: (item[0], item[1]))
         return [s for _lat, _i, s in scored if math.isfinite(_lat)]
 
@@ -746,9 +846,13 @@ class Gensor:
             raise RuntimeError("Gensor produced no feasible candidate states")
         best: ETIR | None = None
         best_metrics: KernelMetrics | None = None
+        best_obj = math.inf
         for state in shortlist:
             metrics = measurer.measure(state)
-            if best_metrics is None or metrics.latency_s < best_metrics.latency_s:
-                best, best_metrics = state, metrics
+            obj = metrics.latency_s
+            if state.epilogue_pool:
+                obj += pending_penalty_s(state, self.hw)
+            if best_metrics is None or obj < best_obj:
+                best, best_metrics, best_obj = state, metrics, obj
         assert best is not None and best_metrics is not None
         return best, best_metrics

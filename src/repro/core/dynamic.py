@@ -125,6 +125,7 @@ class DynamicGensor:
         cancel: CancelToken | None = None,
         resume_from=None,
         checkpointer=None,
+        epilogues: "tuple[ComputeDef, ...]" = (),
     ) -> DynamicCompileResult:
         """Serve one shape: cache hit, warm start, or cold construction.
 
@@ -134,6 +135,11 @@ class DynamicGensor:
         hit and warm tiers never run the annealed walk, so there is
         nothing to checkpoint or resume there (a stale checkpoint simply
         rides along unused when the cache answers first).
+
+        ``epilogues`` (a program fusion group's pool) bypasses the cache
+        entirely and runs the full fused construction: cache entries store
+        bare tile configs keyed by the anchor shape, so a fused winner
+        must never be served for — or seeded from — the plain kernel.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         measurer = measurer or Measurer(
@@ -144,6 +150,18 @@ class DynamicGensor:
             tracer=tracer,
         )
         t0 = time.perf_counter()
+
+        if epilogues:
+            self.stats.count("cold")
+            result = self.gensor.compile(
+                compute,
+                measurer,
+                tracer=tracer,
+                cancel=cancel,
+                epilogues=tuple(epilogues),
+            )
+            self._trace(tracer, compute, "cold", time.perf_counter() - t0)
+            return DynamicCompileResult(result, source="cold")
 
         exact = self.cache.get(compute)
         if exact is not None:
@@ -226,6 +244,22 @@ class DynamicGensor:
         self.cache.put(result.best, result.best_metrics.latency_s)
         self._trace(tracer, compute, "cold", time.perf_counter() - t0)
         return DynamicCompileResult(result, source="cold")
+
+    def compile_graph(
+        self,
+        model_graph,
+        fusion: bool = True,
+        measurer: Measurer | None = None,
+        tracer: Tracer | None = None,
+    ):
+        """Compile a :class:`~repro.models.graph.ModelGraph` as one program
+        (see :meth:`Gensor.compile_graph`); fused groups always run cold,
+        single-op groups go through the cache tiers."""
+        from repro.models.program import compile_program
+
+        return compile_program(
+            self, model_graph, fusion=fusion, measurer=measurer, tracer=tracer
+        )
 
     @staticmethod
     def _trace(

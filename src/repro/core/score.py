@@ -21,7 +21,14 @@ from repro.hardware.spec import HardwareSpec
 from repro.ir.etir import ETIR
 from repro.utils.caching import HOT_PATH_CACHING
 
-__all__ = ["quick_latency", "quick_latency_batch", "quick_pipe", "quick_score"]
+__all__ = [
+    "quick_latency",
+    "quick_latency_batch",
+    "quick_pipe",
+    "quick_score",
+    "epilogue_standalone_s",
+    "pending_penalty_s",
+]
 
 #: below this frontier size the numpy array setup costs more than it saves,
 #: so the batch entry points run the scalar loop instead.  Safe at any
@@ -50,7 +57,8 @@ def quick_latency(state: ETIR, hw: HardwareSpec, strict: bool = True) -> float:
     util_eff = util / (util + 0.12)
     # Blocks smaller than a warp waste SIMT lanes.
     warp_eff = threads / (math.ceil(threads / hw.warp_size) * hw.warp_size)
-    compute_time = compute.total_flops / max(
+    flops = state.program_flops() if state.fused else compute.total_flops
+    compute_time = flops / max(
         1.0, hw.peak_flops * ilp_eff * util_eff * warp_eff
     )
 
@@ -124,7 +132,9 @@ def quick_latency_batch(
                 conflict,
                 float(state.dram_traffic_bytes()),
                 float(state.smem_traffic_bytes()),
-                float(compute.total_flops),
+                float(
+                    state.program_flops() if state.fused else compute.total_flops
+                ),
             )
         )
     if not rows:
@@ -207,9 +217,37 @@ def _coalescing_uncached(state: ETIR, hw: HardwareSpec) -> float:
     return acc_f / total_w if total_w else 1.0
 
 
+def epilogue_standalone_s(ep, hw: HardwareSpec) -> float:
+    """Analytical cost of running one epilogue op as its own kernel.
+
+    A launch, a full IO round-trip, and its (tiny) FLOPs — the program-level
+    price the fusion actions and the constructor's ranking objective charge
+    for every epilogue left unfused.
+    """
+    return (
+        hw.kernel_launch_overhead_s
+        + ep.total_io_bytes() / hw.dram.bandwidth_bytes_per_s
+        + ep.total_flops / hw.peak_flops
+    )
+
+
+def pending_penalty_s(state: ETIR, hw: HardwareSpec) -> float:
+    """Standalone cost of every epilogue still unfused in ``state``.
+
+    Zero for single-op states (empty pool), so per-kernel objectives are
+    untouched; for program groups it makes latency comparisons
+    program-level — a fused kernel that runs slightly longer still wins
+    when it deletes whole epilogue kernels.
+    """
+    if not state.epilogue_pool or state.fused >= len(state.epilogue_pool):
+        return 0.0
+    return sum(epilogue_standalone_s(ep, hw) for ep in state.pending_epilogues)
+
+
 def quick_score(state: ETIR, hw: HardwareSpec) -> float:
     """Higher-is-better analytical score (estimated FLOP/s)."""
     lat = quick_latency(state, hw)
     if not math.isfinite(lat) or lat <= 0:
         return 0.0
-    return state.compute.total_flops / lat
+    flops = state.program_flops() if state.fused else state.compute.total_flops
+    return flops / lat

@@ -77,7 +77,11 @@ def run(
         rows[model_name] = {baseline_name: 1.0, "_baseline_throughput": baseline.throughput}
         cells = [f"{baseline.throughput:.1f}"]
         for m in method_names:
-            res = compile_and_time(graph, methods[m], m)
+            # Gensor compiles the whole graph as one fusion-aware program
+            # (whole-graph compilation); baselines stay per-op.
+            res = compile_and_time(
+                graph, methods[m], m, program=(m == "gensor")
+            )
             rel = res.throughput / baseline.throughput
             rows[model_name][m] = rel
             cells.append(f"{rel:.2f}")

@@ -57,7 +57,10 @@ def run(device_name: str = "rtx4090", quick: bool | None = None) -> ExperimentRe
     for seq, graph in graphs.items():
         roller = compile_and_time(graph, methods["roller"], "roller")
         pytorch = compile_and_time(graph, methods["pytorch"], "pytorch")
-        gensor = compile_and_time(graph, methods["gensor"], "gensor")
+        # Gensor compiles each shape's graph as one fusion-aware program.
+        gensor = compile_and_time(
+            graph, methods["gensor"], "gensor", program=True
+        )
         opt_time["roller"] += roller.compile_seconds
         opt_time["gensor"] += gensor.compile_seconds
         diet_latency = sum(

@@ -87,6 +87,12 @@ class FleetResponse:
     #: submission-to-completion wall clock for *this* request.
     service_latency_s: float = 0.0
     deadline_s: float | None = None
+    #: program fusion: pool epilogues the winning schedule fused.
+    fused: int = 0
+    #: standalone cost of the pool epilogues the winner left unfused.
+    pending_cost_s: float = 0.0
+    #: compile cost (wall + simulated profiling) inside the shard.
+    compile_seconds: float = 0.0
 
     @property
     def degraded(self) -> bool:
@@ -217,16 +223,26 @@ class FleetDispatcher:
         compute: ComputeDef,
         deadline_s: float | None = None,
         priority: int = 0,
+        epilogues: tuple = (),
     ) -> ServeTicket:
-        """Admit one request; always returns a ticket."""
+        """Admit one request; always returns a ticket.
+
+        ``epilogues`` (a program fusion group's pool) travels on the wire
+        with the anchor and widens the single-flight key — a fused
+        compilation must never coalesce with the bare kernel's.
+        """
+        epilogues = tuple(epilogues)
         request = CompileRequest(
-            compute=compute, deadline_s=deadline_s, priority=priority
+            compute=compute, deadline_s=deadline_s, priority=priority,
+            epilogues=epilogues,
         )
         ticket = ServeTicket(request)
         if self._closed:
             self._resolve_refused(ticket, "shutting_down")
             return ticket
         key = f"{self.options.device}/{shape_fingerprint(compute)}"
+        if epilogues:
+            key += "".join(f"+{shape_fingerprint(ep)}" for ep in epilogues)
         if self._flight.attach_or_lead(key, ticket):
             self.registry.counter("fleet_coalesced_total").inc()
             return ticket  # follower: the leader's wire response is shared
@@ -235,6 +251,7 @@ class FleetDispatcher:
             compute=compute,
             deadline_s=deadline_s,
             priority=priority,
+            epilogues=epilogues,
         )
         shard = self._router.route(
             family_fingerprint(compute), self.shard_loads()
@@ -260,6 +277,81 @@ class FleetDispatcher:
     ) -> FleetResponse:
         """Synchronous convenience: submit and wait."""
         return self.submit(compute, deadline_s, priority).result(timeout)
+
+    def serve_program(
+        self,
+        graph,
+        fusion: bool = True,
+        deadline_s: float | None = None,
+        priority: int = 0,
+        timeout: float | None = None,
+    ):
+        """Compile a whole ModelGraph as one program across the fleet.
+
+        Fusion groups are planned dispatcher-side, every group's anchor +
+        epilogue pool goes on the wire as an ordinary (family-routed,
+        coalescable) request, and the program is reassembled from the
+        shards' wire responses.  ``best_config`` per group is left empty:
+        schedules travel as :class:`CachedSchedule`, available on each
+        ticket's :class:`FleetResponse`.
+        """
+        import time as time_mod
+
+        from repro.models.program import CompiledProgram
+        from repro.serve.program import (
+            ProgramRequest,
+            ProgramResponse,
+            build_group,
+        )
+
+        request = ProgramRequest.from_graph(
+            graph, fusion=fusion, deadline_s=deadline_s, priority=priority
+        )
+        t0 = time_mod.perf_counter()
+        tickets = [
+            self.submit(
+                group.anchor,
+                deadline_s=deadline_s,
+                priority=priority,
+                epilogues=group.epilogues,
+            )
+            for group in request.groups
+        ]
+        compiled = []
+        tiers = []
+        for group, ticket in zip(request.groups, tickets):
+            response = ticket.result(timeout)
+            if not response.ok or response.kernel_latency_s is None:
+                return ProgramResponse(
+                    request_id=request.request_id,
+                    ok=False,
+                    reason=f"group {group.anchor.name!r}: "
+                           f"{response.reason or response.tier}",
+                    service_latency_s=time_mod.perf_counter() - t0,
+                )
+            compiled.append(
+                build_group(
+                    group,
+                    fused=response.fused,
+                    kernel_latency_s=response.kernel_latency_s,
+                    pending_cost_s=response.pending_cost_s,
+                    compile_seconds=response.compile_seconds,
+                )
+            )
+            tiers.append(response.tier)
+        program = CompiledProgram(
+            model=request.model,
+            batch=request.batch,
+            groups=compiled,
+            method="gensor",
+        )
+        return ProgramResponse(
+            request_id=request.request_id,
+            ok=True,
+            program=program,
+            tiers=tuple(tiers),
+            service_latency_s=time_mod.perf_counter() - t0,
+        )
 
     def sync(self) -> None:
         """Ask every shard for an immediate cache sync + stats publication."""
@@ -447,6 +539,9 @@ class FleetDispatcher:
             kernel_latency_s=wire.kernel_latency_s,
             reason=wire.reason,
             deadline_s=flight.deadline_s,
+            fused=wire.fused,
+            pending_cost_s=wire.pending_cost_s,
+            compile_seconds=wire.compile_seconds,
         )
         self._fulfill_with_followers(flight, response)
 

@@ -112,6 +112,10 @@ class WireRequest:
     #: ``compute``); the receiving shard's service resumes the walk from
     #: it after validation.
     checkpoint: object | None = None
+    #: program fusion: epilogue-pool ComputeDefs the construction walk may
+    #: fuse into this operator's kernel (plain picklable IR, like
+    #: ``compute``).  Fused requests bypass cache and checkpointing.
+    epilogues: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -148,6 +152,13 @@ class WireResponse:
     kernel_latency_s: float | None = None
     #: wall time the request spent inside the shard's service.
     shard_latency_s: float = 0.0
+    #: program fusion: pool epilogues the winning schedule fused (0 for
+    #: plain kernel requests).
+    fused: int = 0
+    #: standalone cost of the pool epilogues the winner left unfused.
+    pending_cost_s: float = 0.0
+    #: compile cost (wall + simulated profiling) of the serving walk.
+    compile_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -171,19 +182,29 @@ class ShardBye:
     shard: int
 
 
-def _encode(shard: int, request_id: int, response) -> WireResponse:
+def _encode(shard: int, request_id: int, response, hw=None) -> WireResponse:
     """Flatten a CompileResponse into plain wire data.
 
     ``request_id`` is the *dispatcher's* id from the WireRequest — the
     shard's CompileService mints its own local ids, which mean nothing
-    across the process boundary.
+    across the process boundary.  ``hw`` prices the unfused-epilogue
+    penalty of program (fused) responses; plain responses never need it.
     """
     schedule = None
     kernel_latency_s = None
+    fused = 0
+    pending_cost_s = 0.0
+    compile_seconds = 0.0
     if response.result is not None:
         best = response.result.best
         kernel_latency_s = response.result.best_metrics.latency_s
         schedule = CachedSchedule.from_state(best, kernel_latency_s)
+        compile_seconds = response.result.compile_seconds
+        if getattr(best, "epilogue_pool", ()) and hw is not None:
+            from repro.core.score import pending_penalty_s
+
+            fused = best.fused
+            pending_cost_s = pending_penalty_s(best, hw)
     return WireResponse(
         shard=shard,
         request_id=request_id,
@@ -193,6 +214,9 @@ def _encode(shard: int, request_id: int, response) -> WireResponse:
         schedule=schedule,
         kernel_latency_s=kernel_latency_s,
         shard_latency_s=response.service_latency_s,
+        fused=fused,
+        pending_cost_s=pending_cost_s,
+        compile_seconds=compile_seconds,
     )
 
 
@@ -303,7 +327,7 @@ def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
                         "fleet_checkpoint_errors_total",
                         kind=type(exc).__name__,
                     ).inc()
-            resp_q.put(_encode(shard_index, wire_id, response))
+            resp_q.put(_encode(shard_index, wire_id, response, hw))
             with drained:
                 outstanding.discard(wire_id)
                 drained.notify_all()
@@ -333,6 +357,7 @@ def run_shard(shard_index: int, options: ShardOptions, req_q, resp_q) -> None:
                     checkpoint=cast(
                         "WalkCheckpoint | None", message.checkpoint
                     ),
+                    epilogues=message.epilogues,
                 ),
             )
     finally:

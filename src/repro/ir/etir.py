@@ -70,7 +70,17 @@ class ETIR:
     memory level*, the per-level tiles, and the vThread configuration.
     """
 
-    __slots__ = ("compute", "num_levels", "cur_level", "config", "_key", "_hash", "_derived")
+    __slots__ = (
+        "compute",
+        "num_levels",
+        "cur_level",
+        "config",
+        "epilogue_pool",
+        "fused",
+        "_key",
+        "_hash",
+        "_derived",
+    )
 
     def __init__(
         self,
@@ -78,7 +88,18 @@ class ETIR:
         config: TileConfig,
         cur_level: int,
         num_levels: int,
+        epilogue_pool: tuple[ComputeDef, ...] = (),
+        fused: int = 0,
     ) -> None:
+        if not (0 <= fused <= len(epilogue_pool)):
+            raise ValueError(
+                f"fused must be in [0, {len(epilogue_pool)}], got {fused}"
+            )
+        for ep in epilogue_pool:
+            if ep.reduce_axes:
+                raise ValueError(
+                    f"epilogue {ep.name!r} has reduce axes and cannot fuse"
+                )
         if num_levels < 1:
             raise ValueError(f"num_levels must be >= 1, got {num_levels}")
         if not (1 <= cur_level <= num_levels):
@@ -115,7 +136,7 @@ class ETIR:
                 )
             if ax.is_reduce and v != 1:
                 raise ValueError(f"reduce axis {ax.name!r} cannot have vThreads")
-        self._bind(compute, config, cur_level, num_levels)
+        self._bind(compute, config, cur_level, num_levels, epilogue_pool, fused)
 
     @classmethod
     def _trusted(
@@ -124,6 +145,8 @@ class ETIR:
         config: TileConfig,
         cur_level: int,
         num_levels: int,
+        epilogue_pool: tuple[ComputeDef, ...] = (),
+        fused: int = 0,
     ) -> "ETIR":
         """Construct without re-validating invariants.
 
@@ -132,7 +155,7 @@ class ETIR:
         action application is the hottest allocation site in the walk.
         """
         obj = object.__new__(cls)
-        obj._bind(compute, config, cur_level, num_levels)
+        obj._bind(compute, config, cur_level, num_levels, epilogue_pool, fused)
         return obj
 
     def _bind(
@@ -141,17 +164,34 @@ class ETIR:
         config: TileConfig,
         cur_level: int,
         num_levels: int,
+        epilogue_pool: tuple[ComputeDef, ...],
+        fused: int,
     ) -> None:
         self.compute = compute
         self.num_levels = num_levels
         self.cur_level = cur_level
         self.config = config
-        self._key = (
-            compute.name,
-            config.tiles,
-            config.vthreads,
-            cur_level,
-        )
+        self.epilogue_pool = epilogue_pool
+        self.fused = fused
+        # Single-op states keep the historical 4-tuple key byte-for-byte
+        # (golden traces and checkpoints serialize it); fused-capable
+        # states append an epilogue element so fused/unfused never collide
+        # in any key-addressed cache.
+        if not epilogue_pool:
+            self._key = (
+                compute.name,
+                config.tiles,
+                config.vthreads,
+                cur_level,
+            )
+        else:
+            self._key = (
+                compute.name,
+                config.tiles,
+                config.vthreads,
+                cur_level,
+                ("epi", tuple(ep.name for ep in epilogue_pool), fused),
+            )
         self._hash = hash(self._key)
         #: lazily memoized derived quantities.  ETIR is immutable, but the
         #: construction hot path re-derives footprints, traffic, and memory
@@ -183,14 +223,29 @@ class ETIR:
     # -- construction -----------------------------------------------------------
 
     @classmethod
-    def initial(cls, compute: ComputeDef, num_levels: int = 2) -> "ETIR":
-        """The unscheduled state: all tiles 1, no vThreads, at level L."""
+    def initial(
+        cls,
+        compute: ComputeDef,
+        num_levels: int = 2,
+        epilogues: tuple[ComputeDef, ...] = (),
+    ) -> "ETIR":
+        """The unscheduled state: all tiles 1, no vThreads, at level L.
+
+        ``epilogues`` seeds the fusable-epilogue pool (all initially
+        unfused); the walk toggles membership via fuse/unfuse actions.
+        """
         n = len(compute.axes)
         config = TileConfig(
             tiles=tuple((1,) * num_levels for _ in range(n)),
             vthreads=(1,) * n,
         )
-        return cls(compute, config, cur_level=num_levels, num_levels=num_levels)
+        return cls(
+            compute,
+            config,
+            cur_level=num_levels,
+            num_levels=num_levels,
+            epilogue_pool=tuple(epilogues),
+        )
 
     @classmethod
     def from_tiles(
@@ -268,6 +323,49 @@ class ETIR:
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, ETIR) and self._key == other._key
+
+    # -- epilogue fusion state ---------------------------------------------------
+
+    @property
+    def epilogues(self) -> tuple[ComputeDef, ...]:
+        """Epilogue ops currently fused into this kernel (pool prefix)."""
+        return self.epilogue_pool[: self.fused]
+
+    @property
+    def pending_epilogues(self) -> tuple[ComputeDef, ...]:
+        """Pool members not yet fused — each still costs its own kernel."""
+        return self.epilogue_pool[self.fused :]
+
+    def with_fuse(self) -> "ETIR | None":
+        """Fusion action: absorb the next pending epilogue into the kernel.
+
+        Returns ``None`` when the pool is exhausted.  Fusion order is the
+        pool order (the model's dataflow order), so fuse/unfuse form an
+        exactly reversible pair.
+        """
+        if self.fused >= len(self.epilogue_pool):
+            return None
+        return ETIR._trusted(
+            self.compute,
+            self.config,
+            self.cur_level,
+            self.num_levels,
+            self.epilogue_pool,
+            self.fused + 1,
+        )
+
+    def with_unfuse(self) -> "ETIR | None":
+        """Inverse fusion action: release the last fused epilogue."""
+        if self.fused <= 0:
+            return None
+        return ETIR._trusted(
+            self.compute,
+            self.config,
+            self.cur_level,
+            self.num_levels,
+            self.epilogue_pool,
+            self.fused - 1,
+        )
 
     # -- tile views -----------------------------------------------------------------
 
@@ -359,7 +457,12 @@ class ETIR:
         return cached
 
     def regs_per_thread(self) -> int:
-        """Register (4-byte word) demand of one thread's tile."""
+        """Register (4-byte word) demand of one thread's tile.
+
+        Fused epilogues keep the anchor's intermediate in registers for
+        free, but any *extra* epilogue inputs (the residual of an ``add``)
+        must also live in registers at the spatial thread tile.
+        """
         cached = (
             self._derived.get("regs") if HOT_PATH_CACHING.enabled else None
         )
@@ -367,21 +470,80 @@ class ETIR:
             nbytes = tile_footprint_bytes(
                 self.compute, self.thread_tiles(), include_output=True
             )
+            nbytes += self._epilogue_extra_bytes(self._spatial_tile_points(1))
             cached = max(1, math.ceil(nbytes / 4))
             if HOT_PATH_CACHING.enabled:
                 self._derived["regs"] = cached
         return cached
 
     def dram_traffic_bytes(self) -> int:
-        """Q at the DRAM level: traffic under the block tiling."""
+        """Q at the DRAM level: traffic under the block tiling.
+
+        Fused epilogues skip their own round-trip of the intermediate, but
+        their extra inputs are streamed once per block at the spatial
+        block tile.
+        """
         cached = (
             self._derived.get("dram_q") if HOT_PATH_CACHING.enabled else None
         )
         if cached is None:
             cached = tile_traffic_bytes(self.compute, self.block_tiles())
+            if self.fused:
+                cached += self.num_blocks() * self._epilogue_extra_bytes(
+                    self._spatial_tile_points(self.num_levels)
+                )
             if HOT_PATH_CACHING.enabled:
                 self._derived["dram_q"] = cached
         return cached
+
+    # -- fused-program aggregates -------------------------------------------------
+
+    def _spatial_tile_points(self, level: int) -> int:
+        """Points of the spatial tile at ``level`` (epilogues iterate these)."""
+        pts = 1
+        for idx, ax in enumerate(self.compute.axes):
+            if ax.is_reduce:
+                continue
+            pts *= self.tile(idx, level)
+        return pts
+
+    def _epilogue_extra_bytes(self, spatial_points: int) -> int:
+        """Bytes of *extra* epilogue inputs over ``spatial_points`` points.
+
+        The first input of every epilogue is the fused intermediate (never
+        materialized); remaining inputs are real tensors read alongside it.
+        """
+        if not self.fused:
+            return 0
+        extra = 0
+        for ep in self.epilogues:
+            for inp in ep.inputs[1:]:
+                extra += spatial_points * inp.tensor.dtype_bytes
+        return extra
+
+    def epilogue_flops_per_point(self) -> float:
+        """FLOPs the fused epilogues add per spatial iteration point."""
+        return float(sum(ep.flops_per_point for ep in self.epilogues))
+
+    def program_flops(self) -> float:
+        """Useful FLOPs of the whole fused kernel (anchor + fused epilogues)."""
+        flops = self.compute.total_flops
+        for ep in self.epilogues:
+            flops += ep.total_flops
+        return flops
+
+    def program_io_bytes(self) -> float:
+        """Unique DRAM bytes the fused kernel must move.
+
+        The anchor's IO plus fused epilogues' extra inputs; each fused
+        intermediate stays on chip (the fusion saving), and the final
+        epilogue output stands in for the anchor output at equal size.
+        """
+        nbytes = float(self.compute.total_io_bytes())
+        for ep in self.epilogues:
+            for inp in ep.inputs[1:]:
+                nbytes += inp.tensor.nbytes
+        return nbytes
 
     def smem_traffic_bytes(self) -> int:
         """Q between shared memory and registers: traffic under thread tiling."""
@@ -433,7 +595,12 @@ class ETIR:
         cache = bucket[1]
         if len(cache) > _DERIVED_POOL_CAP:
             cache.clear()
-        key = (self.config.tiles, strict)
+        # Fused epilogues change register demand, so fused states must not
+        # share memok entries with the plain kernel of the same tiles.
+        if self.fused:
+            key = (self.config.tiles, strict, self._key[4])
+        else:
+            key = (self.config.tiles, strict)
         cached = cache.get(key)
         if cached is None:
             cached = cache[key] = self._memory_ok(hw, strict)
@@ -467,6 +634,8 @@ class ETIR:
             self._tile_replaced(axis_idx, level, new_size),
             self.cur_level,
             self.num_levels,
+            self.epilogue_pool,
+            self.fused,
         )
 
     def _tile_replaced(self, axis_idx: int, level: int, new_size: int) -> TileConfig:
@@ -517,6 +686,8 @@ class ETIR:
             self._tile_replaced(axis_idx, lvl, new),
             self.cur_level,
             self.num_levels,
+            self.epilogue_pool,
+            self.fused,
         )
 
     def with_cache_advance(self) -> "ETIR | None":
@@ -529,7 +700,12 @@ class ETIR:
         if self.cur_level <= 1:
             return None
         return ETIR._trusted(
-            self.compute, self.config, self.cur_level - 1, self.num_levels
+            self.compute,
+            self.config,
+            self.cur_level - 1,
+            self.num_levels,
+            self.epilogue_pool,
+            self.fused,
         )
 
     def with_vthread(self, axis_idx: int, count: int) -> "ETIR | None":
@@ -545,7 +721,14 @@ class ETIR:
         vts = list(self.config.vthreads)
         vts[axis_idx] = int(count)
         config = TileConfig(tiles=self.config.tiles, vthreads=tuple(vts))
-        return ETIR._trusted(self.compute, config, self.cur_level, self.num_levels)
+        return ETIR._trusted(
+            self.compute,
+            config,
+            self.cur_level,
+            self.num_levels,
+            self.epilogue_pool,
+            self.fused,
+        )
 
     # -- presentation -----------------------------------------------------------------
 
@@ -557,10 +740,15 @@ class ETIR:
             v = self.vthreads(idx)
             tag = f" v{v}" if v > 1 else ""
             parts.append(f"{ax.name}:[{levels}]{tag}")
+        fused = (
+            f" fused[{'+'.join(ep.name for ep in self.epilogues)}]"
+            if self.fused
+            else ""
+        )
         return (
             f"<ETIR {self.compute.name} L{self.cur_level} "
             f"{' '.join(parts)} threads={self.threads_per_block()} "
-            f"blocks={self.num_blocks()}>"
+            f"blocks={self.num_blocks()}{fused}>"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -63,6 +63,9 @@ class Schedule:
             for ax in compute.axes
         ]
         self.cache_stages: list[CacheStage] = []
+        #: elementwise ops computed in this kernel's innermost scope after
+        #: the anchor's accumulation (program fusion; see fuse_epilogue).
+        self.epilogue_ops: list[ComputeDef] = []
         self.log: list[tuple] = []
 
     # -- lookup ------------------------------------------------------------------
@@ -192,6 +195,22 @@ class Schedule:
         self.cache_stages.append(CacheStage(self.compute.output.name, scope, at_axis))
         self.log.append(("cache_write", scope, at_axis))
 
+    def fuse_epilogue(self, ep: ComputeDef) -> None:
+        """Compute ``ep`` in-kernel on the anchor's result (program fusion).
+
+        The epilogue consumes the anchor's output while it is still in
+        registers, so only epilogues over the anchor's *spatial* iteration
+        space are legal — an epilogue with reduce axes would need the full
+        intermediate materialized (the same spatial/reduce guard
+        :meth:`fuse` enforces for loop axes).
+        """
+        if ep.reduce_axes:
+            raise ScheduleError(
+                f"cannot fuse epilogue {ep.name!r}: it has reduce axes"
+            )
+        self.epilogue_ops.append(ep)
+        self.log.append(("fuse_epilogue", ep.name))
+
     def _annotate(self, name: str, kind: str) -> None:
         ax = self.axis(name)
         if ax.kind != LoopKind.SERIAL:
@@ -286,4 +305,6 @@ class Schedule:
                 staged.add(acc.tensor.name)
         if inner_axes:
             sched.cache_write("local", inner_axes[0])
+        for ep in state.epilogues:
+            sched.fuse_epilogue(ep)
         return sched

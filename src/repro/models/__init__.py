@@ -18,6 +18,14 @@ from repro.models.resnet import resnet34, resnet50
 from repro.models.bert import bert_small
 from repro.models.mobilenet import mobilenet_v2
 from repro.models.gpt2 import gpt2
+from repro.models.program import (
+    CompiledGroup,
+    CompiledProgram,
+    FusedGroup,
+    ProgramState,
+    compile_program,
+    plan_fusion,
+)
 from repro.models.runner import ModelRunResult, compile_and_time, DynamicScenario
 from repro.models.trace import shape_stream, trace_summary
 
@@ -29,6 +37,12 @@ __all__ = [
     "bert_small",
     "mobilenet_v2",
     "gpt2",
+    "CompiledGroup",
+    "CompiledProgram",
+    "FusedGroup",
+    "ProgramState",
+    "compile_program",
+    "plan_fusion",
     "ModelRunResult",
     "compile_and_time",
     "DynamicScenario",

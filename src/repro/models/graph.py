@@ -34,14 +34,27 @@ class ModelGraph:
     name: str
     batch: int
     ops: list[OpInstance] = field(default_factory=list)
+    #: shape-key -> position in ``ops``; makes ``add`` O(1) per call while
+    #: ``ops`` itself keeps insertion order (walk-visible once whole graphs
+    #: compile as programs).
+    _index: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for i, inst in enumerate(self.ops):
+            self._index.setdefault(self._shape_key(inst.compute), i)
 
     def add(self, compute: ComputeDef, count: int = 1) -> None:
-        """Add an operator, merging with an existing identical shape."""
+        """Add an operator, merging with an existing identical shape.
+
+        Merging never reorders: counts accumulate on the instance at the
+        shape's first insertion position.
+        """
         key = self._shape_key(compute)
-        for inst in self.ops:
-            if self._shape_key(inst.compute) == key:
-                inst.count += count
-                return
+        pos = self._index.get(key)
+        if pos is not None:
+            self.ops[pos].count += count
+            return
+        self._index[key] = len(self.ops)
         self.ops.append(OpInstance(compute, count))
 
     @staticmethod
@@ -51,6 +64,16 @@ class ModelGraph:
             tuple((ax.name, ax.extent, ax.kind) for ax in compute.axes),
             compute.flops_per_point,
         )
+
+    @staticmethod
+    def op_label(compute: ComputeDef) -> str:
+        """Stable human-readable per-shape label: name plus extent suffix.
+
+        Distinct shapes sharing an op name (two ``mm``s of different sizes)
+        stay distinct in reports keyed by this label.
+        """
+        extents = "x".join(str(ax.extent) for ax in compute.axes)
+        return f"{compute.name}@{extents}"
 
     @property
     def num_unique_ops(self) -> int:

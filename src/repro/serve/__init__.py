@@ -14,6 +14,7 @@ through it.
 
 from repro.serve.bench import BenchReport, bench_config, run_serve_bench
 from repro.serve.pool import WorkerPool
+from repro.serve.program import ProgramRequest, ProgramResponse, serve_program
 from repro.serve.request import (
     CompileRequest,
     CompileResponse,
@@ -31,6 +32,9 @@ __all__ = [
     "CompileRequest",
     "CompileResponse",
     "CompileService",
+    "ProgramRequest",
+    "ProgramResponse",
+    "serve_program",
     "ServeTicket",
     "ServiceStats",
     "SingleFlight",

@@ -1,0 +1,178 @@
+"""Program-level serving: compile a whole ModelGraph through the service.
+
+A :class:`ProgramRequest` is one tenant's ask for a *model*, not a single
+operator: the graph is fusion-planned up front
+(:func:`repro.models.program.plan_fusion`) and each
+:class:`~repro.models.program.FusedGroup` becomes one operator-level
+submission carrying the group's epilogue pool, so every group's
+construction walk explores fusion on a service worker.  The answer is a
+:class:`ProgramResponse` wrapping a portable
+:class:`~repro.models.program.CompiledProgram`.
+
+Both request and response are wire-safe plain data (ComputeDefs, names,
+floats — never live ETIR states or service objects): the fleet dispatcher
+ships the same group submissions across its shard pipes and reassembles
+the program on the dispatcher side.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.models.graph import ModelGraph
+from repro.models.program import (
+    CompiledGroup,
+    CompiledProgram,
+    FusedGroup,
+    plan_fusion,
+)
+
+__all__ = ["ProgramRequest", "ProgramResponse", "serve_program"]
+
+_PROGRAM_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ProgramRequest:
+    """One whole-model compile ask: fusion groups in model order."""
+
+    model: str
+    batch: int
+    #: the planned fusion groups; each compiles as one service request.
+    groups: tuple = ()
+    fusion: bool = True
+    deadline_s: float | None = None
+    priority: int = 0
+    request_id: int = field(default_factory=lambda: next(_PROGRAM_IDS))
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: ModelGraph,
+        fusion: bool = True,
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ) -> "ProgramRequest":
+        state = plan_fusion(graph, fusion=fusion)
+        return cls(
+            model=graph.name,
+            batch=graph.batch,
+            groups=tuple(state.groups),
+            fusion=fusion,
+            deadline_s=deadline_s,
+            priority=priority,
+        )
+
+
+@dataclass
+class ProgramResponse:
+    """The service's whole-model answer."""
+
+    request_id: int
+    ok: bool
+    program: CompiledProgram | None = None
+    #: serve tier per group, aligned with ``program.groups``.
+    tiers: tuple = ()
+    #: first failure reason when ``ok`` is False.
+    reason: str | None = None
+    #: submission-to-completion wall clock for the whole program.
+    service_latency_s: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        if self.program is None:
+            raise ValueError(
+                f"program request {self.request_id} has no program "
+                f"({self.reason})"
+            )
+        return self.program.latency_s
+
+
+def build_group(
+    group: FusedGroup,
+    fused: int,
+    kernel_latency_s: float,
+    pending_cost_s: float,
+    compile_seconds: float,
+    best_config: tuple = (),
+) -> CompiledGroup:
+    """Assemble one wire-safe group record from serve-level outcomes."""
+    return CompiledGroup(
+        anchor_name=group.anchor.name,
+        epilogue_names=tuple(ep.name for ep in group.epilogues),
+        fused=fused,
+        count=group.count,
+        kernel_latency_s=kernel_latency_s,
+        pending_cost_s=pending_cost_s,
+        compile_seconds=compile_seconds,
+        best_config=best_config,
+        anchor_label=ModelGraph.op_label(group.anchor),
+    )
+
+
+def serve_program(
+    service, request: ProgramRequest, timeout: float | None = None
+) -> ProgramResponse:
+    """Drive one ProgramRequest through a :class:`CompileService`.
+
+    Every group is submitted up front (they are independent kernels, so
+    the pool parallelizes them), then collected in model order.  One
+    failed group fails the program — a partial program has no meaningful
+    end-to-end latency.
+    """
+    import time as _time
+
+    from repro.core.score import pending_penalty_s
+
+    t0 = _time.perf_counter()
+    tickets = [
+        service.submit(
+            group.anchor,
+            deadline_s=request.deadline_s,
+            priority=request.priority,
+            epilogues=group.epilogues,
+        )
+        for group in request.groups
+    ]
+    compiled: list[CompiledGroup] = []
+    tiers: list[str] = []
+    for group, ticket in zip(request.groups, tickets):
+        response = ticket.result(timeout)
+        if not response.ok or response.result is None:
+            return ProgramResponse(
+                request_id=request.request_id,
+                ok=False,
+                reason=f"group {group.anchor.name!r}: "
+                       f"{response.reason or response.tier}",
+                service_latency_s=_time.perf_counter() - t0,
+            )
+        best = response.result.best
+        compiled.append(
+            build_group(
+                group,
+                fused=getattr(best, "fused", 0),
+                kernel_latency_s=response.result.best_metrics.latency_s,
+                pending_cost_s=pending_penalty_s(best, service.hw),
+                compile_seconds=response.result.compile_seconds,
+                best_config=(
+                    best.config.tiles,
+                    best.config.vthreads,
+                    best.cur_level,
+                ),
+            )
+        )
+        tiers.append(response.tier)
+    program = CompiledProgram(
+        model=request.model,
+        batch=request.batch,
+        groups=compiled,
+        method="gensor",
+    )
+    return ProgramResponse(
+        request_id=request.request_id,
+        ok=True,
+        program=program,
+        tiers=tuple(tiers),
+        service_latency_s=_time.perf_counter() - t0,
+    )

@@ -64,6 +64,11 @@ class CompileRequest:
     checkpoint: object | None = None
     #: walk steps the last checkpoint had banked (resilience accounting).
     progress_steps: int = 0
+    #: program fusion: epilogue pool (ComputeDefs) the construction walk
+    #: may fuse into this operator's kernel.  Non-empty pools bypass the
+    #: schedule cache and checkpointing (fused states are not cacheable
+    #: or resumable) and widen the single-flight coalescing key.
+    epilogues: tuple = ()
 
     def remaining_s(self, now: float | None = None) -> float | None:
         """Deadline budget still available, or ``None`` when unconstrained."""

@@ -38,6 +38,7 @@ from repro.core.cache import (
 )
 from repro.core.constructor import GensorConfig, GensorResult
 from repro.core.dynamic import DynamicGensor
+from repro.core.score import pending_penalty_s
 from repro.hardware.spec import HardwareSpec
 from repro.ir.compute import ComputeDef
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -215,6 +216,7 @@ class CompileService:
         deadline_s: float | None = None,
         priority: int = 0,
         checkpoint: WalkCheckpoint | None = None,
+        epilogues: tuple = (),
     ) -> ServeTicket:
         """Admit one request; always returns a ticket (rejections resolve
         immediately with ``tier="rejected"`` and a reason).
@@ -223,16 +225,25 @@ class CompileService:
         earlier incarnation (fleet shard respawn) — the first cold attempt
         resumes from it instead of restarting, after validating it against
         this service's compute/config.
+
+        ``epilogues`` carries a program fusion group's pool: the walk then
+        explores fusing those ops into this kernel.  Fused requests must
+        not coalesce with the bare kernel (their winners differ), so the
+        single-flight key grows the pool's shape fingerprints.
         """
+        epilogues = tuple(epilogues)
         request = CompileRequest(
             compute=compute,
             deadline_s=deadline_s,
             priority=priority,
             checkpoint=checkpoint,
+            epilogues=epilogues,
         )
         ticket = ServeTicket(request)
         self.stats.record_submitted()
         key = f"{self.hw.name}/{shape_fingerprint(compute)}"
+        if epilogues:
+            key += "".join(f"+{shape_fingerprint(ep)}" for ep in epilogues)
         if self._flight.attach_or_lead(key, ticket):
             return ticket  # follower: resolved by the leader's completion
         try:
@@ -254,6 +265,25 @@ class CompileService:
     ) -> CompileResponse:
         """Synchronous convenience: submit and wait."""
         return self.submit(compute, deadline_s, priority).result(timeout)
+
+    def compile_program(
+        self,
+        graph,
+        fusion: bool = True,
+        deadline_s: float | None = None,
+        priority: int = 0,
+        timeout: float | None = None,
+    ):
+        """Compile a whole :class:`~repro.models.graph.ModelGraph` as one
+        program: plan fusion groups, submit each group (with its epilogue
+        pool) to the worker pool, and assemble a
+        :class:`~repro.serve.program.ProgramResponse`."""
+        from repro.serve.program import ProgramRequest, serve_program
+
+        request = ProgramRequest.from_graph(
+            graph, fusion=fusion, deadline_s=deadline_s, priority=priority
+        )
+        return serve_program(self, request, timeout=timeout)
 
     def close(self) -> None:
         """Drain admitted work (including backfills), stop the workers and
@@ -470,14 +500,17 @@ class CompileService:
         # Attempts exhausted or family breaker open: shed to the degraded
         # tiers — a worse schedule beats no schedule, and degraded answers
         # are analytically cheap so a poisoned family stops burning workers.
-        served = self._degraded(compute, self._measurer_factory())
+        served = self._degraded(
+            compute, self._measurer_factory(), request.epilogues
+        )
         if served is not None:
             result, tier = served
-            if not shed_by_breaker:
+            if not shed_by_breaker and not request.epilogues:
                 # Transient failure: schedule the full construction in the
                 # background so repeats of this shape heal to a cache hit.
                 # Breaker-shed families skip backfill — it would burn the
-                # workers the breaker just protected.
+                # workers the breaker just protected.  Fused shapes skip it
+                # too: their winners never enter the cache.
                 self._schedule_backfill(compute)
             return CompileResponse(
                 request_id=request.request_id,
@@ -501,7 +534,10 @@ class CompileService:
         self, request: CompileRequest
     ) -> Checkpointer | None:
         """A fresh per-attempt checkpointer feeding ``request.checkpoint``."""
-        if not self._checkpointing:
+        # Fused program walks are not resumable (their ETIR keys carry the
+        # epilogue pool, which checkpoints do not serialize) — never
+        # checkpoint them.
+        if not self._checkpointing or request.epilogues:
             return None
         return Checkpointer(
             self._ckpt_policy,
@@ -557,7 +593,7 @@ class CompileService:
         compute = request.compute
         measurer = self._measurer_factory()
         resume: WalkCheckpoint | None = None
-        cp = request.checkpoint
+        cp = request.checkpoint if not request.epilogues else None
         if cp is not None and isinstance(cp, WalkCheckpoint):
             if cp.matches(compute, self.dynamic.config):
                 resume = cp
@@ -588,13 +624,16 @@ class CompileService:
             and self.cache.get(compute) is None
         )
         if degrade:
-            served = self._degraded(compute, measurer)
+            served = self._degraded(compute, measurer, request.epilogues)
             if served is not None:
                 result, tier = served
                 # Compile-ahead: a degraded answer is a promise, not an end
                 # state — schedule the full construction in the background
                 # (lowest priority) so repeats of this shape hit the cache.
-                self._schedule_backfill(compute)
+                # Fused shapes skip backfill: fused winners never enter the
+                # cache, so backfilling them could not heal anything.
+                if not request.epilogues:
+                    self._schedule_backfill(compute)
                 return CompileResponse(
                     request_id=request.request_id,
                     tier=tier,
@@ -617,6 +656,7 @@ class CompileService:
                     cancel=token,
                     resume_from=resume,
                     checkpointer=checkpointer,
+                    epilogues=request.epilogues,
                 )
         else:
             dyn = self.dynamic.compile(
@@ -625,6 +665,7 @@ class CompileService:
                 cancel=token,
                 resume_from=resume,
                 checkpointer=checkpointer,
+                epilogues=request.epilogues,
             )
         if dyn.source == "cold":
             self._observe_cold(time.perf_counter() - t0)
@@ -637,12 +678,18 @@ class CompileService:
         )
 
     def _degraded(
-        self, compute: ComputeDef, measurer
+        self, compute: ComputeDef, measurer, epilogues: tuple = ()
     ) -> tuple[GensorResult, str] | None:
-        """Deadline/failure fallbacks, best first: reduced-polish warm, seed."""
+        """Deadline/failure fallbacks, best first: reduced-polish warm, seed.
+
+        Fused (``epilogues``) requests skip the warm-neighbor tier — cache
+        entries are bare tile configs that cannot carry an epilogue pool —
+        and fall straight to the analytical seed pick, ranked by program
+        objective (kernel latency plus unfused-epilogue penalty).
+        """
         t0 = time.perf_counter()
         gensor = self.dynamic.gensor
-        neighbor = self.cache.nearest(compute)
+        neighbor = self.cache.nearest(compute) if not epilogues else None
         if neighbor is not None:
             warm = neighbor.instantiate(compute)
             if warm is not None and warm.memory_ok(self.hw):
@@ -667,13 +714,20 @@ class CompileService:
                 )
         seeds = [
             s
-            for s in gensor.seed_states(compute)
+            for s in gensor.seed_states(compute, epilogues)
             if s.memory_ok(self.hw)
         ]
         if not seeds:
             return None
         seed_lats = self._memo.latency_batch(self.hw, seeds)
-        best = seeds[int(seed_lats.argmin())]
+        if epilogues:
+            objectives = [
+                float(lat) + pending_penalty_s(s, self.hw)
+                for lat, s in zip(seed_lats, seeds)
+            ]
+            best = seeds[min(range(len(seeds)), key=objectives.__getitem__)]
+        else:
+            best = seeds[int(seed_lats.argmin())]
         # Purely analytical pick — not even one micro-benchmark round, so
         # the tightest deadlines still get a schedule in milliseconds.  Not
         # cached: seed quality would pollute future warm starts.

@@ -90,8 +90,7 @@ class CostModel:
         sm_utilization = min(1.0, concurrent_blocks / hw.num_sms) * wave_eff
 
         # --- compute pipe ------------------------------------------------------
-        padded_points = self._padded_points(state)
-        padded_flops = compute.flops_per_point * padded_points
+        padded_flops = self._padded_flops(state)
         inner_work = self._inner_work(state)
         ilp_eff = inner_work / (inner_work + _ILP_HALF)
         lat_hiding = occupancy / (occupancy + _OCC_HALF)
@@ -109,7 +108,9 @@ class CostModel:
         # --- DRAM / L2 pipe ------------------------------------------------------
         coalesce = self._coalescing(state)
         l2_requests = state.dram_traffic_bytes() * coalesce
-        unique_bytes = compute.total_io_bytes()
+        unique_bytes = (
+            state.program_io_bytes() if state.fused else compute.total_io_bytes()
+        )
         l2_hit = self._l2_hit_rate(state, l2_requests, unique_bytes, concurrent_blocks)
         dram_bytes = max(unique_bytes * min(1.0, coalesce), l2_requests * (1.0 - l2_hit))
         dram_time = dram_bytes / hw.dram.bandwidth_bytes_per_s
@@ -141,7 +142,9 @@ class CostModel:
             + _OVERLAP * (sum(pipes) - bound)
             + stage_time
         )
-        useful_flops = compute.total_flops
+        useful_flops = (
+            state.program_flops() if state.fused else compute.total_flops
+        )
         achieved = useful_flops / latency
         return KernelMetrics(
             latency_s=latency,
@@ -196,17 +199,25 @@ class CostModel:
                     float(tpb),
                     float(bps),
                     float(state.num_blocks()),
-                    compute.flops_per_point * self._padded_points(state),
+                    self._padded_flops(state),
                     self._inner_work(state),
                     float(state.total_vthreads()),
                     self._coalescing(state),
                     float(state.dram_traffic_bytes()),
-                    float(compute.total_io_bytes()),
+                    float(
+                        state.program_io_bytes()
+                        if state.fused
+                        else compute.total_io_bytes()
+                    ),
                     self._bank_conflicts(state),
                     float(state.smem_traffic_bytes()),
                     float(self._reduce_chunks(state)),
                     float(state.smem_footprint_bytes()),
-                    float(compute.total_flops),
+                    float(
+                        state.program_flops()
+                        if state.fused
+                        else compute.total_flops
+                    ),
                 )
             )
         if not rows:
@@ -276,12 +287,42 @@ class CostModel:
             total *= blocks * threads * t_thread
         return total
 
+    def _padded_spatial_points(self, state: ETIR) -> float:
+        """Spatial-only padded points — fused epilogues execute these."""
+        total = 1.0
+        L = state.num_levels
+        for idx, ax in enumerate(state.compute.axes):
+            if ax.is_reduce:
+                continue
+            t_block = state.tile(idx, L)
+            t_thread = state.tile(idx, 1)
+            blocks = math.ceil(ax.extent / t_block)
+            threads = math.ceil(t_block / t_thread)
+            total *= blocks * threads * t_thread
+        return total
+
+    def _padded_flops(self, state: ETIR) -> float:
+        """Executed FLOPs including padding, plus fused-epilogue work."""
+        flops = state.compute.flops_per_point * self._padded_points(state)
+        if state.fused:
+            flops += state.epilogue_flops_per_point() * self._padded_spatial_points(
+                state
+            )
+        return flops
+
     def _inner_work(self, state: ETIR) -> float:
         """FLOP count of one thread's innermost loop body (drives ILP)."""
         work = 1.0
         for idx, _ax in enumerate(state.compute.axes):
             work *= state.tile(idx, 1)
-        return work * state.compute.flops_per_point / 2.0
+        work = work * state.compute.flops_per_point / 2.0
+        if state.fused:
+            spatial = 1.0
+            for idx, ax in enumerate(state.compute.axes):
+                if not ax.is_reduce:
+                    spatial *= state.tile(idx, 1)
+            work += spatial * state.epilogue_flops_per_point() / 2.0
+        return work
 
     def _coalescing(self, state: ETIR) -> float:
         """Traffic inflation from partially used DRAM transactions.

@@ -91,11 +91,14 @@ class Measurer:
         rng = spawn_rng(self.seed, "measure", *map(str, state.key()))
         jitter = math.exp(rng.normal(0.0, self.noise_sigma))
         latency = truth.latency_s * jitter
+        flops = (
+            state.program_flops() if state.fused else state.compute.total_flops
+        )
         metrics = KernelMetrics(
             latency_s=latency,
-            achieved_flops=state.compute.total_flops / latency,
+            achieved_flops=flops / latency,
             compute_throughput=min(
-                1.0, state.compute.total_flops / latency / self.hw.peak_flops
+                1.0, flops / latency / self.hw.peak_flops
             ),
             sm_occupancy=truth.sm_occupancy,
             mem_busy=truth.mem_busy,

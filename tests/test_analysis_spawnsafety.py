@@ -19,6 +19,8 @@ from repro.fleet.shard import (
     WireResponse,
 )
 from repro.ir import operators as ops
+from repro.models.program import CompiledGroup, CompiledProgram, FusedGroup
+from repro.serve.program import ProgramRequest, ProgramResponse
 
 
 def lint_source(tmp_path: Path, source: str, rel: str = "repro/fleet/mod.py"):
@@ -173,13 +175,46 @@ def test_wire_dataclass_plain_data_allowed(tmp_path):
 
 def wire_payloads():
     compute = ops.matmul(32, 24, 40, "wire_rt")
+    epilogue = ops.elementwise((32, 40), "relu", "wire_ep")
+    group = CompiledGroup(
+        anchor_name="wire_rt",
+        epilogue_names=("wire_ep",),
+        fused=1,
+        count=2,
+        kernel_latency_s=1e-4,
+        pending_cost_s=0.0,
+        compile_seconds=0.5,
+        best_config=(((4, 16), (4, 16)), (1, 1), 1),
+        anchor_label="wire_rt@32x40x24",
+    )
     return [
-        WireRequest(request_id=1, compute=compute, deadline_s=1.0, priority=0),
+        WireRequest(
+            request_id=1,
+            compute=compute,
+            deadline_s=1.0,
+            priority=0,
+            epilogues=(epilogue,),
+        ),
         WireControl(kind="sync"),
         ShardReady(shard=0, pid=4242),
         ShardStats(shard=0, metrics={}, cache_size=0, workers=1),
         ShardBye(shard=0),
         ShardOptions(device="generic_gpu"),
+        # Program-compilation payloads cross the dispatcher/shard boundary
+        # in whole-graph serving — wire rules apply wherever they live.
+        group,
+        CompiledProgram(model="m", batch=1, groups=[group]),
+        ProgramRequest(
+            model="m",
+            batch=1,
+            groups=(FusedGroup(anchor=compute, epilogues=(epilogue,), count=2),),
+        ),
+        ProgramResponse(
+            request_id=1,
+            ok=True,
+            program=CompiledProgram(model="m", batch=1, groups=[group]),
+            tiers=("cold",),
+        ),
     ]
 
 
@@ -238,6 +273,44 @@ def test_plain_dataclass_outside_fleet_not_flagged(tmp_path):
         rel="repro/resilience/mod.py",
     )
     assert report.new == []
+
+
+def test_program_payload_hostile_field_flagged_outside_fleet(tmp_path):
+    # Program-compilation payloads are wire classes by name: they travel
+    # dispatcher <-> shard in whole-graph serving even though they are
+    # defined under repro/models and repro/serve.
+    report = lint_source(
+        tmp_path,
+        """
+        import threading
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class CompiledProgram:
+            model: str
+            guard: threading.Lock = field(default_factory=threading.Lock)
+        """,
+        rel="repro/models/mod.py",
+    )
+    assert rules(report) == ["wire-unpicklable-field"]
+
+
+def test_program_request_tracer_field_flagged_outside_fleet(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        from repro.obs import JsonlTracer
+
+        @dataclass
+        class ProgramRequest:
+            model: str
+            tracer: JsonlTracer | None = None
+        """,
+        rel="repro/serve/mod.py",
+    )
+    assert rules(report) == ["wire-unpicklable-field"]
 
 
 def test_walk_checkpoint_pickle_round_trip():

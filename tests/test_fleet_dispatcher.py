@@ -170,3 +170,24 @@ class TestSharedCache:
         ) as fresh:
             hit = fresh.serve(compute, timeout=60)
             assert hit.tier == "hit"
+
+
+class TestProgramServing:
+    def test_serve_program_across_shards(self, fleet):
+        from repro.models import ModelGraph
+
+        g = ModelGraph("fleet_prog", batch=1)
+        g.add(ops.matmul(64, 32, 64, "fp_mm"))
+        g.add(ops.elementwise((64, 64), "gelu", "fp_act"))
+        g.add(ops.matmul(64, 16, 64, "fp_mm2"))
+        response = fleet.serve_program(g, timeout=120)
+        assert response.ok
+        prog = response.program
+        assert [grp.anchor_name for grp in prog.groups] == ["fp_mm", "fp_mm2"]
+        assert prog.groups[0].epilogue_names == ("fp_act",)
+        assert prog.latency_s > 0.0
+        # Group latency always covers pending epilogues, fused or not.
+        grp = prog.groups[0]
+        assert grp.latency_s == grp.kernel_latency_s + grp.pending_cost_s
+        if grp.fused == 0:
+            assert grp.pending_cost_s > 0.0

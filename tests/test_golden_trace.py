@@ -38,10 +38,12 @@ WORKLOADS = {
 }
 
 
-def walk_signature(hw, compute):
+def walk_signature(hw, compute, **compile_kwargs):
     """Deterministic summary of one traced construction walk."""
     tracer = RecordingTracer()
-    result = Gensor(hw, GOLDEN_CFG).compile(compute, tracer=tracer)
+    result = Gensor(hw, GOLDEN_CFG).compile(
+        compute, tracer=tracer, **compile_kwargs
+    )
     steps = []
     for event in tracer.by_name("walk_step"):
         chosen = event.args["actions"][event.args["chosen"]]
@@ -114,6 +116,27 @@ def test_signature_is_stable_across_runs(hw):
     """Two in-process runs agree — rules out hidden global state."""
     compute = WORKLOADS["golden_trace_matmul.json"]
     assert walk_signature(hw, compute()) == walk_signature(hw, compute())
+
+
+@pytest.mark.parametrize("fixture_name", sorted(WORKLOADS))
+def test_empty_epilogue_pool_matches_fixture_bytes(hw, fixture_name):
+    """Program-fusion plumbing is invisible to single-op compiles.
+
+    ``compile(..., epilogues=(), walkers=1)`` must replay the recorded
+    fixture byte-for-byte: with an empty pool the walk enumerates the same
+    actions, draws the same RNG stream, and ranks with the same objective
+    as before fusion existed.
+    """
+    path = FIXTURES / fixture_name
+    assert path.exists(), f"missing golden fixture {path}"
+    actual = _dump(
+        walk_signature(
+            hw, WORKLOADS[fixture_name](), epilogues=(), walkers=1
+        )
+    )
+    assert actual == path.read_text(), (
+        "an empty epilogue pool perturbed the single-op walk"
+    )
 
 
 @pytest.mark.parametrize("fixture_name", sorted(WORKLOADS))

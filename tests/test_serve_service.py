@@ -231,3 +231,82 @@ class TestDeadlineDegradation:
             service.serve(gemm(), timeout=30.0)
             after = service.cold_cost_estimate_s
         assert after < before  # EMA pulled toward the observed fast cold
+
+
+class TestProgramServing:
+    def program_graph(self):
+        from repro.models import ModelGraph
+
+        g = ModelGraph("tiny", batch=1)
+        g.add(ops.matmul(64, 32, 64, "mm"))
+        g.add(ops.elementwise((64, 64), "gelu", "act"))
+        g.add(ops.matmul(64, 16, 64, "mm2"))
+        return g
+
+    def test_compile_program_serves_all_groups(self, hw):
+        with make_service(hw) as service:
+            response = service.compile_program(self.program_graph(), timeout=60.0)
+        assert response.ok
+        prog = response.program
+        assert [g.anchor_name for g in prog.groups] == ["mm", "mm2"]
+        assert prog.groups[0].epilogue_names == ("act",)
+        assert len(response.tiers) == 2
+        assert response.latency_s == prog.latency_s > 0.0
+        assert response.service_latency_s > 0.0
+
+    def test_compile_program_without_fusion_is_per_op(self, hw):
+        with make_service(hw) as service:
+            response = service.compile_program(
+                self.program_graph(), fusion=False, timeout=60.0
+            )
+        assert response.ok
+        prog = response.program
+        assert [g.anchor_name for g in prog.groups] == ["mm", "act", "mm2"]
+        assert all(g.epilogue_names == () for g in prog.groups)
+        assert prog.num_fused_ops == 0
+
+    def test_fused_and_bare_submissions_never_coalesce(self, hw):
+        """A fused-group request must not attach to an in-flight bare
+        compile of the same anchor shape (or vice versa) — the epilogue
+        pool changes the answer."""
+        import threading
+        from types import SimpleNamespace
+
+        service = make_service(hw)
+        seen = []
+        started = threading.Event()
+        gate = threading.Event()
+
+        def fake_compile(compute, measurer=None, cancel=None, epilogues=(), **kw):
+            seen.append((compute.name, tuple(ep.name for ep in epilogues)))
+            started.set()
+            assert gate.wait(5.0)
+            return SimpleNamespace(source="cold", result=None)
+
+        service.dynamic.compile = fake_compile
+        anchor = gemm()
+        bare = service.submit(anchor)
+        assert started.wait(5.0)
+        fused = service.submit(
+            gemm(name="fused_twin"),
+            epilogues=(ops.elementwise((64, 64), "relu", "ep"),),
+        )
+        gate.set()
+        bare.result(timeout=5.0)
+        fused.result(timeout=5.0)
+        service.close()
+        assert len(seen) == 2  # no single-flight coalescing across pools
+        assert {eps for _, eps in seen} == {(), ("ep",)}
+
+    def test_group_failure_fails_whole_program(self, hw):
+        from repro.serve.program import ProgramRequest, serve_program
+
+        service = make_service(hw, queue_capacity=1, workers=1)
+        request = ProgramRequest.from_graph(self.program_graph())
+        service.close()  # every submit now rejects
+        response = serve_program(service, request, timeout=5.0)
+        assert not response.ok
+        assert response.program is None
+        assert "mm" in response.reason
+        with pytest.raises(ValueError):
+            response.latency_s
